@@ -1,0 +1,70 @@
+"""Ablation (DESIGN.md §5): tableau-as-table join vs inlined pattern constants.
+
+The paper's detection queries join the pattern tableau as a data table so the
+query text stays bounded by the embedded FD regardless of TABSZ.  The obvious
+alternative inlines every pattern row into the SQL.  This ablation times both
+on the same workload at two tableau sizes: the join form should be roughly
+flat in TABSZ (Figure 9(d)'s observation), while the inlined form pays
+per-pattern parsing/planning that grows with the tableau.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_NOISE, BENCH_SEED, BENCH_SZ
+from repro.bench.harness import build_workload
+from repro.sql.inline import InlineCFDQueryBuilder
+from repro.sql.loader import create_indexes, load_single_tableau
+from repro.sql.single import SingleCFDQueryBuilder
+
+# SQLite refuses compound SELECTs with more than ~500 arms, so the inlined
+# form cannot even express tableaux beyond that — itself a point for the
+# paper's bounded-size join design.  Stay below the limit for the timing
+# comparison.
+TABSZ_POINTS = (100, 450)
+
+
+def _setup(tabsz):
+    workload = build_workload(
+        size=BENCH_SZ, noise=BENCH_NOISE, seed=BENCH_SEED,
+        num_attrs=2, tabsz=tabsz, num_consts=1.0,
+    )
+    detector = workload.detector()
+    cfd = workload.cfds[0]
+    create_indexes(detector.connection, detector.data_table, [cfd])
+    return workload, detector, cfd
+
+
+@pytest.mark.parametrize("tabsz", TABSZ_POINTS)
+@pytest.mark.benchmark(group="ablation-inline-vs-join")
+def test_join_form(benchmark, tabsz):
+    workload, detector, cfd = _setup(tabsz)
+    tableau_table = load_single_tableau(detector.connection, cfd)
+    builder = SingleCFDQueryBuilder(cfd, detector.data_table, tableau_table)
+    qc, qv = builder.qc_sql("dnf"), builder.qv_sql("dnf")
+
+    def run():
+        detector.connection.execute(qc).fetchall()
+        detector.connection.execute(qv).fetchall()
+
+    try:
+        benchmark.pedantic(run, rounds=3, iterations=1)
+    finally:
+        detector.close()
+
+
+@pytest.mark.parametrize("tabsz", TABSZ_POINTS)
+@pytest.mark.benchmark(group="ablation-inline-vs-join")
+def test_inline_form(benchmark, tabsz):
+    workload, detector, cfd = _setup(tabsz)
+    builder = InlineCFDQueryBuilder(cfd, detector.data_table)
+
+    def run():
+        # The inlined form must regenerate + re-plan its (large) SQL text each
+        # time, which is part of the cost being ablated.
+        detector.connection.execute(builder.qc_sql()).fetchall()
+        detector.connection.execute(builder.qv_sql()).fetchall()
+
+    try:
+        benchmark.pedantic(run, rounds=3, iterations=1)
+    finally:
+        detector.close()

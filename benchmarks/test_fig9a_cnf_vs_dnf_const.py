@@ -1,0 +1,39 @@
+"""Figure 9(a): CNF vs DNF detection time, NUMCONSTs = 100%.
+
+Paper setting: SZ 10K–100K, NOISE 5%, one CFD with NUMATTRs 3, TABSZ 1K, all
+pattern tuples constant.  Paper result: the DNF formulation clearly
+out-performs the CNF one at every size.  The two benchmarks below time the
+full (Q^C, Q^V) pair in each formulation at one representative SZ; compare
+their means to read off the same conclusion.
+"""
+
+import pytest
+
+
+def _detect(workload, detector, form):
+    return detector.detect(
+        workload.cfds, strategy="per_cfd", form=form, expand_variable_violations=False
+    )
+
+
+@pytest.fixture(scope="module")
+def detector(constants_workload):
+    det = constants_workload.detector()
+    yield det
+    det.close()
+
+
+@pytest.mark.benchmark(group="fig9a-cnf-vs-dnf-const")
+def test_fig9a_cnf(benchmark, constants_workload, detector):
+    run = benchmark.pedantic(
+        _detect, args=(constants_workload, detector, "cnf"), rounds=2, iterations=1
+    )
+    assert run.timings
+
+
+@pytest.mark.benchmark(group="fig9a-cnf-vs-dnf-const")
+def test_fig9a_dnf(benchmark, constants_workload, detector):
+    run = benchmark.pedantic(
+        _detect, args=(constants_workload, detector, "dnf"), rounds=3, iterations=1
+    )
+    assert run.timings

@@ -1,0 +1,36 @@
+"""Figure 9(b): CNF vs DNF detection time, NUMCONSTs = 50%.
+
+Same setting as Figure 9(a) but half of the pattern tuples contain variables.
+Paper result: DNF still wins irrespective of the presence of variables.
+"""
+
+import pytest
+
+
+def _detect(workload, detector, form):
+    return detector.detect(
+        workload.cfds, strategy="per_cfd", form=form, expand_variable_violations=False
+    )
+
+
+@pytest.fixture(scope="module")
+def detector(mixed_workload):
+    det = mixed_workload.detector()
+    yield det
+    det.close()
+
+
+@pytest.mark.benchmark(group="fig9b-cnf-vs-dnf-mixed")
+def test_fig9b_cnf(benchmark, mixed_workload, detector):
+    run = benchmark.pedantic(
+        _detect, args=(mixed_workload, detector, "cnf"), rounds=2, iterations=1
+    )
+    assert run.timings
+
+
+@pytest.mark.benchmark(group="fig9b-cnf-vs-dnf-mixed")
+def test_fig9b_dnf(benchmark, mixed_workload, detector):
+    run = benchmark.pedantic(
+        _detect, args=(mixed_workload, detector, "dnf"), rounds=3, iterations=1
+    )
+    assert run.timings

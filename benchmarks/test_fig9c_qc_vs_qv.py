@@ -1,0 +1,39 @@
+"""Figure 9(c): how detection time splits between Q^C and Q^V.
+
+Paper setting: SZ 10K–100K, NOISE 5%, one CFD with NUMATTRs 3, TABSZ 1K,
+NUMCONSTs 100%.  Paper result: the two queries carry similar loads and follow
+the same trend in SZ.  The two benchmarks time each query of the pair in
+isolation (DNF form, as in the paper's preferred configuration).
+"""
+
+import pytest
+
+from repro.sql.loader import create_indexes, load_single_tableau
+from repro.sql.single import SingleCFDQueryBuilder
+
+
+@pytest.fixture(scope="module")
+def setup(constants_workload):
+    detector = constants_workload.detector()
+    cfd = constants_workload.cfds[0]
+    create_indexes(detector.connection, detector.data_table, [cfd])
+    tableau_table = load_single_tableau(detector.connection, cfd)
+    builder = SingleCFDQueryBuilder(cfd, detector.data_table, tableau_table)
+    yield detector.connection, builder
+    detector.close()
+
+
+@pytest.mark.benchmark(group="fig9c-qc-vs-qv")
+def test_fig9c_qc(benchmark, setup):
+    connection, builder = setup
+    sql = builder.qc_sql("dnf")
+    rows = benchmark.pedantic(lambda: connection.execute(sql).fetchall(), rounds=3, iterations=1)
+    assert isinstance(rows, list)
+
+
+@pytest.mark.benchmark(group="fig9c-qc-vs-qv")
+def test_fig9c_qv(benchmark, setup):
+    connection, builder = setup
+    sql = builder.qv_sql("dnf")
+    rows = benchmark.pedantic(lambda: connection.execute(sql).fetchall(), rounds=3, iterations=1)
+    assert isinstance(rows, list)

@@ -1,0 +1,42 @@
+"""Figure 9(d): scalability in TABSZ (tableau size), NUMATTRs 3 vs 4.
+
+Paper setting: SZ 500K, NOISE 5%, NUMCONSTs 50%, TABSZ 1K–10K.  Paper result:
+TABSZ has little impact on detection time; the dominant factors are the
+relation size and the number of attributes in the CFD (more attributes means
+wider join conditions).  The benchmark sweeps a scaled-down TABSZ range for
+both attribute counts; compare times *within* a group to see the flat trend
+and *across* groups to see the NUMATTRs effect.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_NOISE, BENCH_SEED, BENCH_SZ
+from repro.bench.harness import build_workload
+
+TABSZ_POINTS = (250, 500, 1_000, 2_000)
+
+
+def _detect(workload, detector):
+    return detector.detect(
+        workload.cfds, strategy="per_cfd", form="dnf", expand_variable_violations=False
+    )
+
+
+@pytest.mark.parametrize("tabsz", TABSZ_POINTS)
+@pytest.mark.parametrize("num_attrs", (3, 4))
+@pytest.mark.benchmark(group="fig9d-tabsz")
+def test_fig9d_tabsz(benchmark, num_attrs, tabsz):
+    workload = build_workload(
+        size=BENCH_SZ,
+        noise=BENCH_NOISE,
+        seed=BENCH_SEED,
+        num_attrs=num_attrs,
+        tabsz=tabsz,
+        num_consts=0.5,
+    )
+    detector = workload.detector()
+    try:
+        run = benchmark.pedantic(_detect, args=(workload, detector), rounds=2, iterations=1)
+        assert run.timings
+    finally:
+        detector.close()

@@ -1,0 +1,39 @@
+"""Figure 9(e): scalability in NUMCONSTs (fraction of constant pattern tuples).
+
+Paper setting: SZ 100K, NOISE 5%, one CFD with TABSZ 1K and NUMATTRs 3,
+NUMCONSTs varied from 100% down to 10%.  Paper result: variables do increase
+detection time (they restrict index use when joining the relation with the
+tableau).  The benchmark sweeps a few NUMCONSTs points at one SZ.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_NOISE, BENCH_SEED, BENCH_SZ, BENCH_TABSZ
+from repro.bench.harness import build_workload
+
+NUMCONSTS_POINTS = (1.0, 0.7, 0.4, 0.1)
+
+
+def _detect(workload, detector):
+    return detector.detect(
+        workload.cfds, strategy="per_cfd", form="dnf", expand_variable_violations=False
+    )
+
+
+@pytest.mark.parametrize("num_consts", NUMCONSTS_POINTS)
+@pytest.mark.benchmark(group="fig9e-numconsts")
+def test_fig9e_numconsts(benchmark, num_consts):
+    workload = build_workload(
+        size=BENCH_SZ,
+        noise=BENCH_NOISE,
+        seed=BENCH_SEED,
+        num_attrs=3,
+        tabsz=BENCH_TABSZ,
+        num_consts=num_consts,
+    )
+    detector = workload.detector()
+    try:
+        run = benchmark.pedantic(_detect, args=(workload, detector), rounds=2, iterations=1)
+        assert run.timings
+    finally:
+        detector.close()

@@ -1,0 +1,40 @@
+"""Figure 9(f): scalability in NOISE (fraction of dirty tuples).
+
+Paper setting: SZ 100K, one two-attribute CFD ([ZIP] → [ST]) whose tableau
+contains every zip/state pair so no violation is missed, NOISE 0%–9%.
+Paper result: the noise level has a negligible effect on detection time.
+The benchmark sweeps the noise levels at one SZ with the full zip/state
+tableau from the bundled catalog.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, BENCH_SZ
+from repro.bench.harness import build_workload
+
+NOISE_POINTS = (0.0, 0.03, 0.06, 0.09)
+
+
+def _detect(workload, detector):
+    return detector.detect(
+        workload.cfds, strategy="per_cfd", form="dnf", expand_variable_violations=False
+    )
+
+
+@pytest.mark.parametrize("noise", NOISE_POINTS)
+@pytest.mark.benchmark(group="fig9f-noise")
+def test_fig9f_noise(benchmark, noise):
+    workload = build_workload(
+        size=BENCH_SZ,
+        noise=noise,
+        seed=BENCH_SEED,
+        num_attrs=2,
+        tabsz=None,  # every zip -> state pair, as in the paper
+        num_consts=1.0,
+    )
+    detector = workload.detector()
+    try:
+        run = benchmark.pedantic(_detect, args=(workload, detector), rounds=2, iterations=1)
+        assert run.timings
+    finally:
+        detector.close()

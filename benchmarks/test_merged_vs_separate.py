@@ -1,0 +1,64 @@
+"""Section 5, "Merging CFDs": the merged single-query-pair scheme vs per-CFD queries.
+
+The paper reports that merging is mainly beneficial for highly related CFDs
+and is otherwise hampered by how optimizers treat the CNF WHERE clause (its
+DNF expansion being 3^k is not an option).  The benchmark times both schemes
+over the same CFD set so the trade-off can be read off directly; a third
+benchmark isolates the per-CFD DNF formulation as the fast baseline.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_NOISE, BENCH_SEED, BENCH_SZ
+from repro.bench.harness import build_workload
+
+NUM_CFDS = 3
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(
+        size=BENCH_SZ,
+        noise=BENCH_NOISE,
+        seed=BENCH_SEED,
+        num_cfds=NUM_CFDS,
+        tabsz=200,
+        num_consts=1.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def detector(workload):
+    det = workload.detector()
+    yield det
+    det.close()
+
+
+def _detect(workload, detector, strategy, form):
+    return detector.detect(
+        workload.cfds, strategy=strategy, form=form, expand_variable_violations=False
+    )
+
+
+@pytest.mark.benchmark(group="merged-vs-separate")
+def test_merged_scheme(benchmark, workload, detector):
+    run = benchmark.pedantic(
+        _detect, args=(workload, detector, "merged", "cnf"), rounds=2, iterations=1
+    )
+    assert run.timings
+
+
+@pytest.mark.benchmark(group="merged-vs-separate")
+def test_separate_cnf_scheme(benchmark, workload, detector):
+    run = benchmark.pedantic(
+        _detect, args=(workload, detector, "per_cfd", "cnf"), rounds=2, iterations=1
+    )
+    assert run.timings
+
+
+@pytest.mark.benchmark(group="merged-vs-separate")
+def test_separate_dnf_scheme(benchmark, workload, detector):
+    run = benchmark.pedantic(
+        _detect, args=(workload, detector, "per_cfd", "dnf"), rounds=2, iterations=1
+    )
+    assert run.timings

@@ -1,0 +1,66 @@
+"""Reasoning about CFDs: consistency, the inference system, and minimal covers.
+
+Walks through the paper's Section 3 examples:
+
+* Example 3.1 — CFD sets can be inconsistent, and finite domains make it worse;
+* Example 3.2 — a derivation in the inference system I (rules FD3, FD5, FD6),
+  checked against the chase-based implication test;
+* Example 3.3 — computing a minimal cover with algorithm MinCover.
+
+Run with:  python examples/reasoning_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import CFD, implies, is_consistent, minimal_cover
+from repro.reasoning.inference import Derivation, InferenceRules
+from repro.relation.attribute import bool_attribute
+from repro.relation.schema import Schema
+
+
+def example_3_1() -> None:
+    print("=== Example 3.1: consistency ===")
+    psi1 = CFD.build(["A"], ["B"], [["_", "b"], ["_", "c"]], name="psi1")
+    print(f"psi1 forces B to be both 'b' and 'c'; consistent? {is_consistent([psi1])}")
+
+    bool_schema = Schema("r", [bool_attribute("A"), "B"])
+    psi2 = CFD.build(["A"], ["B"], [[True, "b1"], [False, "b2"]], name="psi2")
+    psi3 = CFD.build(["B"], ["A"], [["b1", False], ["b2", True]], name="psi3")
+    print(f"psi2 alone consistent?            {is_consistent([psi2], schema=bool_schema)}")
+    print(f"psi3 alone consistent?            {is_consistent([psi3], schema=bool_schema)}")
+    print(f"psi2 and psi3 together (bool A)?  {is_consistent([psi2, psi3], schema=bool_schema)}")
+    print(f"... and with an unbounded A?      {is_consistent([psi2, psi3])}")
+    print()
+
+
+def example_3_2() -> None:
+    print("=== Example 3.2: a derivation in the inference system I ===")
+    derivation = Derivation()
+    psi1 = derivation.assume(CFD.build(["A"], ["B"], [["_", "b"]]), note="psi1")
+    psi2 = derivation.assume(CFD.build(["B"], ["C"], [["_", "c"]]), note="psi2")
+    step3 = derivation.apply("FD3", InferenceRules.fd3([psi1], psi2), [psi1, psi2])
+    step4 = derivation.apply("FD5", InferenceRules.fd5(step3, "A", "a"), [step3])
+    derivation.apply("FD6", InferenceRules.fd6(step4), [step4])
+    print(derivation.render())
+    phi = CFD.build(["A"], ["C"], [["a", "_"]])
+    print(f"\nConclusion equals phi = (A -> C, (a, _)): {derivation.conclusion == phi}")
+    print(f"Chase-based check - {{psi1, psi2}} |= phi:  {implies([psi1, psi2], phi)}")
+    print()
+
+
+def example_3_3() -> None:
+    print("=== Example 3.3: minimal cover ===")
+    psi1 = CFD.build(["A"], ["B"], [["_", "b"]], name="psi1")
+    psi2 = CFD.build(["B"], ["C"], [["_", "c"]], name="psi2")
+    phi = CFD.build(["A"], ["C"], [["a", "_"]], name="phi")
+    cover = minimal_cover([psi1, psi2, phi])
+    print(f"Input: psi1, psi2, phi  ->  cover of {len(cover)} CFDs:")
+    for cfd in cover:
+        print("  " + cfd.render().replace("\n", "\n  "))
+    print()
+
+
+if __name__ == "__main__":
+    example_3_1()
+    example_3_2()
+    example_3_3()

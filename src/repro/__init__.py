@@ -1,0 +1,76 @@
+"""repro — a reproduction of *Conditional Functional Dependencies for Data Cleaning*.
+
+The package implements the CFD formalism of Bohannon, Fan, Geerts, Jia and
+Kementsietsidis (ICDE 2007) together with every substrate the paper's
+evaluation depends on:
+
+* ``repro.relation`` — an in-memory relational substrate (schemas, typed
+  attributes with optional finite domains, relations, CSV I/O).
+* ``repro.core`` — pattern tableaux, CFDs, the match/order relations and
+  in-memory satisfaction checking.
+* ``repro.reasoning`` — consistency, implication (inference rules FD1–FD8),
+  and minimal covers.
+* ``repro.sql`` — SQL generation for violation detection (single CFD and
+  merged multi-CFD schemes) plus a SQLite execution engine.
+* ``repro.detection`` — a single façade over the in-memory and SQL detectors.
+* ``repro.repair`` — cost-based heuristic repair (the paper's Section 6).
+* ``repro.discovery`` — FD / constant-CFD discovery (the paper's future work).
+* ``repro.datagen`` — the ``cust`` running example and the tax-records
+  generator used in the experimental study.
+* ``repro.bench`` — the experiment harness that regenerates Figure 9.
+
+Quickstart
+----------
+>>> from repro import cust_relation, cust_cfds, detect_violations
+>>> report = detect_violations(cust_relation(), cust_cfds())
+>>> sorted(report.violating_indices())
+[0, 1, 2, 3]
+"""
+
+from repro.core.cfd import CFD, FD
+from repro.core.pattern import DONTCARE, WILDCARD, PatternValue
+from repro.core.tableau import PatternTableau, PatternTuple
+from repro.core.violations import (
+    ConstantViolation,
+    VariableViolation,
+    Violation,
+    ViolationReport,
+)
+from repro.datagen.cust import cust_cfds, cust_relation
+from repro.detection.engine import detect_violations
+from repro.reasoning.consistency import is_consistent
+from repro.reasoning.implication import implies
+from repro.reasoning.mincover import minimal_cover
+from repro.relation.attribute import Attribute
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+from repro.repair.heuristic import repair
+from repro.sql.engine import SQLDetector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "CFD",
+    "ConstantViolation",
+    "DONTCARE",
+    "FD",
+    "PatternTableau",
+    "PatternTuple",
+    "PatternValue",
+    "Relation",
+    "Schema",
+    "SQLDetector",
+    "VariableViolation",
+    "Violation",
+    "ViolationReport",
+    "WILDCARD",
+    "cust_cfds",
+    "cust_relation",
+    "detect_violations",
+    "implies",
+    "is_consistent",
+    "minimal_cover",
+    "repair",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""The experiment harness that regenerates the paper's Figure 9 series."""
+
+from repro.bench.config import BenchConfig, default_config
+from repro.bench.experiments import (
+    fig9a_cnf_vs_dnf_constants,
+    fig9b_cnf_vs_dnf_mixed,
+    fig9c_qc_vs_qv,
+    fig9d_tabsz_scaling,
+    fig9e_numconsts_scaling,
+    fig9f_noise_scaling,
+    merged_vs_separate,
+)
+from repro.bench.harness import DetectionWorkload, time_detection
+from repro.bench.reporting import format_table
+
+__all__ = [
+    "BenchConfig",
+    "DetectionWorkload",
+    "default_config",
+    "fig9a_cnf_vs_dnf_constants",
+    "fig9b_cnf_vs_dnf_mixed",
+    "fig9c_qc_vs_qv",
+    "fig9d_tabsz_scaling",
+    "fig9e_numconsts_scaling",
+    "fig9f_noise_scaling",
+    "format_table",
+    "merged_vs_separate",
+    "time_detection",
+]

@@ -1,0 +1,32 @@
+"""Plain-text reporting of experiment series (the rows behind each figure)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, Any]], title: str = "") -> str:
+    """Format a list of homogeneous dictionaries as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_render(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

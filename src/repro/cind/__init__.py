@@ -1,0 +1,19 @@
+"""Conditional inclusion dependencies (CINDs).
+
+Section 7 of the paper names "data cleaning based on both CFDs and conditional
+inclusion dependencies" as ongoing work; this subpackage supplies the CIND
+side: the formalism, in-memory satisfaction checking, and SQL-based violation
+detection across two relations, mirroring the structure of the CFD packages.
+"""
+
+from repro.cind.cind import CIND
+from repro.cind.satisfaction import find_cind_violations, satisfies_cind
+from repro.cind.sql import CINDQueryBuilder, detect_cind_violations_sql
+
+__all__ = [
+    "CIND",
+    "CINDQueryBuilder",
+    "detect_cind_violations_sql",
+    "find_cind_violations",
+    "satisfies_cind",
+]

@@ -1,0 +1,237 @@
+"""The CIND formalism.
+
+A conditional inclusion dependency (CIND) on relations ``R1`` and ``R2`` is a
+pair ``ψ = (R1[X; Xp] ⊆ R2[Y; Yp], Tp)`` where
+
+* ``X`` and ``Y`` are equal-length attribute lists of ``R1`` and ``R2`` — the
+  *inclusion* attributes (``R1[X] ⊆ R2[Y]`` is the embedded standard IND);
+* ``Xp`` (attributes of ``R1``) and ``Yp`` (attributes of ``R2``) carry the
+  *condition*: a pattern tableau ``Tp`` over ``Xp ∪ Yp`` whose cells are
+  constants or the unnamed variable ``_``.
+
+Semantics: ``(I1, I2) |= ψ`` iff for every tuple ``t1 ∈ I1`` and pattern tuple
+``tp ∈ Tp`` with ``t1[Xp] ≍ tp[Xp]`` there exists ``t2 ∈ I2`` such that
+``t2[Y] = t1[X]`` and ``t2[Yp] ≍ tp[Yp]``.  For example,
+
+    order[book_id; type = 'book'] ⊆ book[id; format = _]
+
+says every order tuple whose ``type`` is ``'book'`` must reference an existing
+book, whatever its format.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.pattern import PatternValue
+from repro.errors import CFDError
+from repro.relation.schema import Schema
+
+CellSpec = Union[PatternValue, Any]
+
+
+class CINDPattern:
+    """One pattern tuple of a CIND: condition cells for ``Xp`` and ``Yp``."""
+
+    __slots__ = ("_lhs", "_rhs")
+
+    def __init__(self, lhs: Mapping[str, CellSpec], rhs: Mapping[str, CellSpec]) -> None:
+        self._lhs: Dict[str, PatternValue] = {
+            attr: PatternValue.coerce(cell) for attr, cell in lhs.items()
+        }
+        self._rhs: Dict[str, PatternValue] = {
+            attr: PatternValue.coerce(cell) for attr, cell in rhs.items()
+        }
+
+    @property
+    def lhs(self) -> Dict[str, PatternValue]:
+        return dict(self._lhs)
+
+    @property
+    def rhs(self) -> Dict[str, PatternValue]:
+        return dict(self._rhs)
+
+    def lhs_cell(self, attribute: str) -> PatternValue:
+        return self._lhs[attribute]
+
+    def rhs_cell(self, attribute: str) -> PatternValue:
+        return self._rhs[attribute]
+
+    def matches_source(self, values: Mapping[str, Any]) -> bool:
+        """Whether a source tuple's condition attributes match ``tp[Xp]``."""
+        return all(cell.matches(values[attr]) for attr, cell in self._lhs.items())
+
+    def matches_target(self, values: Mapping[str, Any]) -> bool:
+        """Whether a target tuple's condition attributes match ``tp[Yp]``."""
+        return all(cell.matches(values[attr]) for attr, cell in self._rhs.items())
+
+    def key(self) -> Tuple[Tuple[Tuple[str, PatternValue], ...], Tuple[Tuple[str, PatternValue], ...]]:
+        return (
+            tuple(sorted(self._lhs.items())),
+            tuple(sorted(self._rhs.items())),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CINDPattern):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        lhs = ", ".join(f"{attr}={cell.render()}" for attr, cell in self._lhs.items())
+        rhs = ", ".join(f"{attr}={cell.render()}" for attr, cell in self._rhs.items())
+        return f"CINDPattern([{lhs}] ; [{rhs}])"
+
+
+class CIND:
+    """A conditional inclusion dependency ``(R1[X; Xp] ⊆ R2[Y; Yp], Tp)``."""
+
+    __slots__ = ("_source_attrs", "_target_attrs", "_source_cond", "_target_cond",
+                 "_patterns", "_name", "_source_schema", "_target_schema")
+
+    def __init__(
+        self,
+        source_attributes: Sequence[str],
+        target_attributes: Sequence[str],
+        source_condition: Sequence[str] = (),
+        target_condition: Sequence[str] = (),
+        patterns: Optional[Iterable[CINDPattern]] = None,
+        name: Optional[str] = None,
+        source_schema: Optional[Schema] = None,
+        target_schema: Optional[Schema] = None,
+    ) -> None:
+        self._source_attrs = tuple(source_attributes)
+        self._target_attrs = tuple(target_attributes)
+        if not self._source_attrs:
+            raise CFDError("a CIND needs at least one inclusion attribute on each side")
+        if len(self._source_attrs) != len(self._target_attrs):
+            raise CFDError(
+                f"inclusion attribute lists must have equal length: "
+                f"{self._source_attrs} vs {self._target_attrs}"
+            )
+        self._source_cond = tuple(source_condition)
+        self._target_cond = tuple(target_condition)
+        pattern_list = list(patterns) if patterns is not None else []
+        if not pattern_list:
+            # The standard IND is the CIND with a single all-wildcard pattern.
+            pattern_list = [CINDPattern(
+                {attr: "_" for attr in self._source_cond},
+                {attr: "_" for attr in self._target_cond},
+            )]
+        for pattern in pattern_list:
+            if set(pattern.lhs) != set(self._source_cond) or set(pattern.rhs) != set(self._target_cond):
+                raise CFDError("CIND pattern attributes do not match the declared condition attributes")
+        self._patterns = tuple(pattern_list)
+        self._name = name
+        self._source_schema = source_schema
+        self._target_schema = target_schema
+        for schema, attrs, cond in (
+            (source_schema, self._source_attrs, self._source_cond),
+            (target_schema, self._target_attrs, self._target_cond),
+        ):
+            if schema is not None:
+                schema.validate_attributes(attrs)
+                schema.validate_attributes(cond)
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def build(
+        cls,
+        source_attributes: Sequence[str],
+        target_attributes: Sequence[str],
+        source_condition: Sequence[str] = (),
+        target_condition: Sequence[str] = (),
+        pattern_rows: Iterable[Sequence[CellSpec]] = (),
+        name: Optional[str] = None,
+    ) -> "CIND":
+        """Build a CIND from raw pattern rows (source condition cells, then target's).
+
+        >>> cind = CIND.build(["book_id"], ["id"], ["type"], ["format"],
+        ...                   [["book", "_"]], name="orders_reference_books")
+        >>> len(cind.patterns)
+        1
+        """
+        source_condition = tuple(source_condition)
+        target_condition = tuple(target_condition)
+        width = len(source_condition) + len(target_condition)
+        patterns = []
+        for row in pattern_rows:
+            cells = list(row)
+            if len(cells) != width:
+                raise CFDError(f"CIND pattern row {row!r} has {len(cells)} cells, expected {width}")
+            patterns.append(
+                CINDPattern(
+                    dict(zip(source_condition, cells[: len(source_condition)])),
+                    dict(zip(target_condition, cells[len(source_condition):])),
+                )
+            )
+        return cls(
+            source_attributes,
+            target_attributes,
+            source_condition,
+            target_condition,
+            patterns,
+            name=name,
+        )
+
+    # ------------------------------------------------------------------ accessors
+    @property
+    def source_attributes(self) -> Tuple[str, ...]:
+        """The inclusion attributes ``X`` of the source relation."""
+        return self._source_attrs
+
+    @property
+    def target_attributes(self) -> Tuple[str, ...]:
+        """The inclusion attributes ``Y`` of the target relation."""
+        return self._target_attrs
+
+    @property
+    def source_condition(self) -> Tuple[str, ...]:
+        """The condition attributes ``Xp`` of the source relation."""
+        return self._source_cond
+
+    @property
+    def target_condition(self) -> Tuple[str, ...]:
+        """The condition attributes ``Yp`` of the target relation."""
+        return self._target_cond
+
+    @property
+    def patterns(self) -> Tuple[CINDPattern, ...]:
+        return self._patterns
+
+    @property
+    def name(self) -> str:
+        if self._name:
+            return self._name
+        return f"cind_{'_'.join(self._source_attrs)}__{'_'.join(self._target_attrs)}"
+
+    def is_standard_ind(self) -> bool:
+        """True when the CIND has no condition attributes (or only wildcards)."""
+        return all(
+            all(cell.is_wildcard for cell in pattern.lhs.values())
+            and all(cell.is_wildcard for cell in pattern.rhs.values())
+            for pattern in self._patterns
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CIND):
+            return NotImplemented
+        return (
+            self._source_attrs == other._source_attrs
+            and self._target_attrs == other._target_attrs
+            and self._source_cond == other._source_cond
+            and self._target_cond == other._target_cond
+            and set(self._patterns) == set(other._patterns)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._source_attrs, self._target_attrs, frozenset(self._patterns)))
+
+    def __repr__(self) -> str:
+        return (
+            f"CIND({self.name}: [{', '.join(self._source_attrs)}; {', '.join(self._source_cond)}] "
+            f"⊆ [{', '.join(self._target_attrs)}; {', '.join(self._target_cond)}], "
+            f"{len(self._patterns)} patterns)"
+        )

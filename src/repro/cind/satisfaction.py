@@ -1,0 +1,72 @@
+"""In-memory CIND satisfaction and violation detection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.cind.cind import CIND
+from repro.relation.relation import Relation
+
+
+@dataclass(frozen=True)
+class CINDViolation:
+    """A source tuple that matches a pattern's condition but has no target match."""
+
+    cind_name: str
+    pattern_index: int
+    tuple_index: int
+    key: Tuple[Any, ...]
+
+    @property
+    def kind(self) -> str:
+        return "inclusion"
+
+
+def find_cind_violations(source: Relation, target: Relation, cind: CIND) -> List[CINDViolation]:
+    """Every violation of ``cind`` in ``(source, target)``.
+
+    A violation is a source tuple ``t1`` and a pattern tuple ``tp`` such that
+    ``t1[Xp] ≍ tp[Xp]`` but no target tuple ``t2`` has ``t2[Y] = t1[X]`` and
+    ``t2[Yp] ≍ tp[Yp]``.
+
+    >>> from repro.relation.schema import Schema
+    >>> orders = Relation(Schema("orders", ["book_id", "type"]), [("b1", "book")])
+    >>> books = Relation(Schema("books", ["id", "format"]), [])
+    >>> cind = CIND.build(["book_id"], ["id"], ["type"], ["format"], [["book", "_"]])
+    >>> len(find_cind_violations(orders, books, cind))
+    1
+    """
+    violations: List[CINDViolation] = []
+    # Pre-index the target per pattern: the set of Y-projections whose tuple
+    # matches the pattern's target condition.
+    target_keys_per_pattern: List[Set[Tuple[Any, ...]]] = []
+    for pattern in cind.patterns:
+        keys: Set[Tuple[Any, ...]] = set()
+        for index in range(len(target)):
+            row = target.row_dict(index)
+            if pattern.matches_target(row):
+                keys.add(target.project_row(index, cind.target_attributes))
+        target_keys_per_pattern.append(keys)
+
+    for index in range(len(source)):
+        row = source.row_dict(index)
+        key = source.project_row(index, cind.source_attributes)
+        for pattern_index, pattern in enumerate(cind.patterns):
+            if not pattern.matches_source(row):
+                continue
+            if key not in target_keys_per_pattern[pattern_index]:
+                violations.append(
+                    CINDViolation(
+                        cind_name=cind.name,
+                        pattern_index=pattern_index,
+                        tuple_index=index,
+                        key=key,
+                    )
+                )
+    return violations
+
+
+def satisfies_cind(source: Relation, target: Relation, cind: CIND) -> bool:
+    """Whether ``(source, target) |= cind``."""
+    return not find_cind_violations(source, target, cind)

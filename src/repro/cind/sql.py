@@ -1,0 +1,154 @@
+"""SQL-based CIND violation detection.
+
+The detection query follows the same philosophy as the paper's CFD queries:
+the pattern tableau is joined as an ordinary table so the query text is
+bounded by the dependency's attribute lists, and violations are the source
+tuples for which an anti-join (``NOT EXISTS``) against the target relation
+finds no partner satisfying both the value equalities and the target-side
+condition.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import List, Optional, Tuple
+
+from repro.cind.cind import CIND
+from repro.cind.satisfaction import CINDViolation
+from repro.relation.relation import Relation
+from repro.sql.dialect import DEFAULT_DIALECT, SQLDialect
+from repro.sql.loader import load_relation, sanitize_name
+
+
+class CINDQueryBuilder:
+    """Builds the violation-detection SQL for one CIND."""
+
+    def __init__(
+        self,
+        cind: CIND,
+        source_table: str,
+        target_table: str,
+        tableau_table: str,
+        dialect: SQLDialect = DEFAULT_DIALECT,
+    ) -> None:
+        self.cind = cind
+        self.source_table = source_table
+        self.target_table = target_table
+        self.tableau_table = tableau_table
+        self.dialect = dialect
+
+    # ------------------------------------------------------------------ DDL / loading
+    def tableau_ddl(self) -> str:
+        columns = [f"{self.dialect.quote_identifier(self.dialect.pattern_id_column)} INTEGER PRIMARY KEY"]
+        columns.extend(
+            self.dialect.quote_identifier(self.dialect.lhs_column(attr))
+            for attr in self.cind.source_condition
+        )
+        columns.extend(
+            self.dialect.quote_identifier(self.dialect.rhs_column(attr))
+            for attr in self.cind.target_condition
+        )
+        return (
+            f"CREATE TABLE {self.dialect.quote_identifier(self.tableau_table)} "
+            f"({', '.join(columns)})"
+        )
+
+    def tableau_rows(self) -> List[Tuple]:
+        rows = []
+        for pattern_index, pattern in enumerate(self.cind.patterns):
+            cells: List = [pattern_index]
+            cells.extend(
+                self.dialect.encode_cell(pattern.lhs_cell(attr))
+                for attr in self.cind.source_condition
+            )
+            cells.extend(
+                self.dialect.encode_cell(pattern.rhs_cell(attr))
+                for attr in self.cind.target_condition
+            )
+            rows.append(tuple(cells))
+        return rows
+
+    # ------------------------------------------------------------------ query
+    def violation_sql(self) -> str:
+        """Source tuples matching a pattern's condition with no target partner."""
+        source = self.dialect.quote_identifier(self.source_table)
+        target = self.dialect.quote_identifier(self.target_table)
+        tableau = self.dialect.quote_identifier(self.tableau_table)
+        index_col = self.dialect.column("t1", self.dialect.index_column)
+        pattern_id = self.dialect.column("tp", self.dialect.pattern_id_column)
+
+        source_match = [
+            self.dialect.match_predicate(
+                self.dialect.column("t1", attr),
+                self.dialect.column("tp", self.dialect.lhs_column(attr)),
+            )
+            for attr in self.cind.source_condition
+        ]
+        value_join = [
+            f"{self.dialect.column('t2', target_attr)} = {self.dialect.column('t1', source_attr)}"
+            for source_attr, target_attr in zip(
+                self.cind.source_attributes, self.cind.target_attributes
+            )
+        ]
+        target_match = [
+            self.dialect.match_predicate(
+                self.dialect.column("t2", attr),
+                self.dialect.column("tp", self.dialect.rhs_column(attr)),
+            )
+            for attr in self.cind.target_condition
+        ]
+        outer_where = source_match or ["1 = 1"]
+        inner_where = value_join + target_match
+        return (
+            f"SELECT {index_col} AS tuple_index, {pattern_id} AS pattern_index\n"
+            f"FROM {source} t1, {tableau} tp\n"
+            f"WHERE {' AND '.join(outer_where)}\n"
+            f"  AND NOT EXISTS (\n"
+            f"    SELECT 1 FROM {target} t2\n"
+            f"    WHERE {' AND '.join(inner_where)}\n"
+            f"  )"
+        )
+
+
+def detect_cind_violations_sql(
+    source: Relation,
+    target: Relation,
+    cind: CIND,
+    connection: Optional[sqlite3.Connection] = None,
+    dialect: SQLDialect = DEFAULT_DIALECT,
+) -> List[CINDViolation]:
+    """Load both relations into SQLite and run the CIND detection query."""
+    own_connection = connection is None
+    connection = connection or sqlite3.connect(":memory:")
+    try:
+        source_table = load_relation(connection, source, dialect, table_name="cind_source")
+        target_table = load_relation(connection, target, dialect, table_name="cind_target")
+        tableau_table = f"cind_tab_{sanitize_name(cind.name)}"
+        builder = CINDQueryBuilder(cind, source_table, target_table, tableau_table, dialect)
+        connection.execute(f"DROP TABLE IF EXISTS {dialect.quote_identifier(tableau_table)}")
+        connection.execute(builder.tableau_ddl())
+        width = 1 + len(cind.source_condition) + len(cind.target_condition)
+        placeholders = ", ".join(["?"] * width)
+        connection.executemany(
+            f"INSERT INTO {dialect.quote_identifier(tableau_table)} VALUES ({placeholders})",
+            builder.tableau_rows(),
+        )
+        rows = connection.execute(builder.violation_sql()).fetchall()
+        violations = []
+        seen = set()
+        for tuple_index, pattern_index in rows:
+            if (tuple_index, pattern_index) in seen:
+                continue
+            seen.add((tuple_index, pattern_index))
+            violations.append(
+                CINDViolation(
+                    cind_name=cind.name,
+                    pattern_index=pattern_index,
+                    tuple_index=tuple_index,
+                    key=source.project_row(tuple_index, cind.source_attributes),
+                )
+            )
+        return violations
+    finally:
+        if own_connection:
+            connection.close()

@@ -1,0 +1,259 @@
+"""Command-line interface: detect, repair, discover and check CFDs on CSV data.
+
+The CLI turns the library into a small standalone data-cleaning tool::
+
+    python -m repro detect   --data customers.csv --cfds rules.cfd
+    python -m repro repair   --data customers.csv --cfds rules.cfd --output fixed.csv
+    python -m repro discover --data customers.csv --min-support 5 --output mined.cfd
+    python -m repro check    --cfds rules.cfd
+    python -m repro show     --cfds rules.cfd --json
+
+CSV files must have a header row; every column is treated as a string
+attribute.  CFD rule files use the text format of
+:mod:`repro.io.text_format` (``.cfd``) or the JSON format (``.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.cfd import CFD
+from repro.core.violations import ViolationReport
+from repro.detection.engine import detect_violations
+from repro.discovery.cfd_discovery import discover_constant_cfds
+from repro.errors import ReproError
+from repro.io.json_format import cfds_from_json, cfds_to_json
+from repro.io.text_format import format_cfds, read_cfd_file, write_cfd_file
+from repro.reasoning.consistency import is_consistent
+from repro.reasoning.mincover import minimal_cover
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+from repro.repair.heuristic import repair
+
+
+# ---------------------------------------------------------------------------
+# loading helpers
+# ---------------------------------------------------------------------------
+def load_relation_csv(path: str, relation_name: Optional[str] = None) -> Relation:
+    """Load a CSV file (header row required) as a string-typed relation."""
+    csv_path = Path(path)
+    with open(csv_path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if not header:
+            raise ReproError(f"{path}: CSV file is empty or has no header row")
+        schema = Schema(relation_name or csv_path.stem, header)
+        relation = Relation(schema)
+        for row in reader:
+            if len(row) != len(header):
+                raise ReproError(
+                    f"{path}: row {len(relation) + 2} has {len(row)} fields, expected {len(header)}"
+                )
+            relation.insert(tuple(row))
+    return relation
+
+
+def load_cfds(path: str) -> List[CFD]:
+    """Load CFDs from a ``.cfd`` text file or a ``.json`` file."""
+    if path.endswith(".json"):
+        return cfds_from_json(Path(path).read_text(encoding="utf-8"))
+    return read_cfd_file(path)
+
+
+def _report_payload(report: ViolationReport, relation: Relation) -> dict:
+    return {
+        "summary": report.summary(),
+        "violating_tuples": sorted(report.violating_indices()),
+        "violations": [
+            {
+                "kind": violation.kind,
+                "cfd": violation.cfd_name,
+                "pattern_index": violation.pattern_index,
+                "tuples": list(violation.tuple_indices),
+                **(
+                    {
+                        "attribute": violation.attribute,
+                        "expected": violation.expected,
+                        "actual": violation.actual,
+                    }
+                    if violation.kind == "constant"
+                    else {"group_attributes": list(violation.attributes),
+                          "group_key": list(violation.group_key)}
+                ),
+            }
+            for violation in report
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+def cmd_detect(args: argparse.Namespace) -> int:
+    relation = load_relation_csv(args.data)
+    cfds = load_cfds(args.cfds)
+    report = detect_violations(
+        relation, cfds, method=args.method, strategy=args.strategy, form=args.form
+    )
+    payload = _report_payload(report, relation)
+    if args.output:
+        Path(args.output).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    summary = payload["summary"]
+    print(
+        f"{len(relation)} tuples checked against {len(cfds)} CFDs: "
+        f"{summary['violations']} violations over {summary['violating_tuples']} tuples."
+    )
+    if not args.quiet:
+        for violation in payload["violations"][: args.limit]:
+            if violation["kind"] == "constant":
+                print(
+                    f"  [constant] {violation['cfd']}: tuple {violation['tuples'][0]} has "
+                    f"{violation['attribute']} = {violation['actual']!r}, expected {violation['expected']!r}"
+                )
+            else:
+                print(
+                    f"  [variable] {violation['cfd']}: tuples {violation['tuples']} disagree "
+                    f"on the RHS for {dict(zip(violation['group_attributes'], violation['group_key']))}"
+                )
+        hidden = len(payload["violations"]) - args.limit
+        if hidden > 0:
+            print(f"  ... and {hidden} more (use --limit to show them)")
+    return 1 if report else 0
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    relation = load_relation_csv(args.data)
+    cfds = load_cfds(args.cfds)
+    result = repair(relation, cfds, max_passes=args.max_passes)
+    result.relation.to_csv(args.output)
+    print(
+        f"Repaired {args.data}: {len(result.changes)} cell changes "
+        f"(cost {result.total_cost:.2f}) in {result.passes} pass(es); "
+        f"clean = {result.clean}. Wrote {args.output}."
+    )
+    if args.changes:
+        for change in result.changes:
+            print(
+                f"  tuple {change.tuple_index}, {change.attribute}: "
+                f"{change.old_value!r} -> {change.new_value!r} ({change.reason})"
+            )
+    return 0 if result.clean else 1
+
+
+def cmd_discover(args: argparse.Namespace) -> int:
+    relation = load_relation_csv(args.data)
+    attributes = args.attributes.split(",") if args.attributes else None
+    cfds = discover_constant_cfds(
+        relation,
+        min_support=args.min_support,
+        min_confidence=args.min_confidence,
+        max_lhs_size=args.max_lhs,
+        attributes=attributes,
+    )
+    print(f"Discovered {len(cfds)} constant CFDs "
+          f"({sum(len(cfd.tableau) for cfd in cfds)} patterns) from {len(relation)} tuples.")
+    rendered = cfds_to_json(cfds) if args.json else format_cfds(cfds)
+    if args.output:
+        Path(args.output).write_text(rendered, encoding="utf-8")
+        print(f"Wrote {args.output}.")
+    else:
+        print(rendered)
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    cfds = load_cfds(args.cfds)
+    consistent = is_consistent(cfds)
+    print(f"{len(cfds)} CFDs loaded from {args.cfds}; consistent: {consistent}")
+    if not consistent:
+        return 1
+    if args.mincover:
+        cover = minimal_cover(cfds)
+        print(f"Minimal cover: {len(cover)} normal-form CFDs.")
+        print(format_cfds(cover))
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    cfds = load_cfds(args.cfds)
+    if args.json:
+        print(cfds_to_json(cfds))
+    else:
+        for cfd in cfds:
+            print(cfd.render())
+            print()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# argument parsing
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Conditional functional dependencies for data cleaning (ICDE 2007 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    detect = subparsers.add_parser("detect", help="detect CFD violations in a CSV file")
+    detect.add_argument("--data", required=True, help="CSV file with a header row")
+    detect.add_argument("--cfds", required=True, help=".cfd or .json rule file")
+    detect.add_argument("--method", choices=["inmemory", "sql"], default="sql")
+    detect.add_argument("--strategy", choices=["per_cfd", "merged"], default="per_cfd")
+    detect.add_argument("--form", choices=["cnf", "dnf"], default="dnf")
+    detect.add_argument("--output", help="write the full report as JSON to this path")
+    detect.add_argument("--limit", type=int, default=20, help="violations to print (default 20)")
+    detect.add_argument("--quiet", action="store_true", help="print only the summary line")
+    detect.set_defaults(handler=cmd_detect)
+
+    repair_cmd = subparsers.add_parser("repair", help="repair a CSV file so it satisfies the CFDs")
+    repair_cmd.add_argument("--data", required=True)
+    repair_cmd.add_argument("--cfds", required=True)
+    repair_cmd.add_argument("--output", required=True, help="path of the repaired CSV")
+    repair_cmd.add_argument("--max-passes", type=int, default=25)
+    repair_cmd.add_argument("--changes", action="store_true", help="print every cell change")
+    repair_cmd.set_defaults(handler=cmd_repair)
+
+    discover = subparsers.add_parser("discover", help="mine constant CFDs from a CSV file")
+    discover.add_argument("--data", required=True)
+    discover.add_argument("--min-support", type=int, default=5)
+    discover.add_argument("--min-confidence", type=float, default=1.0)
+    discover.add_argument("--max-lhs", type=int, default=2)
+    discover.add_argument("--attributes", help="comma-separated attribute subset to profile")
+    discover.add_argument("--output", help="write the mined rules to this path")
+    discover.add_argument("--json", action="store_true", help="emit JSON instead of the text format")
+    discover.set_defaults(handler=cmd_discover)
+
+    check = subparsers.add_parser("check", help="check a rule file for consistency")
+    check.add_argument("--cfds", required=True)
+    check.add_argument("--mincover", action="store_true", help="also print a minimal cover")
+    check.set_defaults(handler=cmd_check)
+
+    show = subparsers.add_parser("show", help="pretty-print a rule file")
+    show.add_argument("--cfds", required=True)
+    show.add_argument("--json", action="store_true")
+    show.set_defaults(handler=cmd_show)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

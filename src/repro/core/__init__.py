@@ -1,0 +1,29 @@
+"""The CFD formalism: pattern values, pattern tableaux, CFDs, satisfaction."""
+
+from repro.core.cfd import CFD, FD
+from repro.core.pattern import CONSTANT_KIND, DONTCARE, WILDCARD, PatternValue
+from repro.core.satisfaction import find_violations, satisfies
+from repro.core.tableau import PatternTableau, PatternTuple
+from repro.core.violations import (
+    ConstantViolation,
+    VariableViolation,
+    Violation,
+    ViolationReport,
+)
+
+__all__ = [
+    "CFD",
+    "CONSTANT_KIND",
+    "ConstantViolation",
+    "DONTCARE",
+    "FD",
+    "PatternTableau",
+    "PatternTuple",
+    "PatternValue",
+    "VariableViolation",
+    "Violation",
+    "ViolationReport",
+    "WILDCARD",
+    "find_violations",
+    "satisfies",
+]

@@ -1,0 +1,146 @@
+"""Pattern values: the cells of a CFD pattern tableau.
+
+A pattern tableau cell is one of
+
+* a **constant** ``a`` drawn from the attribute's domain,
+* the **unnamed variable** ``_`` (any value, written ``‘_’`` in the paper), or
+* the **don't-care symbol** ``@`` introduced in Section 4.2 when merging the
+  tableaux of several CFDs into a single union-compatible tableau.
+
+Two relations from the paper are implemented here:
+
+* the *match* relation ``t[A] ≍ tc[A]`` (:meth:`PatternValue.matches`), and
+* the *order* relation ``η1 ⪯ η2`` used by inference rule FD3
+  (:meth:`PatternValue.subsumed_by`): ``η1 ⪯ η2`` iff ``η1 = η2`` is the same
+  constant, or ``η2`` is ``_``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+CONSTANT_KIND = "constant"
+WILDCARD_KIND = "wildcard"
+DONTCARE_KIND = "dontcare"
+
+#: Textual shortcuts accepted wherever a pattern cell can be written.
+WILDCARD_TOKEN = "_"
+DONTCARE_TOKEN = "@"
+
+
+class PatternValue:
+    """A single cell of a pattern tuple.
+
+    Instances are immutable and hashable.  Use the module-level singletons
+    :data:`WILDCARD` and :data:`DONTCARE`, or :meth:`constant` /
+    :meth:`coerce` for constants.
+    """
+
+    __slots__ = ("_kind", "_value")
+
+    def __init__(self, kind: str, value: Any = None) -> None:
+        if kind not in (CONSTANT_KIND, WILDCARD_KIND, DONTCARE_KIND):
+            raise ValueError(f"unknown pattern value kind {kind!r}")
+        if kind != CONSTANT_KIND and value is not None:
+            raise ValueError(f"{kind} pattern values carry no constant, got {value!r}")
+        self._kind = kind
+        self._value = value
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def constant(cls, value: Any) -> "PatternValue":
+        """A constant pattern cell holding ``value``."""
+        return cls(CONSTANT_KIND, value)
+
+    @classmethod
+    def coerce(cls, raw: Union["PatternValue", Any]) -> "PatternValue":
+        """Turn a raw cell spec into a :class:`PatternValue`.
+
+        Accepts an existing :class:`PatternValue`, the tokens ``"_"`` and
+        ``"@"`` (wildcard / don't-care), or any other Python value, which
+        becomes a constant.
+        """
+        if isinstance(raw, PatternValue):
+            return raw
+        if raw == WILDCARD_TOKEN:
+            return WILDCARD
+        if raw == DONTCARE_TOKEN:
+            return DONTCARE
+        return cls.constant(raw)
+
+    # ------------------------------------------------------------ predicates
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    @property
+    def is_constant(self) -> bool:
+        return self._kind == CONSTANT_KIND
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self._kind == WILDCARD_KIND
+
+    @property
+    def is_dontcare(self) -> bool:
+        return self._kind == DONTCARE_KIND
+
+    @property
+    def value(self) -> Any:
+        """The constant value; ``None`` for wildcard / don't-care cells."""
+        return self._value
+
+    # ------------------------------------------------------------ semantics
+    def matches(self, data_value: Any) -> bool:
+        """The match relation ``data_value ≍ self``.
+
+        A wildcard matches every value, a constant matches only itself, and a
+        don't-care cell imposes no constraint (it is excluded from the
+        ``free`` attribute sets in Section 4.2, which is equivalent to it
+        matching everything).
+        """
+        if self._kind == CONSTANT_KIND:
+            return data_value == self._value
+        return True
+
+    def subsumed_by(self, other: "PatternValue") -> bool:
+        """The order relation ``self ⪯ other`` from Section 3.2.
+
+        ``η1 ⪯ η2`` holds iff ``η2`` is the wildcard, or both are the same
+        constant.  Don't-care cells behave like wildcards for this purpose
+        (they only appear in merged tableaux, never in reasoning).
+        """
+        if other._kind in (WILDCARD_KIND, DONTCARE_KIND):
+            return True
+        if self._kind == CONSTANT_KIND and other._kind == CONSTANT_KIND:
+            return self._value == other._value
+        return False
+
+    # ------------------------------------------------------------ dunder
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternValue):
+            return NotImplemented
+        return self._kind == other._kind and self._value == other._value
+
+    def __hash__(self) -> int:
+        return hash((self._kind, self._value))
+
+    def __repr__(self) -> str:
+        if self._kind == CONSTANT_KIND:
+            return f"PatternValue({self._value!r})"
+        return f"PatternValue({self.render()!r})"
+
+    def render(self) -> str:
+        """Human-readable rendering: the constant, ``_`` or ``@``."""
+        if self._kind == WILDCARD_KIND:
+            return WILDCARD_TOKEN
+        if self._kind == DONTCARE_KIND:
+            return DONTCARE_TOKEN
+        return str(self._value)
+
+
+#: The unnamed variable ``_`` — matches any value of the attribute's domain.
+WILDCARD = PatternValue(WILDCARD_KIND)
+
+#: The don't-care symbol ``@`` used in merged tableaux (Section 4.2).
+DONTCARE = PatternValue(DONTCARE_KIND)

@@ -1,0 +1,144 @@
+"""In-memory CFD satisfaction checking and violation detection.
+
+This module is the pure-Python *correctness oracle* for the SQL detection
+techniques of Section 4: it implements the satisfaction semantics of
+Section 2 (extended with the ``@`` don't-care symbol of Section 4.2)
+directly over a :class:`~repro.relation.relation.Relation`.
+
+Definition (Section 2, extended in Section 4.2.1): ``I |= (X → Y, Tp)`` iff
+for each pair of tuples ``t1, t2`` in ``I`` and each pattern tuple ``tc`` in
+``Tp``, if ``t1[X_free] = t2[X_free] ≍ tc[X_free]`` then
+``t1[Y_free] = t2[Y_free] ≍ tc[Y_free]``, where ``X_free``/``Y_free`` are the
+``@``-free attributes of ``tc``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.cfd import CFD
+from repro.core.tableau import PatternTuple
+from repro.core.violations import (
+    ConstantViolation,
+    VariableViolation,
+    Violation,
+    ViolationReport,
+)
+from repro.relation.relation import Relation
+
+
+def satisfies(relation: Relation, cfd: CFD) -> bool:
+    """Whether ``relation |= cfd`` under the semantics of Section 2."""
+    return not find_violations(relation, cfd)
+
+
+def satisfies_all(relation: Relation, cfds: Iterable[CFD]) -> bool:
+    """Whether ``relation |= Σ`` for the whole set ``Σ`` of CFDs."""
+    return all(satisfies(relation, cfd) for cfd in cfds)
+
+
+def find_violations(relation: Relation, cfd: CFD) -> ViolationReport:
+    """All violations of a single CFD in ``relation``.
+
+    The detection mirrors the two SQL queries of Section 4.1:
+
+    * constant violations (``Q^C``): a tuple matches ``tc[X]`` but clashes
+      with a constant in ``tc[Y]``;
+    * variable violations (``Q^V``): tuples sharing the same ``X_free``
+      projection and matching ``tc[X]`` take more than one distinct
+      ``Y_free`` projection.
+    """
+    report = ViolationReport()
+    for pattern_index, pattern in enumerate(cfd.tableau):
+        report.extend(_constant_violations(relation, cfd, pattern_index, pattern))
+        report.extend(_variable_violations(relation, cfd, pattern_index, pattern))
+    return report
+
+
+def find_all_violations(relation: Relation, cfds: Iterable[CFD]) -> ViolationReport:
+    """All violations of every CFD in ``cfds``."""
+    report = ViolationReport()
+    for cfd in cfds:
+        report.extend(find_violations(relation, cfd))
+    return report
+
+
+# ----------------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------------
+def _matching_indices(
+    relation: Relation, lhs_attrs: Sequence[str], pattern: PatternTuple
+) -> List[int]:
+    """Indices of tuples whose LHS projection matches ``pattern[X]``."""
+    cells = [(attr, pattern.lhs_cell(attr)) for attr in lhs_attrs]
+    positions = relation.schema.positions(lhs_attrs)
+    matches: List[int] = []
+    for index, row in enumerate(relation):
+        ok = True
+        for (attr, cell), position in zip(cells, positions):
+            if not cell.matches(row[position]):
+                ok = False
+                break
+        if ok:
+            matches.append(index)
+    return matches
+
+
+def _constant_violations(
+    relation: Relation, cfd: CFD, pattern_index: int, pattern: PatternTuple
+) -> List[Violation]:
+    """Single-tuple violations of one pattern tuple (the ``Q^C`` semantics)."""
+    violations: List[Violation] = []
+    constant_rhs = [
+        (attr, pattern.rhs_cell(attr))
+        for attr in cfd.rhs
+        if pattern.rhs_cell(attr).is_constant
+    ]
+    if not constant_rhs:
+        return violations
+    for index in _matching_indices(relation, cfd.lhs, pattern):
+        row = relation.row_dict(index)
+        for attr, cell in constant_rhs:
+            if row[attr] != cell.value:
+                violations.append(
+                    ConstantViolation(
+                        cfd_name=cfd.name,
+                        pattern_index=pattern_index,
+                        tuple_indices=(index,),
+                        attribute=attr,
+                        expected=cell.value,
+                        actual=row[attr],
+                    )
+                )
+    return violations
+
+
+def _variable_violations(
+    relation: Relation, cfd: CFD, pattern_index: int, pattern: PatternTuple
+) -> List[Violation]:
+    """Multi-tuple violations of one pattern tuple (the ``Q^V`` semantics)."""
+    violations: List[Violation] = []
+    lhs_free = [attr for attr in cfd.lhs if not pattern.lhs_cell(attr).is_dontcare]
+    rhs_free = [attr for attr in cfd.rhs if not pattern.rhs_cell(attr).is_dontcare]
+    if not rhs_free:
+        return violations
+    matching = _matching_indices(relation, cfd.lhs, pattern)
+    groups: Dict[Tuple[Any, ...], List[int]] = {}
+    for index in matching:
+        key = relation.project_row(index, lhs_free) if lhs_free else ()
+        groups.setdefault(key, []).append(index)
+    for key, indices in groups.items():
+        if len(indices) < 2:
+            continue
+        rhs_values = {relation.project_row(index, rhs_free) for index in indices}
+        if len(rhs_values) > 1:
+            violations.append(
+                VariableViolation(
+                    cfd_name=cfd.name,
+                    pattern_index=pattern_index,
+                    tuple_indices=tuple(indices),
+                    attributes=tuple(lhs_free),
+                    group_key=key,
+                )
+            )
+    return violations

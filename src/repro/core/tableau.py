@@ -1,0 +1,298 @@
+"""Pattern tuples and pattern tableaux.
+
+A pattern tableau ``Tp`` of a CFD ``(X → Y, Tp)`` has one column per attribute
+of ``X ∪ Y`` and one row per pattern tuple.  When an attribute appears in both
+``X`` and ``Y`` the paper distinguishes its two occurrences as ``t[A_L]`` and
+``t[A_R]``; we therefore keep the LHS and RHS cells in separate mappings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.pattern import DONTCARE, WILDCARD, PatternValue
+from repro.errors import PatternError
+
+CellSpec = Union[PatternValue, Any]
+
+
+class PatternTuple:
+    """One row of a pattern tableau: LHS cells over ``X``, RHS cells over ``Y``.
+
+    >>> pt = PatternTuple({"CC": "01", "AC": "908", "PN": "_"},
+    ...                   {"STR": "_", "CT": "MH", "ZIP": "_"})
+    >>> pt.lhs["CC"].value
+    '01'
+    >>> pt.rhs["CT"].is_constant
+    True
+    """
+
+    __slots__ = ("_lhs", "_rhs")
+
+    def __init__(
+        self,
+        lhs: Mapping[str, CellSpec],
+        rhs: Mapping[str, CellSpec],
+    ) -> None:
+        if not rhs:
+            raise PatternError("a pattern tuple must have at least one RHS cell")
+        self._lhs: Dict[str, PatternValue] = {
+            attr: PatternValue.coerce(cell) for attr, cell in lhs.items()
+        }
+        self._rhs: Dict[str, PatternValue] = {
+            attr: PatternValue.coerce(cell) for attr, cell in rhs.items()
+        }
+
+    # ------------------------------------------------------------------ access
+    @property
+    def lhs(self) -> Dict[str, PatternValue]:
+        """LHS cells, keyed by attribute name."""
+        return dict(self._lhs)
+
+    @property
+    def rhs(self) -> Dict[str, PatternValue]:
+        """RHS cells, keyed by attribute name."""
+        return dict(self._rhs)
+
+    def lhs_cell(self, attribute: str) -> PatternValue:
+        try:
+            return self._lhs[attribute]
+        except KeyError:
+            raise PatternError(f"pattern tuple has no LHS cell for {attribute!r}") from None
+
+    def rhs_cell(self, attribute: str) -> PatternValue:
+        try:
+            return self._rhs[attribute]
+        except KeyError:
+            raise PatternError(f"pattern tuple has no RHS cell for {attribute!r}") from None
+
+    @property
+    def lhs_attributes(self) -> Tuple[str, ...]:
+        return tuple(self._lhs)
+
+    @property
+    def rhs_attributes(self) -> Tuple[str, ...]:
+        return tuple(self._rhs)
+
+    # ------------------------------------------------------------------ semantics
+    def lhs_free_attributes(self) -> Tuple[str, ...]:
+        """LHS attributes whose cell is not the don't-care symbol (``X_free``)."""
+        return tuple(attr for attr, cell in self._lhs.items() if not cell.is_dontcare)
+
+    def rhs_free_attributes(self) -> Tuple[str, ...]:
+        """RHS attributes whose cell is not the don't-care symbol (``Y_free``)."""
+        return tuple(attr for attr, cell in self._rhs.items() if not cell.is_dontcare)
+
+    def lhs_constant_attributes(self) -> Tuple[str, ...]:
+        return tuple(attr for attr, cell in self._lhs.items() if cell.is_constant)
+
+    def rhs_constant_attributes(self) -> Tuple[str, ...]:
+        return tuple(attr for attr, cell in self._rhs.items() if cell.is_constant)
+
+    def is_constant_only(self) -> bool:
+        """True when every cell (LHS and RHS) is a constant — an instance-level FD row."""
+        return all(cell.is_constant for cell in self._lhs.values()) and all(
+            cell.is_constant for cell in self._rhs.values()
+        )
+
+    def is_variable_only(self) -> bool:
+        """True when every cell is the wildcard — a standard-FD row."""
+        return all(cell.is_wildcard for cell in self._lhs.values()) and all(
+            cell.is_wildcard for cell in self._rhs.values()
+        )
+
+    def matches_lhs(self, values: Mapping[str, Any]) -> bool:
+        """Whether a data tuple (given by name) matches the LHS pattern cells."""
+        return all(cell.matches(values[attr]) for attr, cell in self._lhs.items())
+
+    def matches_rhs(self, values: Mapping[str, Any]) -> bool:
+        """Whether a data tuple (given by name) matches the RHS pattern cells."""
+        return all(cell.matches(values[attr]) for attr, cell in self._rhs.items())
+
+    def subsumed_by(self, other: "PatternTuple") -> bool:
+        """Pointwise ``⪯`` over the shared attributes (both sides must share keys)."""
+        if set(self._lhs) != set(other._lhs) or set(self._rhs) != set(other._rhs):
+            return False
+        lhs_ok = all(self._lhs[attr].subsumed_by(other._lhs[attr]) for attr in self._lhs)
+        rhs_ok = all(self._rhs[attr].subsumed_by(other._rhs[attr]) for attr in self._rhs)
+        return lhs_ok and rhs_ok
+
+    # ------------------------------------------------------------------ transforms
+    def with_lhs_cell(self, attribute: str, cell: CellSpec) -> "PatternTuple":
+        """A copy with one LHS cell replaced."""
+        lhs = dict(self._lhs)
+        lhs[attribute] = PatternValue.coerce(cell)
+        return PatternTuple(lhs, self._rhs)
+
+    def with_rhs_cell(self, attribute: str, cell: CellSpec) -> "PatternTuple":
+        """A copy with one RHS cell replaced."""
+        rhs = dict(self._rhs)
+        rhs[attribute] = PatternValue.coerce(cell)
+        return PatternTuple(self._lhs, rhs)
+
+    def without_lhs_attribute(self, attribute: str) -> "PatternTuple":
+        """A copy with one LHS attribute dropped (used by MinCover / FD4)."""
+        lhs = {attr: cell for attr, cell in self._lhs.items() if attr != attribute}
+        return PatternTuple(lhs, self._rhs)
+
+    def restrict(self, lhs_attrs: Sequence[str], rhs_attrs: Sequence[str]) -> "PatternTuple":
+        """Project the pattern tuple onto the given LHS / RHS attribute lists."""
+        lhs = {attr: self.lhs_cell(attr) for attr in lhs_attrs}
+        rhs = {attr: self.rhs_cell(attr) for attr in rhs_attrs}
+        return PatternTuple(lhs, rhs)
+
+    # ------------------------------------------------------------------ dunder
+    def key(self) -> Tuple[Tuple[Tuple[str, PatternValue], ...], Tuple[Tuple[str, PatternValue], ...]]:
+        """A hashable canonical key (attribute order normalised by name)."""
+        return (
+            tuple(sorted(self._lhs.items(), key=lambda item: item[0])),
+            tuple(sorted(self._rhs.items(), key=lambda item: item[0])),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternTuple):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        lhs = ", ".join(f"{attr}={cell.render()}" for attr, cell in self._lhs.items())
+        rhs = ", ".join(f"{attr}={cell.render()}" for attr, cell in self._rhs.items())
+        return f"PatternTuple([{lhs}] -> [{rhs}])"
+
+
+class PatternTableau:
+    """An ordered collection of :class:`PatternTuple` rows over fixed ``X`` / ``Y``.
+
+    The tableau validates that every row covers exactly the LHS / RHS
+    attributes of the owning CFD.
+    """
+
+    __slots__ = ("_lhs_attrs", "_rhs_attrs", "_rows")
+
+    def __init__(
+        self,
+        lhs_attrs: Sequence[str],
+        rhs_attrs: Sequence[str],
+        rows: Optional[Iterable[PatternTuple]] = None,
+    ) -> None:
+        if not rhs_attrs:
+            raise PatternError("a pattern tableau needs at least one RHS attribute")
+        self._lhs_attrs = tuple(lhs_attrs)
+        self._rhs_attrs = tuple(rhs_attrs)
+        self._rows: List[PatternTuple] = []
+        if rows is not None:
+            for row in rows:
+                self.append(row)
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def lhs_attributes(self) -> Tuple[str, ...]:
+        return self._lhs_attrs
+
+    @property
+    def rhs_attributes(self) -> Tuple[str, ...]:
+        return self._rhs_attrs
+
+    @property
+    def rows(self) -> Tuple[PatternTuple, ...]:
+        return tuple(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[PatternTuple]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> PatternTuple:
+        return self._rows[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternTableau):
+            return NotImplemented
+        return (
+            self._lhs_attrs == other._lhs_attrs
+            and self._rhs_attrs == other._rhs_attrs
+            and self._rows == other._rows
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PatternTableau({list(self._lhs_attrs)} -> {list(self._rhs_attrs)}, "
+            f"{len(self._rows)} patterns)"
+        )
+
+    # ------------------------------------------------------------------ mutation
+    def append(self, row: PatternTuple) -> None:
+        """Append a pattern tuple, validating its attribute coverage."""
+        if set(row.lhs_attributes) != set(self._lhs_attrs):
+            raise PatternError(
+                f"pattern tuple LHS attributes {row.lhs_attributes} do not match "
+                f"tableau LHS {self._lhs_attrs}"
+            )
+        if set(row.rhs_attributes) != set(self._rhs_attrs):
+            raise PatternError(
+                f"pattern tuple RHS attributes {row.rhs_attributes} do not match "
+                f"tableau RHS {self._rhs_attrs}"
+            )
+        self._rows.append(row)
+
+    @classmethod
+    def build(
+        cls,
+        lhs_attrs: Sequence[str],
+        rhs_attrs: Sequence[str],
+        pattern_rows: Iterable[Union[Sequence[CellSpec], Mapping[str, CellSpec]]],
+    ) -> "PatternTableau":
+        """Build a tableau from raw cell specs.
+
+        ``pattern_rows`` may contain sequences (cells in ``X`` order followed
+        by ``Y`` order, the layout used in the paper's Figure 2) or mappings
+        from attribute name to cell.  The tokens ``"_"`` and ``"@"`` stand for
+        the wildcard and don't-care symbols respectively.
+        """
+        lhs_attrs = tuple(lhs_attrs)
+        rhs_attrs = tuple(rhs_attrs)
+        tableau = cls(lhs_attrs, rhs_attrs)
+        width = len(lhs_attrs) + len(rhs_attrs)
+        for raw in pattern_rows:
+            if isinstance(raw, Mapping):
+                lhs = {attr: raw[attr] for attr in lhs_attrs}
+                rhs = {attr: raw[attr] for attr in rhs_attrs}
+            else:
+                cells = list(raw)
+                if len(cells) != width:
+                    raise PatternError(
+                        f"pattern row {raw!r} has {len(cells)} cells, expected {width}"
+                    )
+                lhs = dict(zip(lhs_attrs, cells[: len(lhs_attrs)]))
+                rhs = dict(zip(rhs_attrs, cells[len(lhs_attrs):]))
+            tableau.append(PatternTuple(lhs, rhs))
+        return tableau
+
+    # ------------------------------------------------------------------ stats
+    def constant_ratio(self) -> float:
+        """Fraction of non-don't-care cells that are constants (NUMCONSTs knob)."""
+        constants = 0
+        total = 0
+        for row in self._rows:
+            for cell in list(row.lhs.values()) + list(row.rhs.values()):
+                if cell.is_dontcare:
+                    continue
+                total += 1
+                if cell.is_constant:
+                    constants += 1
+        return constants / total if total else 0.0
+
+    def render(self) -> str:
+        """A plain-text rendering in the style of the paper's Figure 2."""
+        header = list(self._lhs_attrs) + ["||"] + list(self._rhs_attrs)
+        lines = ["\t".join(header)]
+        for row in self._rows:
+            cells = [row.lhs_cell(attr).render() for attr in self._lhs_attrs]
+            cells.append("||")
+            cells.extend(row.rhs_cell(attr).render() for attr in self._rhs_attrs)
+            lines.append("\t".join(cells))
+        return "\n".join(lines)

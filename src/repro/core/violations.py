@@ -1,0 +1,152 @@
+"""Violation objects produced by CFD detection.
+
+The paper distinguishes two ways a relation can violate a CFD
+``φ = (X → Y, Tp)``:
+
+* **single-tuple (constant) violations**, found by query ``Q^C``: a tuple
+  matches a pattern tuple on ``X`` but clashes with a *constant* in the
+  pattern's ``Y`` cells (Example 2.2: ``t1`` violates ``(01, 908, _ ‖ _, MH, _)``
+  because its city is NYC, not MH);
+* **multi-tuple (variable) violations**, found by query ``Q^V``: two tuples
+  agree on ``X``, both match the pattern on ``X``, but disagree on ``Y``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cfd import CFD
+
+
+@dataclass(frozen=True)
+class Violation:
+    """Base class for detected violations.
+
+    Attributes
+    ----------
+    cfd_name:
+        Name of the violated CFD.
+    pattern_index:
+        Index of the violated pattern tuple within the CFD's tableau.
+    tuple_indices:
+        Indices (into the checked relation) of the offending tuples.
+    """
+
+    cfd_name: str
+    pattern_index: int
+    tuple_indices: Tuple[int, ...]
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantViolation(Violation):
+    """A single-tuple violation: a constant RHS cell is contradicted.
+
+    ``attribute`` is the RHS attribute whose constant is violated,
+    ``expected`` the pattern constant and ``actual`` the tuple's value.
+    """
+
+    attribute: str = ""
+    expected: Any = None
+    actual: Any = None
+
+    @property
+    def kind(self) -> str:
+        return "constant"
+
+    @property
+    def tuple_index(self) -> int:
+        """The single offending tuple index."""
+        return self.tuple_indices[0]
+
+
+@dataclass(frozen=True)
+class VariableViolation(Violation):
+    """A multi-tuple violation: tuples agree on ``X`` but disagree on ``Y``.
+
+    ``group_key`` is the shared ``X`` value (projected on the pattern's
+    ``@``-free LHS attributes); ``attributes`` are the grouping attributes.
+    """
+
+    attributes: Tuple[str, ...] = ()
+    group_key: Tuple[Any, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return "variable"
+
+
+class ViolationReport:
+    """Aggregated result of checking a set of CFDs against a relation."""
+
+    def __init__(self, violations: Optional[Iterable[Violation]] = None) -> None:
+        self._violations: List[Violation] = list(violations) if violations else []
+
+    # ------------------------------------------------------------------ mutation
+    def add(self, violation: Violation) -> None:
+        self._violations.append(violation)
+
+    def extend(self, violations: Iterable[Violation]) -> None:
+        self._violations.extend(violations)
+
+    def merge(self, other: "ViolationReport") -> "ViolationReport":
+        """A new report containing the violations of both reports."""
+        return ViolationReport(self._violations + other._violations)
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def violations(self) -> Tuple[Violation, ...]:
+        return tuple(self._violations)
+
+    def __len__(self) -> int:
+        return len(self._violations)
+
+    def __iter__(self):
+        return iter(self._violations)
+
+    def __bool__(self) -> bool:
+        return bool(self._violations)
+
+    def is_clean(self) -> bool:
+        """True when no violations were recorded — i.e. ``I |= Σ``."""
+        return not self._violations
+
+    def constant_violations(self) -> Tuple[ConstantViolation, ...]:
+        return tuple(v for v in self._violations if isinstance(v, ConstantViolation))
+
+    def variable_violations(self) -> Tuple[VariableViolation, ...]:
+        return tuple(v for v in self._violations if isinstance(v, VariableViolation))
+
+    def violating_indices(self) -> FrozenSet[int]:
+        """The set of tuple indices involved in at least one violation."""
+        indices: Set[int] = set()
+        for violation in self._violations:
+            indices.update(violation.tuple_indices)
+        return frozenset(indices)
+
+    def by_cfd(self) -> Dict[str, List[Violation]]:
+        """Group violations by the violated CFD's name."""
+        grouped: Dict[str, List[Violation]] = {}
+        for violation in self._violations:
+            grouped.setdefault(violation.cfd_name, []).append(violation)
+        return grouped
+
+    def summary(self) -> Dict[str, int]:
+        """Counts useful for logging and the benchmark harness."""
+        return {
+            "violations": len(self._violations),
+            "constant_violations": len(self.constant_violations()),
+            "variable_violations": len(self.variable_violations()),
+            "violating_tuples": len(self.violating_indices()),
+        }
+
+    def __repr__(self) -> str:
+        stats = self.summary()
+        return (
+            "ViolationReport("
+            f"{stats['violations']} violations over {stats['violating_tuples']} tuples)"
+        )

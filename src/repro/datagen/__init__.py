@@ -1,0 +1,15 @@
+"""Data generation: the paper's running example and the tax-records experiment data."""
+
+from repro.datagen.cust import cust_cfds, cust_relation, cust_schema
+from repro.datagen.generator import TaxRecordGenerator, tax_schema
+from repro.datagen.cfd_catalog import experiment_cfd, zip_state_cfd
+
+__all__ = [
+    "TaxRecordGenerator",
+    "cust_cfds",
+    "cust_relation",
+    "cust_schema",
+    "experiment_cfd",
+    "tax_schema",
+    "zip_state_cfd",
+]

@@ -1,0 +1,216 @@
+"""The CFDs used by the experimental study (Section 5).
+
+The paper's experiments use CFDs representing real-world constraints such as
+
+  (a) zip codes determine states,
+  (b) zip codes and cities determine states,
+  (c) states and salary brackets determine tax rates,
+
+and vary them along four knobs: NUMCFDs (how many), NUMATTRs (attributes per
+CFD), TABSZ (pattern tuples per CFD) and NUMCONSTs (fraction of pattern
+tuples made of constants only).  This module builds such CFDs from the
+bundled geo/tax catalogs so that they hold on clean generated data, and
+exposes :func:`experiment_cfd` — the parameterised factory the benchmark
+harness drives.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.cfd import CFD
+from repro.datagen.generator import TAX_ATTRIBUTES
+from repro.datagen.geo import GeoCatalog, catalog as geo_catalog
+from repro.datagen.tax import NO_INCOME_TAX_STATES, TaxCatalog
+from repro.errors import CFDError
+
+
+def _take_patterns(
+    rows: Sequence[Tuple],
+    tabsz: Optional[int],
+    seed: int,
+) -> List[Tuple]:
+    """Pick ``tabsz`` pattern rows (all of them when ``tabsz`` is None or too large)."""
+    rows = list(rows)
+    if tabsz is None or tabsz >= len(rows):
+        return rows
+    rng = random.Random(seed)
+    return rng.sample(rows, tabsz)
+
+
+def _apply_num_consts(
+    patterns: List[List],
+    wildcard_positions: Sequence[int],
+    num_consts: float,
+    seed: int,
+) -> List[List]:
+    """Turn ``1 - num_consts`` of the pattern rows into rows containing variables.
+
+    ``wildcard_positions`` lists the cell positions that may safely be turned
+    into ``_`` without invalidating the constraint on clean data (e.g. the
+    city cell of a ``[ZIP, CT] → [ST]`` pattern: the zip alone still
+    determines the state).
+    """
+    if not 0.0 <= num_consts <= 1.0:
+        raise CFDError(f"num_consts must be a fraction in [0, 1], got {num_consts}")
+    if num_consts >= 1.0 or not wildcard_positions:
+        return patterns
+    rng = random.Random(seed)
+    n_variable = round(len(patterns) * (1.0 - num_consts))
+    for row_index in rng.sample(range(len(patterns)), n_variable):
+        position = rng.choice(list(wildcard_positions))
+        patterns[row_index][position] = "_"
+    return patterns
+
+
+# ---------------------------------------------------------------------------
+# the named real-world CFDs
+# ---------------------------------------------------------------------------
+def zip_state_cfd(
+    tabsz: Optional[int] = None,
+    num_consts: float = 1.0,
+    geo: Optional[GeoCatalog] = None,
+    seed: int = 0,
+) -> CFD:
+    """Constraint (a): ``[ZIP] → [ST]`` with one pattern per (zip, state) pair."""
+    geo = geo or geo_catalog()
+    pairs = _take_patterns(geo.zip_state_pairs(), tabsz, seed)
+    patterns = [[zip_code, state] for zip_code, state in pairs]
+    patterns = _apply_num_consts(patterns, wildcard_positions=(1,), num_consts=num_consts, seed=seed)
+    return CFD.build(["ZIP"], ["ST"], patterns, name="zip_state")
+
+
+def zip_city_state_cfd(
+    tabsz: Optional[int] = None,
+    num_consts: float = 1.0,
+    geo: Optional[GeoCatalog] = None,
+    seed: int = 0,
+) -> CFD:
+    """Constraint (b): ``[ZIP, CT] → [ST]`` (a city alone does not determine the state)."""
+    geo = geo or geo_catalog()
+    triples = _take_patterns(geo.zip_city_state_triples(), tabsz, seed)
+    patterns = [[zip_code, city, state] for zip_code, city, state in triples]
+    # The city cell (an LHS join attribute) may become a wildcard without
+    # breaking the constraint on clean data: the zip alone still determines
+    # the state.  Wildcards on join attributes are what the paper's
+    # NUMCONSTs experiment (Figure 9(e)) is about — they restrict index use.
+    patterns = _apply_num_consts(patterns, wildcard_positions=(1,), num_consts=num_consts, seed=seed)
+    return CFD.build(["ZIP", "CT"], ["ST"], patterns, name="zip_city_state")
+
+
+def area_city_state_cfd(
+    tabsz: Optional[int] = None,
+    num_consts: float = 1.0,
+    geo: Optional[GeoCatalog] = None,
+    seed: int = 0,
+) -> CFD:
+    """A four-attribute constraint: ``[CC, AC] → [CT, ST]`` for single-city area codes."""
+    geo = geo or geo_catalog()
+    triples = _take_patterns(geo.area_city_state_triples(), tabsz, seed)
+    patterns = [["01", area, city, state] for area, city, state in triples]
+    patterns = _apply_num_consts(patterns, wildcard_positions=(0, 2, 3), num_consts=num_consts, seed=seed)
+    return CFD.build(["CC", "AC"], ["CT", "ST"], patterns, name="area_city_state")
+
+
+def no_tax_state_cfd(tax: Optional[TaxCatalog] = None, geo: Optional[GeoCatalog] = None) -> CFD:
+    """Constraint (c) specialised: states without income tax have rate 0.00."""
+    geo = geo or geo_catalog()
+    patterns = [[state, "0.00"] for state in sorted(NO_INCOME_TAX_STATES) if state in geo.states()]
+    return CFD.build(["ST"], ["TX"], patterns, name="no_tax_state")
+
+
+def exemption_cfd(geo: Optional[GeoCatalog] = None, tax: Optional[TaxCatalog] = None) -> CFD:
+    """``[ST, MR, CH] → [STX, MTX, CTX]``: exemptions are a function of state and status."""
+    geo = geo or geo_catalog()
+    tax = tax or TaxCatalog(geo.states())
+    patterns = []
+    for state in geo.states():
+        for married in (False, True):
+            for children in (False, True):
+                single_ex, married_ex, child_ex = tax.exemption(state, married, children)
+                patterns.append(
+                    [
+                        state,
+                        "married" if married else "single",
+                        "yes" if children else "no",
+                        single_ex,
+                        married_ex,
+                        child_ex,
+                    ]
+                )
+    return CFD.build(["ST", "MR", "CH"], ["STX", "MTX", "CTX"], patterns, name="exemption")
+
+
+def phone_address_fd_cfd() -> CFD:
+    """The plain FD ``[CC, AC, PN] → [STR, CT, ZIP]`` of the cust example as a CFD."""
+    return CFD.build(
+        ["CC", "AC", "PN"],
+        ["STR", "CT", "ZIP"],
+        [["_"] * 6],
+        name="phone_address_fd",
+    )
+
+
+# ---------------------------------------------------------------------------
+# the parameterised factory driven by the benchmarks
+# ---------------------------------------------------------------------------
+def experiment_cfd(
+    num_attrs: int,
+    tabsz: Optional[int] = None,
+    num_consts: float = 1.0,
+    geo: Optional[GeoCatalog] = None,
+    seed: int = 0,
+) -> CFD:
+    """A CFD with the requested NUMATTRs / TABSZ / NUMCONSTs knobs (Section 5).
+
+    ``num_attrs`` counts the attributes of the embedded FD (LHS + RHS), the
+    way the paper's NUMATTRs knob does:
+
+    * 2 → ``[ZIP] → [ST]``
+    * 3 → ``[ZIP, CT] → [ST]``
+    * 4 → ``[CC, AC] → [CT, ST]``
+
+    >>> cfd = experiment_cfd(num_attrs=3, tabsz=100, num_consts=0.5, seed=1)
+    >>> len(cfd.tableau)
+    100
+    """
+    if num_attrs == 2:
+        return zip_state_cfd(tabsz, num_consts, geo, seed)
+    if num_attrs == 3:
+        return zip_city_state_cfd(tabsz, num_consts, geo, seed)
+    if num_attrs == 4:
+        return area_city_state_cfd(tabsz, num_consts, geo, seed)
+    raise CFDError(f"experiment_cfd supports 2-4 attributes, got {num_attrs}")
+
+
+def experiment_cfd_set(
+    num_cfds: int,
+    tabsz: Optional[int] = None,
+    num_consts: float = 1.0,
+    geo: Optional[GeoCatalog] = None,
+    seed: int = 0,
+) -> List[CFD]:
+    """A set of ``num_cfds`` catalog CFDs (the NUMCFDs knob).
+
+    Cycles through the named real-world constraints, giving each its own
+    pattern sample so that the CFDs in the set are related but not identical.
+    """
+    if num_cfds < 1:
+        raise CFDError("num_cfds must be at least 1")
+    geo = geo or geo_catalog()
+    builders = [
+        lambda index: zip_state_cfd(tabsz, num_consts, geo, seed + index),
+        lambda index: zip_city_state_cfd(tabsz, num_consts, geo, seed + index),
+        lambda index: area_city_state_cfd(tabsz, num_consts, geo, seed + index),
+        lambda index: exemption_cfd(geo),
+        lambda index: no_tax_state_cfd(geo=geo),
+    ]
+    cfds: List[CFD] = []
+    for index in range(num_cfds):
+        builder = builders[index % len(builders)]
+        cfd = builder(index)
+        if any(existing.name == cfd.name for existing in cfds):
+            cfd = CFD(cfd.lhs, cfd.rhs, cfd.tableau, name=f"{cfd.name}_{index}")
+        cfds.append(cfd)
+    return cfds

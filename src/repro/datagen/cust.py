@@ -1,0 +1,120 @@
+"""The paper's running example: the ``cust`` relation and its CFDs.
+
+Figure 1 gives the instance, Figure 2 the CFDs ``ϕ1``–``ϕ3``; ``ϕ5`` (used in
+Figure 7 to illustrate tableau merging) and the plain FDs ``f1``/``f2`` of
+Example 1.1 are provided as well.  Example 2.2 states the expected outcome of
+detection: the instance satisfies ``ϕ1`` and ``ϕ3`` but violates ``ϕ2`` —
+tuples ``t1``/``t2`` via a constant clash and ``t3``/``t4`` via a multi-tuple
+violation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.cfd import CFD, FD
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+#: Attribute order of the cust relation (Example 1.1).
+CUST_ATTRIBUTES = ("CC", "AC", "PN", "NM", "STR", "CT", "ZIP")
+
+
+def cust_schema() -> Schema:
+    """The ``cust`` schema: country code, area code, phone, name, street, city, zip."""
+    return Schema("cust", CUST_ATTRIBUTES)
+
+
+def cust_relation() -> Relation:
+    """The six-tuple instance of Figure 1 (tuples ``t1``–``t6``, indices 0–5).
+
+    Note on fidelity: the table printed in the paper shows ``t3`` and ``t4``
+    with identical ZIP values, yet Example 4.1 states that ``Q^V_{ϕ2}``
+    returns ``t3`` and ``t4`` — which requires the two tuples to disagree on
+    one of ϕ2's RHS attributes.  We follow the *examples* (the behavioural
+    specification) and give ``t4`` a different ZIP; the table exactly as
+    printed is available from :func:`cust_relation_printed`.
+    """
+    rows = [
+        ("01", "908", "1111111", "Mike", "Tree Ave.", "NYC", "07974"),
+        ("01", "908", "1111111", "Rick", "Tree Ave.", "NYC", "07974"),
+        ("01", "212", "2222222", "Joe", "Elm Str.", "NYC", "01202"),
+        ("01", "212", "2222222", "Jim", "Elm Str.", "NYC", "01183"),
+        ("01", "215", "3333333", "Ben", "Oak Ave.", "PHI", "02394"),
+        ("44", "131", "4444444", "Ian", "High St.", "EDI", "EH4 1DT"),
+    ]
+    return Relation(cust_schema(), rows)
+
+
+def cust_relation_printed() -> Relation:
+    """The instance exactly as printed in Figure 1 (``t3`` and ``t4`` share a ZIP)."""
+    rows = [
+        ("01", "908", "1111111", "Mike", "Tree Ave.", "NYC", "07974"),
+        ("01", "908", "1111111", "Rick", "Tree Ave.", "NYC", "07974"),
+        ("01", "212", "2222222", "Joe", "Elm Str.", "NYC", "01202"),
+        ("01", "212", "2222222", "Jim", "Elm Str.", "NYC", "01202"),
+        ("01", "215", "3333333", "Ben", "Oak Ave.", "PHI", "02394"),
+        ("44", "131", "4444444", "Ian", "High St.", "EDI", "EH4 1DT"),
+    ]
+    return Relation(cust_schema(), rows)
+
+
+def fd_f1() -> FD:
+    """``f1: [CC, AC, PN] → [STR, CT, ZIP]`` from Example 1.1."""
+    return FD(("CC", "AC", "PN"), ("STR", "CT", "ZIP"))
+
+
+def fd_f2() -> FD:
+    """``f2: [CC, AC] → [CT]`` from Example 1.1."""
+    return FD(("CC", "AC"), ("CT",))
+
+
+def phi1() -> CFD:
+    """``ϕ1 = (cust: [CC, ZIP] → [STR], T1)`` — UK zip codes determine streets."""
+    return CFD.build(
+        ["CC", "ZIP"],
+        ["STR"],
+        [["44", "_", "_"]],
+        name="phi1",
+        schema=cust_schema(),
+    )
+
+
+def phi2() -> CFD:
+    """``ϕ2 = (cust: [CC, AC, PN] → [STR, CT, ZIP], T2)`` — refines ``f1`` (Figure 2b)."""
+    return CFD.build(
+        ["CC", "AC", "PN"],
+        ["STR", "CT", "ZIP"],
+        [
+            ["01", "908", "_", "_", "MH", "_"],
+            ["01", "212", "_", "_", "NYC", "_"],
+            ["_", "_", "_", "_", "_", "_"],
+        ],
+        name="phi2",
+        schema=cust_schema(),
+    )
+
+
+def phi3() -> CFD:
+    """``ϕ3 = (cust: [CC, AC] → [CT], T3)`` — refines ``f2`` (Figure 2c)."""
+    return CFD.build(
+        ["CC", "AC"],
+        ["CT"],
+        [
+            ["01", "215", "PHI"],
+            ["44", "141", "GLA"],
+            ["_", "_", "_"],
+        ],
+        name="phi3",
+        schema=cust_schema(),
+    )
+
+
+def phi5() -> CFD:
+    """``ϕ5 = (cust: [CT] → [AC], T5)`` with a single all-wildcard pattern (Section 4.2.1)."""
+    return CFD.build(["CT"], ["AC"], [["_", "_"]], name="phi5", schema=cust_schema())
+
+
+def cust_cfds() -> List[CFD]:
+    """The CFDs of Figure 2 (``ϕ1``, ``ϕ2``, ``ϕ3``)."""
+    return [phi1(), phi2(), phi3()]

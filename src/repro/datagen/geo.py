@@ -1,0 +1,188 @@
+"""A synthetic-but-realistic US geography catalog.
+
+The paper's experiments populate a tax-records relation from "real-life data:
+the zip and area codes for major cities and towns for all US states".  That
+exact data set is not redistributable, so this module ships an equivalent
+catalog: for every US state, a handful of major cities, each with plausible
+area codes and a ZIP prefix.  What matters for reproducing the experiments is
+only that the catalog defines *functional relationships* —
+
+* ``ZIP → ST``  (a zip prefix belongs to exactly one state),
+* ``ZIP, CT → ST``,
+* ``CC, AC → CT, ST`` (an area code belongs to exactly one city here),
+
+so that the CFDs built from the catalog genuinely hold on clean generated
+data and are violated exactly by injected noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+#: state code -> list of (city, area codes, zip prefix)
+_STATE_CITIES: Dict[str, List[Tuple[str, Tuple[str, ...], str]]] = {
+    "AL": [("Birmingham", ("205",), "352"), ("Montgomery", ("334",), "361"), ("Huntsville", ("256",), "358")],
+    "AK": [("Anchorage", ("907",), "995"), ("Fairbanks", ("907",), "997")],
+    "AZ": [("Phoenix", ("602", "480"), "850"), ("Tucson", ("520",), "857"), ("Mesa", ("480",), "852")],
+    "AR": [("Little Rock", ("501",), "722"), ("Fayetteville", ("479",), "727")],
+    "CA": [("Los Angeles", ("213", "310"), "900"), ("San Francisco", ("415",), "941"),
+           ("San Diego", ("619",), "921"), ("Sacramento", ("916",), "958"), ("Fresno", ("559",), "937")],
+    "CO": [("Denver", ("303", "720"), "802"), ("Colorado Springs", ("719",), "809"), ("Boulder", ("303",), "803")],
+    "CT": [("Hartford", ("860",), "061"), ("New Haven", ("203",), "065"), ("Stamford", ("203",), "069")],
+    "DE": [("Wilmington", ("302",), "198"), ("Dover", ("302",), "199")],
+    "FL": [("Miami", ("305", "786"), "331"), ("Orlando", ("407",), "328"),
+           ("Tampa", ("813",), "336"), ("Jacksonville", ("904",), "322")],
+    "GA": [("Atlanta", ("404", "678"), "303"), ("Savannah", ("912",), "314"), ("Augusta", ("706",), "309")],
+    "HI": [("Honolulu", ("808",), "968"), ("Hilo", ("808",), "967")],
+    "ID": [("Boise", ("208",), "837"), ("Idaho Falls", ("208",), "834")],
+    "IL": [("Chicago", ("312", "773"), "606"), ("Springfield", ("217",), "627"), ("Peoria", ("309",), "616")],
+    "IN": [("Indianapolis", ("317",), "462"), ("Fort Wayne", ("260",), "468"), ("Evansville", ("812",), "477")],
+    "IA": [("Des Moines", ("515",), "503"), ("Cedar Rapids", ("319",), "524")],
+    "KS": [("Wichita", ("316",), "672"), ("Topeka", ("785",), "666"), ("Kansas City", ("913",), "661")],
+    "KY": [("Louisville", ("502",), "402"), ("Lexington", ("859",), "405")],
+    "LA": [("New Orleans", ("504",), "701"), ("Baton Rouge", ("225",), "708"), ("Shreveport", ("318",), "711")],
+    "ME": [("Portland", ("207",), "041"), ("Bangor", ("207",), "044")],
+    "MD": [("Baltimore", ("410", "443"), "212"), ("Annapolis", ("410",), "214"), ("Rockville", ("301",), "208")],
+    "MA": [("Boston", ("617", "857"), "021"), ("Worcester", ("508",), "016"), ("Springfield", ("413",), "011")],
+    "MI": [("Detroit", ("313",), "482"), ("Grand Rapids", ("616",), "495"), ("Lansing", ("517",), "489")],
+    "MN": [("Minneapolis", ("612",), "554"), ("Saint Paul", ("651",), "551"), ("Duluth", ("218",), "558")],
+    "MS": [("Jackson", ("601",), "392"), ("Gulfport", ("228",), "395")],
+    "MO": [("Kansas City", ("816",), "641"), ("Saint Louis", ("314",), "631"), ("Springfield", ("417",), "658")],
+    "MT": [("Billings", ("406",), "591"), ("Missoula", ("406",), "598")],
+    "NE": [("Omaha", ("402",), "681"), ("Lincoln", ("402",), "685")],
+    "NV": [("Las Vegas", ("702",), "891"), ("Reno", ("775",), "895")],
+    "NH": [("Manchester", ("603",), "031"), ("Concord", ("603",), "033")],
+    "NJ": [("Newark", ("973",), "071"), ("Murray Hill", ("908",), "079"),
+           ("Jersey City", ("201",), "073"), ("Trenton", ("609",), "086")],
+    "NM": [("Albuquerque", ("505",), "871"), ("Santa Fe", ("505",), "875")],
+    "NY": [("NYC", ("212", "718", "646"), "100"), ("Buffalo", ("716",), "142"),
+           ("Albany", ("518",), "122"), ("Rochester", ("585",), "146")],
+    "NC": [("Charlotte", ("704",), "282"), ("Raleigh", ("919",), "276"), ("Durham", ("919",), "277")],
+    "ND": [("Fargo", ("701",), "581"), ("Bismarck", ("701",), "585")],
+    "OH": [("Columbus", ("614",), "432"), ("Cleveland", ("216",), "441"), ("Cincinnati", ("513",), "452")],
+    "OK": [("Oklahoma City", ("405",), "731"), ("Tulsa", ("918",), "741")],
+    "OR": [("Portland", ("503", "971"), "972"), ("Eugene", ("541",), "974"), ("Salem", ("503",), "973")],
+    "PA": [("PHI", ("215", "267"), "191"), ("Pittsburgh", ("412",), "152"),
+           ("Harrisburg", ("717",), "171"), ("Allentown", ("610",), "181")],
+    "RI": [("Providence", ("401",), "029"), ("Warwick", ("401",), "028")],
+    "SC": [("Columbia", ("803",), "292"), ("Charleston", ("843",), "294")],
+    "SD": [("Sioux Falls", ("605",), "571"), ("Rapid City", ("605",), "577")],
+    "TN": [("Nashville", ("615",), "372"), ("Memphis", ("901",), "381"), ("Knoxville", ("865",), "379")],
+    "TX": [("Houston", ("713", "832"), "770"), ("Dallas", ("214", "972"), "752"),
+           ("Austin", ("512",), "787"), ("San Antonio", ("210",), "782"), ("El Paso", ("915",), "799")],
+    "UT": [("Salt Lake City", ("801",), "841"), ("Provo", ("801",), "846")],
+    "VT": [("Burlington", ("802",), "054"), ("Montpelier", ("802",), "056")],
+    "VA": [("Richmond", ("804",), "232"), ("Virginia Beach", ("757",), "234"), ("Arlington", ("703",), "222")],
+    "WA": [("Seattle", ("206",), "981"), ("Spokane", ("509",), "992"), ("Tacoma", ("253",), "984")],
+    "WV": [("Charleston", ("304",), "253"), ("Morgantown", ("304",), "265")],
+    "WI": [("Milwaukee", ("414",), "532"), ("Madison", ("608",), "537"), ("Green Bay", ("920",), "543")],
+    "WY": [("Cheyenne", ("307",), "820"), ("Casper", ("307",), "826")],
+}
+
+#: Number of distinct ZIP codes generated per city (suffix 00..NN-1 on the prefix).
+ZIPS_PER_CITY = 20
+
+
+@dataclass(frozen=True)
+class Location:
+    """One (state, city, area code, zip) combination from the catalog."""
+
+    state: str
+    city: str
+    area_code: str
+    zip_code: str
+
+
+class GeoCatalog:
+    """All locations of the catalog, with lookup helpers used by the CFD factory.
+
+    The catalog is deterministic — no randomness — so the functional
+    relationships it encodes are stable across runs.
+    """
+
+    def __init__(self, zips_per_city: int = ZIPS_PER_CITY) -> None:
+        self._locations: List[Location] = []
+        self._state_of_zip: Dict[str, str] = {}
+        self._cities_of_area: Dict[str, set] = {}
+        for state, cities in _STATE_CITIES.items():
+            for city, area_codes, zip_prefix in cities:
+                for suffix in range(zips_per_city):
+                    zip_code = f"{zip_prefix}{suffix:03d}"
+                    # A zip prefix is unique to a state by construction, so the
+                    # full zip determines the state.
+                    self._state_of_zip[zip_code] = state
+                    for area_code in area_codes:
+                        self._locations.append(Location(state, city, area_code, zip_code))
+                for area_code in area_codes:
+                    self._cities_of_area.setdefault(area_code, set()).add((city, state))
+
+    # ------------------------------------------------------------------ access
+    @property
+    def locations(self) -> List[Location]:
+        return list(self._locations)
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def __iter__(self) -> Iterator[Location]:
+        return iter(self._locations)
+
+    def states(self) -> List[str]:
+        return sorted(_STATE_CITIES)
+
+    def cities_of(self, state: str) -> List[str]:
+        return [city for city, _, _ in _STATE_CITIES[state]]
+
+    def state_of_zip(self, zip_code: str) -> str:
+        """The state a zip code belongs to (total on generated zips)."""
+        return self._state_of_zip[zip_code]
+
+    def zip_state_pairs(self) -> List[Tuple[str, str]]:
+        """Every (zip, state) pair — the paper's Figure 9(f) uses all of them."""
+        return sorted(self._state_of_zip.items())
+
+    def zip_city_state_triples(self) -> List[Tuple[str, str, str]]:
+        """Every (zip, city, state) triple occurring in the catalog."""
+        seen = {}
+        for location in self._locations:
+            seen[(location.zip_code, location.city)] = location.state
+        return sorted((zip_code, city, state) for (zip_code, city), state in seen.items())
+
+    def area_state_pairs(self) -> List[Tuple[str, str]]:
+        """Every (area code, state) pair; area codes are unique to a state in the catalog."""
+        pairs = {}
+        for area, cities in self._cities_of_area.items():
+            states = {state for _, state in cities}
+            if len(states) == 1:
+                pairs[area] = next(iter(states))
+        return sorted(pairs.items())
+
+    def area_city_state_triples(self) -> List[Tuple[str, str, str]]:
+        """(area code, city, state) triples for area codes serving a single city.
+
+        Some real area codes cover several cities of a state (e.g. 907 covers
+        all of Alaska); those are excluded so the triples describe a genuine
+        functional relationship ``AC → CT, ST``.
+        """
+        triples = []
+        for area, cities in self._cities_of_area.items():
+            if len(cities) == 1:
+                city, state = next(iter(cities))
+                triples.append((area, city, state))
+        return sorted(triples)
+
+
+_CATALOG: GeoCatalog = GeoCatalog()
+
+
+def catalog(zips_per_city: int = ZIPS_PER_CITY) -> GeoCatalog:
+    """A catalog with ``zips_per_city`` zip codes per city.
+
+    The default-size catalog is a module-level singleton (construction is
+    deterministic); other sizes are built on demand, which the benchmark
+    harness uses when an experiment needs a larger pattern-tableau universe.
+    """
+    if zips_per_city == ZIPS_PER_CITY:
+        return _CATALOG
+    return GeoCatalog(zips_per_city)

@@ -1,0 +1,67 @@
+"""Generic noise injection into relations.
+
+The tax-records generator corrupts rows as it creates them; this module
+offers the same facility for arbitrary existing relations, which the repair
+examples and failure-injection tests use ("dirty a clean relation, detect,
+repair, verify").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.relation.relation import Relation
+
+
+@dataclass
+class NoiseReport:
+    """What :func:`inject_noise` changed."""
+
+    dirty_indices: Set[int] = field(default_factory=set)
+    changes: List[tuple] = field(default_factory=list)  # (index, attribute, old, new)
+
+
+def inject_noise(
+    relation: Relation,
+    attributes: Sequence[str],
+    rate: float,
+    seed: int = 0,
+    value_pool: Optional[Dict[str, Sequence]] = None,
+) -> NoiseReport:
+    """Corrupt ``rate`` of the rows of ``relation`` in place.
+
+    For each selected row one attribute from ``attributes`` is replaced by a
+    different value drawn from ``value_pool[attribute]`` if provided, or from
+    the attribute's active domain otherwise (falling back to a synthetic
+    ``"<old>_dirty"`` value when the active domain has a single value).
+
+    Returns a :class:`NoiseReport` describing every change.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be a fraction in [0, 1], got {rate}")
+    if not attributes:
+        raise ValueError("at least one attribute to corrupt is required")
+    rng = random.Random(seed)
+    report = NoiseReport()
+    pools = {
+        attribute: list(
+            (value_pool or {}).get(attribute, relation.active_domain(attribute))
+        )
+        for attribute in attributes
+    }
+    for index in range(len(relation)):
+        if rng.random() >= rate:
+            continue
+        attribute = rng.choice(list(attributes))
+        old = relation.value(index, attribute)
+        candidates = [value for value in pools[attribute] if value != old]
+        if candidates:
+            new = rng.choice(candidates)
+        else:
+            new = f"{old}_dirty"
+        relation.update(index, attribute, new)
+        report.dirty_indices.add(index)
+        report.changes.append((index, attribute, old, new))
+    return report

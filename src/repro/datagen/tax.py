@@ -1,0 +1,116 @@
+"""A synthetic per-state income-tax catalog.
+
+The paper's generator uses "the tax rates, tax and income brackets, and
+exemptions for each state".  This module provides a deterministic equivalent:
+every state gets a progressive bracket table and three exemption amounts
+(single, married, per-child).  A handful of states are modelled with no state
+income tax, mirroring reality, which gives the generated data a realistic mix
+of zero and non-zero rates.
+
+The only property the experiments rely on is functional: the tax rate is a
+function of (state, salary bracket) and each exemption is a function of
+(state, marital status / dependants), so the corresponding CFDs hold on clean
+data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: States with no state income tax.
+NO_INCOME_TAX_STATES = ("AK", "FL", "NV", "SD", "TX", "WA", "WY", "TN", "NH")
+
+#: Salary bracket boundaries (lower bounds, in dollars).
+BRACKET_BOUNDS = (0, 20_000, 50_000, 90_000, 150_000)
+
+
+@dataclass(frozen=True)
+class StateTaxPolicy:
+    """Tax brackets and exemptions of one state."""
+
+    state: str
+    #: one rate (percent) per entry of :data:`BRACKET_BOUNDS`
+    rates: Tuple[float, ...]
+    single_exemption: int
+    married_exemption: int
+    child_exemption: int
+
+    def rate_for(self, salary: int) -> float:
+        """The marginal rate (percent) applicable to ``salary``."""
+        rate = self.rates[0]
+        for bound, bracket_rate in zip(BRACKET_BOUNDS, self.rates):
+            if salary >= bound:
+                rate = bracket_rate
+        return rate
+
+    def bracket_for(self, salary: int) -> int:
+        """The 0-based bracket index applicable to ``salary``."""
+        bracket = 0
+        for index, bound in enumerate(BRACKET_BOUNDS):
+            if salary >= bound:
+                bracket = index
+        return bracket
+
+
+def _build_policies(states: List[str]) -> Dict[str, StateTaxPolicy]:
+    policies: Dict[str, StateTaxPolicy] = {}
+    for index, state in enumerate(sorted(states)):
+        if state in NO_INCOME_TAX_STATES:
+            rates = (0.0,) * len(BRACKET_BOUNDS)
+            single = 0
+            married = 0
+            child = 0
+        else:
+            base = 1.5 + (index % 7) * 0.5
+            rates = tuple(round(base + step * 1.25, 2) for step in range(len(BRACKET_BOUNDS)))
+            single = 2000 + (index % 10) * 150
+            married = single * 2
+            child = 900 + (index % 8) * 75
+        policies[state] = StateTaxPolicy(
+            state=state,
+            rates=rates,
+            single_exemption=single,
+            married_exemption=married,
+            child_exemption=child,
+        )
+    return policies
+
+
+class TaxCatalog:
+    """Per-state tax policies, deterministic across runs."""
+
+    def __init__(self, states: List[str]) -> None:
+        self._policies = _build_policies(states)
+
+    def policy(self, state: str) -> StateTaxPolicy:
+        return self._policies[state]
+
+    def states(self) -> List[str]:
+        return sorted(self._policies)
+
+    def rate(self, state: str, salary: int) -> float:
+        """The tax rate for a salary in a state."""
+        return self._policies[state].rate_for(salary)
+
+    def exemption(self, state: str, married: bool, children: bool) -> Tuple[int, int, int]:
+        """(single-, married-, child-) exemption amounts applicable in ``state``.
+
+        The three columns are reported separately in the generated relation,
+        matching the paper's "3 attributes recording tax exemptions, based on
+        marital status and the existence of dependents".
+        """
+        policy = self._policies[state]
+        single = 0 if married else policy.single_exemption
+        spouse = policy.married_exemption if married else 0
+        child = policy.child_exemption if children else 0
+        return single, spouse, child
+
+    def state_bracket_rate_triples(self) -> List[Tuple[str, int, float]]:
+        """Every (state, bracket index, rate) triple — used by the tax-rate CFD."""
+        triples = []
+        for state in self.states():
+            policy = self._policies[state]
+            for bracket, rate in enumerate(policy.rates):
+                triples.append((state, bracket, rate))
+        return triples

@@ -1,0 +1,5 @@
+"""A single façade over the in-memory and SQL violation detectors."""
+
+from repro.detection.engine import cross_check, detect_violations
+
+__all__ = ["cross_check", "detect_violations"]

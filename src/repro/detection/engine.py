@@ -1,0 +1,94 @@
+"""Unified violation detection API.
+
+``detect_violations`` dispatches between the pure-Python detector
+(:mod:`repro.core.satisfaction`) and the SQL detector
+(:mod:`repro.sql.engine`).  The pure-Python detector serves as the
+correctness oracle; ``cross_check`` compares the two and is used heavily in
+the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Union
+
+from repro.core.cfd import CFD
+from repro.core.satisfaction import find_all_violations
+from repro.core.violations import ViolationReport
+from repro.errors import DetectionError
+from repro.relation.relation import Relation
+from repro.sql.engine import SQLDetector
+
+
+def detect_violations(
+    relation: Relation,
+    cfds: Union[CFD, Sequence[CFD]],
+    method: str = "inmemory",
+    strategy: str = "per_cfd",
+    form: str = "dnf",
+) -> ViolationReport:
+    """Find every violation of ``cfds`` in ``relation``.
+
+    Parameters
+    ----------
+    method:
+        ``"inmemory"`` (default) uses the pure-Python detector;
+        ``"sql"`` loads the data into SQLite and runs the paper's detection
+        queries.
+    strategy, form:
+        Passed to :meth:`repro.sql.engine.SQLDetector.detect` when
+        ``method="sql"``; ignored otherwise.
+
+    >>> from repro.datagen.cust import cust_relation, cust_cfds
+    >>> report = detect_violations(cust_relation(), cust_cfds())
+    >>> report.is_clean()
+    False
+    """
+    if isinstance(cfds, CFD):
+        cfds = [cfds]
+    cfds = list(cfds)
+    if method == "inmemory":
+        return find_all_violations(relation, cfds)
+    if method == "sql":
+        with SQLDetector(relation) as detector:
+            return detector.detect(cfds, strategy=strategy, form=form).report
+    raise DetectionError(f"unknown detection method {method!r}; expected 'inmemory' or 'sql'")
+
+
+@dataclass(frozen=True)
+class CrossCheckResult:
+    """Outcome of comparing the in-memory and SQL detectors on the same input."""
+
+    inmemory_indices: FrozenSet[int]
+    sql_indices: FrozenSet[int]
+
+    @property
+    def agree(self) -> bool:
+        return self.inmemory_indices == self.sql_indices
+
+    @property
+    def only_inmemory(self) -> FrozenSet[int]:
+        return self.inmemory_indices - self.sql_indices
+
+    @property
+    def only_sql(self) -> FrozenSet[int]:
+        return self.sql_indices - self.inmemory_indices
+
+
+def cross_check(
+    relation: Relation,
+    cfds: Union[CFD, Sequence[CFD]],
+    strategy: str = "per_cfd",
+    form: str = "dnf",
+) -> CrossCheckResult:
+    """Run both detectors and compare the sets of violating tuple indices."""
+    if isinstance(cfds, CFD):
+        cfds = [cfds]
+    cfds = list(cfds)
+    inmemory = find_all_violations(relation, cfds)
+    with SQLDetector(relation) as detector:
+        sql_report = detector.detect(cfds, strategy=strategy, form=form).report
+    return CrossCheckResult(
+        inmemory_indices=inmemory.violating_indices(),
+        sql_indices=sql_report.violating_indices(),
+    )

@@ -1,0 +1,13 @@
+"""Discovery of FDs and constant CFDs from data (the paper's future work)."""
+
+from repro.discovery.cfd_discovery import DiscoveredPattern, discover_constant_cfds
+from repro.discovery.fd_discovery import discover_fds
+from repro.discovery.partitions import partition, refines
+
+__all__ = [
+    "DiscoveredPattern",
+    "discover_constant_cfds",
+    "discover_fds",
+    "partition",
+    "refines",
+]

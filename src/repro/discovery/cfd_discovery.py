@@ -1,0 +1,121 @@
+"""Discovery of constant CFDs from data.
+
+The paper names CFD discovery as future work; this module implements the
+standard levelwise constant-pattern miner (in the spirit of CTANE /
+"CFDMiner"-style algorithms): for every candidate embedded FD ``X → A`` it
+groups the relation by the ``X`` values and emits a constant pattern
+``(x1, ..., xk ‖ a)`` whenever the group is pure enough (confidence) and big
+enough (support).  Patterns for the same embedded FD are assembled into a
+single CFD whose tableau has one row per discovered pattern.
+
+This is a data-profiling tool: discovered CFDs hold on the given (possibly
+dirty) instance up to the requested confidence; they are candidates for a
+domain expert to confirm, exactly as the paper's future-work section
+envisages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cfd import CFD
+from repro.discovery.partitions import partition_with_keys
+from repro.errors import DiscoveryError
+from repro.relation.relation import Relation
+
+
+@dataclass(frozen=True)
+class DiscoveredPattern:
+    """One constant pattern discovered for an embedded FD ``X → A``."""
+
+    lhs: Tuple[str, ...]
+    rhs: str
+    lhs_values: Tuple
+    rhs_value: object
+    support: int
+    confidence: float
+
+
+def discover_constant_cfds(
+    relation: Relation,
+    min_support: int = 2,
+    min_confidence: float = 1.0,
+    max_lhs_size: int = 2,
+    attributes: Optional[Sequence[str]] = None,
+) -> List[CFD]:
+    """Mine constant CFDs with at least ``min_support`` and ``min_confidence``.
+
+    Returns one CFD per embedded FD that received at least one pattern, its
+    tableau holding every discovered pattern.
+
+    >>> from repro.datagen.cust import cust_relation
+    >>> cfds = discover_constant_cfds(cust_relation(), min_support=2, max_lhs_size=1)
+    >>> any(cfd.lhs == ("AC",) and cfd.rhs == ("CT",) for cfd in cfds)
+    True
+    """
+    patterns = discover_patterns(
+        relation,
+        min_support=min_support,
+        min_confidence=min_confidence,
+        max_lhs_size=max_lhs_size,
+        attributes=attributes,
+    )
+    grouped: Dict[Tuple[Tuple[str, ...], str], List[DiscoveredPattern]] = {}
+    for found in patterns:
+        grouped.setdefault((found.lhs, found.rhs), []).append(found)
+    cfds: List[CFD] = []
+    for (lhs, rhs), group in sorted(grouped.items()):
+        rows = [list(found.lhs_values) + [found.rhs_value] for found in group]
+        name = f"discovered_{'_'.join(lhs)}__{rhs}"
+        cfds.append(CFD.build(lhs, [rhs], rows, name=name))
+    return cfds
+
+
+def discover_patterns(
+    relation: Relation,
+    min_support: int = 2,
+    min_confidence: float = 1.0,
+    max_lhs_size: int = 2,
+    attributes: Optional[Sequence[str]] = None,
+) -> List[DiscoveredPattern]:
+    """The raw discovered patterns, with their support and confidence."""
+    if min_support < 1:
+        raise DiscoveryError("min_support must be at least 1")
+    if not 0.0 < min_confidence <= 1.0:
+        raise DiscoveryError("min_confidence must be in (0, 1]")
+    if max_lhs_size < 1:
+        raise DiscoveryError("max_lhs_size must be at least 1")
+    names = tuple(attributes) if attributes is not None else relation.schema.names
+    relation.schema.validate_attributes(names)
+
+    found: List[DiscoveredPattern] = []
+    for size in range(1, max_lhs_size + 1):
+        for lhs in combinations(names, size):
+            groups = partition_with_keys(relation, lhs)
+            for target in names:
+                if target in lhs:
+                    continue
+                target_position = relation.schema.position(target)
+                for lhs_values, indices in groups.items():
+                    if len(indices) < min_support:
+                        continue
+                    counts: Dict[object, int] = {}
+                    for index in indices:
+                        value = relation[index][target_position]
+                        counts[value] = counts.get(value, 0) + 1
+                    best_value, best_count = max(counts.items(), key=lambda item: item[1])
+                    confidence = best_count / len(indices)
+                    if confidence >= min_confidence and best_count >= min_support:
+                        found.append(
+                            DiscoveredPattern(
+                                lhs=lhs,
+                                rhs=target,
+                                lhs_values=lhs_values,
+                                rhs_value=best_value,
+                                support=best_count,
+                                confidence=confidence,
+                            )
+                        )
+    return found

@@ -1,0 +1,57 @@
+"""Levelwise discovery of standard FDs (a TANE-style baseline).
+
+The paper lists "automated methods for discovering CFDs" as future work; a
+plain FD miner is the natural baseline for the constant-CFD miner in
+:mod:`repro.discovery.cfd_discovery` and is also used by the discovery
+example.  The search is levelwise over LHS size with the classic pruning: if
+``X → A`` has been emitted, no superset of ``X`` is considered for ``A``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.cfd import FD
+from repro.discovery.partitions import refines
+from repro.errors import DiscoveryError
+from repro.relation.relation import Relation
+
+
+def discover_fds(
+    relation: Relation,
+    max_lhs_size: int = 3,
+    attributes: Optional[Sequence[str]] = None,
+    include_trivial: bool = False,
+) -> List[FD]:
+    """All minimal FDs ``X → A`` holding on ``relation`` with ``|X| ≤ max_lhs_size``.
+
+    Minimality here means no proper subset of ``X`` determines ``A`` (among the
+    examined levels).  Trivial FDs (``A ∈ X``) are skipped unless requested.
+
+    >>> from repro.datagen.cust import cust_relation
+    >>> fds = discover_fds(cust_relation(), max_lhs_size=1)
+    >>> any(fd.lhs == ("AC",) and "CT" in fd.rhs for fd in fds)
+    True
+    """
+    if max_lhs_size < 1:
+        raise DiscoveryError("max_lhs_size must be at least 1")
+    names = tuple(attributes) if attributes is not None else relation.schema.names
+    relation.schema.validate_attributes(names)
+
+    found: List[FD] = []
+    # determined[A] holds the minimal LHS sets already known to determine A.
+    determined: dict = {attribute: [] for attribute in names}
+
+    for size in range(1, max_lhs_size + 1):
+        for lhs in combinations(names, size):
+            lhs_set = set(lhs)
+            for target in names:
+                if not include_trivial and target in lhs_set:
+                    continue
+                if any(set(known) <= lhs_set for known in determined[target]):
+                    continue  # a subset already determines the target
+                if refines(relation, lhs, (target,)):
+                    determined[target].append(lhs)
+                    found.append(FD(lhs, (target,)))
+    return found

@@ -1,0 +1,68 @@
+"""Partition machinery for dependency discovery.
+
+TANE-style FD discovery decides whether ``X → A`` holds by comparing the
+partition of tuples induced by ``X`` with the partition induced by
+``X ∪ {A}``: the FD holds exactly when the two partitions have the same
+number of equivalence classes (every ``X``-class is contained in one
+``X∪{A}``-class).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.relation.relation import Relation
+
+Partition = List[Tuple[int, ...]]
+
+
+def partition(relation: Relation, attributes: Sequence[str]) -> Partition:
+    """The partition of row indices induced by equality on ``attributes``.
+
+    The empty attribute list induces the single class of all rows.
+    """
+    if not attributes:
+        return [tuple(range(len(relation)))] if len(relation) else []
+    groups: Dict[Tuple, List[int]] = {}
+    positions = relation.schema.positions(attributes)
+    for index, row in enumerate(relation):
+        key = tuple(row[position] for position in positions)
+        groups.setdefault(key, []).append(index)
+    return [tuple(indices) for indices in groups.values()]
+
+
+def partition_with_keys(
+    relation: Relation, attributes: Sequence[str]
+) -> Dict[Tuple, Tuple[int, ...]]:
+    """Like :func:`partition` but keyed by the attribute values of each class."""
+    groups: Dict[Tuple, List[int]] = {}
+    positions = relation.schema.positions(attributes)
+    for index, row in enumerate(relation):
+        key = tuple(row[position] for position in positions)
+        groups.setdefault(key, []).append(index)
+    return {key: tuple(indices) for key, indices in groups.items()}
+
+
+def refines(relation: Relation, lhs: Sequence[str], rhs: Sequence[str]) -> bool:
+    """Whether the FD ``lhs → rhs`` holds on ``relation`` (partition refinement test)."""
+    lhs_classes = len(partition(relation, lhs))
+    combined = list(dict.fromkeys(tuple(lhs) + tuple(rhs)))
+    combined_classes = len(partition(relation, combined))
+    return lhs_classes == combined_classes
+
+
+def error_rate(relation: Relation, lhs: Sequence[str], rhs: Sequence[str]) -> float:
+    """The g3-style error of ``lhs → rhs``: the fraction of tuples to delete for it to hold."""
+    if len(relation) == 0:
+        return 0.0
+    lhs_groups = partition_with_keys(relation, lhs)
+    rhs_positions = relation.schema.positions(rhs)
+    violating = 0
+    for indices in lhs_groups.values():
+        counts: Dict[Tuple, int] = {}
+        for index in indices:
+            row = relation[index]
+            value = tuple(row[position] for position in rhs_positions)
+            counts[value] = counts.get(value, 0) + 1
+        violating += len(indices) - max(counts.values())
+    return violating / len(relation)

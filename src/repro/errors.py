@@ -1,0 +1,49 @@
+"""Exception hierarchy shared by every subpackage of :mod:`repro`."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an attribute reference does not resolve."""
+
+
+class DomainError(ReproError):
+    """A value is outside the (finite) domain declared for an attribute."""
+
+
+class PatternError(ReproError):
+    """A pattern tuple or tableau is malformed for its CFD."""
+
+
+class CFDError(ReproError):
+    """A CFD is syntactically invalid (empty RHS, unknown attributes, ...)."""
+
+
+class InconsistentCFDsError(ReproError):
+    """Raised when an operation requires a consistent CFD set but got none."""
+
+
+class ReasoningError(ReproError):
+    """An inference rule was applied to premises that do not satisfy its preconditions."""
+
+
+class DetectionError(ReproError):
+    """Violation detection failed (bad method name, backend failure, ...)."""
+
+
+class SQLGenerationError(ReproError):
+    """SQL text could not be generated for the requested CFDs."""
+
+
+class RepairError(ReproError):
+    """The repair algorithm could not produce a valid repair."""
+
+
+class DiscoveryError(ReproError):
+    """CFD/FD discovery was asked to do something unsupported."""
+
+
+class ParseError(ReproError):
+    """A CFD specification (text or JSON) could not be parsed."""

@@ -1,0 +1,30 @@
+"""Serialization of CFDs: a compact text format and a JSON format.
+
+The text format mirrors how the paper writes CFDs —
+``[CC = 01, AC = 908, PN] -> [STR, CT = MH, ZIP]`` — and supports multi-row
+pattern tableaux; the JSON format is a faithful structural dump.  Both round
+trip through :class:`repro.core.cfd.CFD`.
+"""
+
+from repro.io.json_format import cfd_to_dict, cfds_from_json, cfds_to_json, dict_to_cfd
+from repro.io.text_format import (
+    format_cfd,
+    format_cfds,
+    parse_cfd,
+    parse_cfds,
+    read_cfd_file,
+    write_cfd_file,
+)
+
+__all__ = [
+    "cfd_to_dict",
+    "cfds_from_json",
+    "cfds_to_json",
+    "dict_to_cfd",
+    "format_cfd",
+    "format_cfds",
+    "parse_cfd",
+    "parse_cfds",
+    "read_cfd_file",
+    "write_cfd_file",
+]

@@ -1,0 +1,147 @@
+"""JSON serialization of CFDs.
+
+The JSON form is a faithful structural dump, with ``"_"`` and ``"@"`` (by
+default) standing for the wildcard and don't-care markers::
+
+    {
+      "cfds": [
+        {
+          "name": "phi1",
+          "relation": "cust",
+          "lhs": ["CC", "ZIP"],
+          "rhs": ["STR"],
+          "patterns": [
+            {"lhs": {"CC": "44", "ZIP": "_"}, "rhs": {"STR": "_"}}
+          ]
+        }
+      ]
+    }
+
+Unlike the text format, arbitrary (non-string) constants survive a JSON round
+trip as long as they are JSON-representable, and constants that happen to be
+the literal strings ``"_"`` / ``"@"`` can be preserved by choosing different
+markers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.cfd import CFD
+from repro.core.pattern import DONTCARE, WILDCARD, PatternValue
+from repro.core.tableau import PatternTableau, PatternTuple
+from repro.errors import ParseError
+
+WILDCARD_MARKER = "_"
+DONTCARE_MARKER = "@"
+
+
+def _encode_cell(cell: PatternValue, wildcard: str, dontcare: str) -> Any:
+    if cell.is_wildcard:
+        return wildcard
+    if cell.is_dontcare:
+        return dontcare
+    return cell.value
+
+
+def _decode_cell(raw: Any, wildcard: str, dontcare: str) -> PatternValue:
+    if raw == wildcard:
+        return WILDCARD
+    if raw == dontcare:
+        return DONTCARE
+    return PatternValue.constant(raw)
+
+
+def cfd_to_dict(
+    cfd: CFD,
+    wildcard: str = WILDCARD_MARKER,
+    dontcare: str = DONTCARE_MARKER,
+) -> Dict[str, Any]:
+    """A JSON-serializable dictionary describing ``cfd``."""
+    patterns = []
+    for pattern in cfd.tableau:
+        patterns.append(
+            {
+                "lhs": {attr: _encode_cell(pattern.lhs_cell(attr), wildcard, dontcare) for attr in cfd.lhs},
+                "rhs": {attr: _encode_cell(pattern.rhs_cell(attr), wildcard, dontcare) for attr in cfd.rhs},
+            }
+        )
+    payload: Dict[str, Any] = {
+        "name": cfd.name,
+        "lhs": list(cfd.lhs),
+        "rhs": list(cfd.rhs),
+        "patterns": patterns,
+    }
+    if cfd.schema is not None:
+        payload["relation"] = cfd.schema.name
+    return payload
+
+
+def dict_to_cfd(
+    payload: Dict[str, Any],
+    wildcard: str = WILDCARD_MARKER,
+    dontcare: str = DONTCARE_MARKER,
+) -> CFD:
+    """Rebuild a CFD from :func:`cfd_to_dict` output."""
+    try:
+        lhs = list(payload["lhs"])
+        rhs = list(payload["rhs"])
+        raw_patterns = payload["patterns"]
+    except (KeyError, TypeError) as exc:
+        raise ParseError(f"malformed CFD payload: {payload!r}") from exc
+    if not isinstance(raw_patterns, list) or not raw_patterns:
+        raise ParseError("a CFD payload needs a non-empty 'patterns' list")
+    rows: List[PatternTuple] = []
+    for raw in raw_patterns:
+        try:
+            lhs_cells = {attr: _decode_cell(raw["lhs"][attr], wildcard, dontcare) for attr in lhs}
+            rhs_cells = {attr: _decode_cell(raw["rhs"][attr], wildcard, dontcare) for attr in rhs}
+        except (KeyError, TypeError) as exc:
+            raise ParseError(f"malformed pattern payload: {raw!r}") from exc
+        rows.append(PatternTuple(lhs_cells, rhs_cells))
+    tableau = PatternTableau(lhs, rhs, rows)
+    return CFD(lhs, rhs, tableau, name=payload.get("name"))
+
+
+def cfds_to_json(
+    cfds: Iterable[CFD],
+    indent: Optional[int] = 2,
+    wildcard: str = WILDCARD_MARKER,
+    dontcare: str = DONTCARE_MARKER,
+) -> str:
+    """Serialize several CFDs to a JSON document with a top-level ``"cfds"`` list."""
+    document = {"cfds": [cfd_to_dict(cfd, wildcard, dontcare) for cfd in cfds]}
+    return json.dumps(document, indent=indent, sort_keys=False)
+
+
+def cfds_from_json(
+    text: str,
+    wildcard: str = WILDCARD_MARKER,
+    dontcare: str = DONTCARE_MARKER,
+) -> List[CFD]:
+    """Parse a JSON document produced by :func:`cfds_to_json` (or a bare list)."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid JSON: {exc}") from exc
+    if isinstance(document, dict):
+        entries = document.get("cfds")
+        if entries is None:
+            raise ParseError("JSON document has no 'cfds' key")
+    elif isinstance(document, list):
+        entries = document
+    else:
+        raise ParseError("JSON document must be an object or a list of CFDs")
+    return [dict_to_cfd(entry, wildcard, dontcare) for entry in entries]
+
+
+def read_cfd_json(path: Union[str, Path]) -> List[CFD]:
+    """Load CFDs from a JSON file."""
+    return cfds_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def write_cfd_json(path: Union[str, Path], cfds: Iterable[CFD], indent: Optional[int] = 2) -> None:
+    """Write CFDs to a JSON file."""
+    Path(path).write_text(cfds_to_json(cfds, indent=indent), encoding="utf-8")

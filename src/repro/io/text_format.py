@@ -1,0 +1,279 @@
+"""A compact text format for CFDs.
+
+Grammar (one CFD per definition; ``#`` starts a comment):
+
+* single-pattern form, written the way the paper writes refined FDs::
+
+      cfd phi1 on cust: [CC = 44, ZIP] -> [STR]
+      [ZIP] -> [ST]                            # header is optional
+
+  An attribute without ``= value`` is the unnamed variable ``_``; ``= @`` is
+  the don't-care symbol of merged tableaux; values containing commas, brackets
+  or spaces can be double-quoted.
+
+* multi-pattern form with an explicit tableau block::
+
+      cfd phi2 on cust: [CC, AC, PN] -> [STR, CT, ZIP] {
+          01, 908, _ | _, MH, _
+          01, 212, _ | _, NYC, _
+          _,  _,   _ | _, _,  _
+      }
+
+  Each tableau row lists the LHS cells, a ``|`` separator, then the RHS cells;
+  ``_`` and ``@`` are the wildcard and don't-care markers.
+
+The format is line-oriented and deliberately forgiving about whitespace.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.cfd import CFD
+from repro.core.pattern import PatternValue
+from repro.core.tableau import PatternTuple
+from repro.errors import ParseError
+
+_HEADER_RE = re.compile(
+    r"^\s*(?:cfd\s+(?P<name>[\w.-]+)\s*(?:on\s+(?P<relation>[\w.-]+)\s*)?:\s*)?"
+    r"\[(?P<lhs>[^\]]*)\]\s*->\s*\[(?P<rhs>[^\]]*)\]\s*(?P<brace>\{)?\s*$"
+)
+
+
+# ---------------------------------------------------------------------------
+# small lexical helpers
+# ---------------------------------------------------------------------------
+def _strip_comment(line: str) -> str:
+    in_quotes = False
+    for position, char in enumerate(line):
+        if char == '"':
+            in_quotes = not in_quotes
+        elif char == "#" and not in_quotes:
+            return line[:position]
+    return line
+
+
+def _split_commas(text: str) -> List[str]:
+    """Split on commas that are not inside double quotes."""
+    parts: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    for char in text:
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+        elif char == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return parts
+
+
+def _unquote(token: str) -> str:
+    token = token.strip()
+    if len(token) >= 2 and token.startswith('"') and token.endswith('"'):
+        return token[1:-1]
+    return token
+
+
+def _quote_if_needed(value: str) -> str:
+    if value == "" or re.search(r'[,\[\]{}|#"=]|\s', value):
+        escaped = value.replace('"', '\\"')
+        return f'"{escaped}"'
+    return value
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+def _parse_attribute_item(item: str, line_number: int) -> Tuple[str, Optional[str]]:
+    """Parse ``ATTR`` or ``ATTR = value``; returns (attribute, raw value or None)."""
+    item = item.strip()
+    if not item:
+        raise ParseError(f"line {line_number}: empty attribute item")
+    if "=" in item:
+        attribute, _, raw_value = item.partition("=")
+        attribute = attribute.strip()
+        value = _unquote(raw_value)
+        if not attribute:
+            raise ParseError(f"line {line_number}: missing attribute name in {item!r}")
+        return attribute, value
+    return item, None
+
+
+def _parse_header_cells(spec: str, line_number: int) -> Tuple[List[str], List[Optional[str]]]:
+    attributes: List[str] = []
+    cells: List[Optional[str]] = []
+    spec = spec.strip()
+    if not spec:
+        return attributes, cells
+    for item in _split_commas(spec):
+        attribute, value = _parse_attribute_item(item, line_number)
+        attributes.append(attribute)
+        cells.append(value)
+    return attributes, cells
+
+
+def _cell_from_token(token: str) -> PatternValue:
+    return PatternValue.coerce(_unquote(token))
+
+
+def _parse_tableau_row(
+    line: str,
+    lhs: Sequence[str],
+    rhs: Sequence[str],
+    line_number: int,
+) -> PatternTuple:
+    if "|" not in line:
+        raise ParseError(
+            f"line {line_number}: tableau row must separate LHS and RHS cells with '|'"
+        )
+    lhs_part, _, rhs_part = line.partition("|")
+    lhs_tokens = [token for token in _split_commas(lhs_part)] if lhs_part.strip() else []
+    rhs_tokens = [token for token in _split_commas(rhs_part)]
+    if lhs and len(lhs_tokens) != len(lhs):
+        raise ParseError(
+            f"line {line_number}: expected {len(lhs)} LHS cells, got {len(lhs_tokens)}"
+        )
+    if not lhs and lhs_part.strip():
+        raise ParseError(f"line {line_number}: LHS cells given for a CFD with an empty LHS")
+    if len(rhs_tokens) != len(rhs):
+        raise ParseError(
+            f"line {line_number}: expected {len(rhs)} RHS cells, got {len(rhs_tokens)}"
+        )
+    lhs_cells = {attr: _cell_from_token(token) for attr, token in zip(lhs, lhs_tokens)}
+    rhs_cells = {attr: _cell_from_token(token) for attr, token in zip(rhs, rhs_tokens)}
+    return PatternTuple(lhs_cells, rhs_cells)
+
+
+def parse_cfds(text: str) -> List[CFD]:
+    """Parse every CFD definition in ``text``.
+
+    >>> cfds = parse_cfds("cfd phi1 on cust: [CC = 44, ZIP] -> [STR]")
+    >>> cfds[0].name, cfds[0].lhs
+    ('phi1', ('CC', 'ZIP'))
+    """
+    lines = text.splitlines()
+    cfds: List[CFD] = []
+    index = 0
+    anonymous = 0
+    while index < len(lines):
+        raw = _strip_comment(lines[index]).strip()
+        index += 1
+        if not raw:
+            continue
+        match = _HEADER_RE.match(raw)
+        if not match:
+            raise ParseError(f"line {index}: cannot parse CFD header {raw!r}")
+        lhs_attrs, lhs_cells = _parse_header_cells(match.group("lhs"), index)
+        rhs_attrs, rhs_cells = _parse_header_cells(match.group("rhs"), index)
+        if not rhs_attrs:
+            raise ParseError(f"line {index}: a CFD needs at least one RHS attribute")
+        name = match.group("name")
+        if name is None:
+            anonymous += 1
+            name = f"cfd_{anonymous}"
+
+        rows: List[PatternTuple] = []
+        if match.group("brace"):
+            closed = False
+            while index < len(lines):
+                row_line = _strip_comment(lines[index]).strip()
+                index += 1
+                if not row_line:
+                    continue
+                if row_line == "}":
+                    closed = True
+                    break
+                rows.append(_parse_tableau_row(row_line, lhs_attrs, rhs_attrs, index))
+            if not closed:
+                raise ParseError(f"line {index}: unterminated tableau block (missing '}}')")
+            if not rows:
+                raise ParseError(f"line {index}: tableau block contains no pattern rows")
+        else:
+            lhs_row = {
+                attr: (PatternValue.coerce(cell) if cell is not None else "_")
+                for attr, cell in zip(lhs_attrs, lhs_cells)
+            }
+            rhs_row = {
+                attr: (PatternValue.coerce(cell) if cell is not None else "_")
+                for attr, cell in zip(rhs_attrs, rhs_cells)
+            }
+            rows.append(PatternTuple(lhs_row, rhs_row))
+
+        from repro.core.tableau import PatternTableau
+
+        tableau = PatternTableau(lhs_attrs, rhs_attrs, rows)
+        cfds.append(CFD(lhs_attrs, rhs_attrs, tableau, name=name))
+    return cfds
+
+
+def parse_cfd(text: str) -> CFD:
+    """Parse exactly one CFD definition."""
+    cfds = parse_cfds(text)
+    if len(cfds) != 1:
+        raise ParseError(f"expected exactly one CFD definition, found {len(cfds)}")
+    return cfds[0]
+
+
+# ---------------------------------------------------------------------------
+# formatting
+# ---------------------------------------------------------------------------
+def _format_cell(cell: PatternValue) -> str:
+    if cell.is_wildcard:
+        return "_"
+    if cell.is_dontcare:
+        return "@"
+    return _quote_if_needed(str(cell.value))
+
+
+def format_cfd(cfd: CFD, relation: Optional[str] = None) -> str:
+    """Render a CFD in the text format (single-line when it has one pattern row)."""
+    relation_part = f" on {relation}" if relation else (
+        f" on {cfd.schema.name}" if cfd.schema is not None else ""
+    )
+    header_prefix = f"cfd {cfd.name}{relation_part}: "
+    if len(cfd.tableau) == 1:
+        pattern = cfd.tableau[0]
+        lhs_items = []
+        for attr in cfd.lhs:
+            cell = pattern.lhs_cell(attr)
+            lhs_items.append(attr if cell.is_wildcard else f"{attr} = {_format_cell(cell)}")
+        rhs_items = []
+        for attr in cfd.rhs:
+            cell = pattern.rhs_cell(attr)
+            rhs_items.append(attr if cell.is_wildcard else f"{attr} = {_format_cell(cell)}")
+        return f"{header_prefix}[{', '.join(lhs_items)}] -> [{', '.join(rhs_items)}]"
+
+    header = (
+        f"{header_prefix}[{', '.join(cfd.lhs)}] -> [{', '.join(cfd.rhs)}] {{"
+    )
+    lines = [header]
+    for pattern in cfd.tableau:
+        lhs_cells = ", ".join(_format_cell(pattern.lhs_cell(attr)) for attr in cfd.lhs)
+        rhs_cells = ", ".join(_format_cell(pattern.rhs_cell(attr)) for attr in cfd.rhs)
+        lines.append(f"    {lhs_cells} | {rhs_cells}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_cfds(cfds: Iterable[CFD]) -> str:
+    """Render several CFDs, blank-line separated."""
+    return "\n\n".join(format_cfd(cfd) for cfd in cfds) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# files
+# ---------------------------------------------------------------------------
+def read_cfd_file(path: Union[str, Path]) -> List[CFD]:
+    """Parse a ``.cfd`` text file."""
+    return parse_cfds(Path(path).read_text(encoding="utf-8"))
+
+
+def write_cfd_file(path: Union[str, Path], cfds: Iterable[CFD]) -> None:
+    """Write CFDs to a ``.cfd`` text file."""
+    Path(path).write_text(format_cfds(cfds), encoding="utf-8")

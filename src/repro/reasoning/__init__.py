@@ -1,0 +1,21 @@
+"""Reasoning about CFDs: consistency, implication, inference rules, minimal covers."""
+
+from repro.reasoning.consistency import (
+    consistency_witness,
+    is_consistent,
+    is_consistent_with_binding,
+)
+from repro.reasoning.implication import equivalent, implies
+from repro.reasoning.inference import Derivation, InferenceRules
+from repro.reasoning.mincover import minimal_cover
+
+__all__ = [
+    "Derivation",
+    "InferenceRules",
+    "consistency_witness",
+    "equivalent",
+    "implies",
+    "is_consistent",
+    "is_consistent_with_binding",
+    "minimal_cover",
+]

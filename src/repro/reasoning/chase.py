@@ -1,0 +1,243 @@
+"""A generalised chase over symbolic tuples, shared by consistency and implication.
+
+The chase manipulates one or two *symbolic tuples* whose cells are either
+
+* **bound** to a constant, or
+* **free**, standing for "some value different from every constant named in
+  the input CFDs" (possible only for attributes with an unbounded domain).
+
+Free cells of different tuples may be *unified* (forced equal) without being
+bound; the machinery below therefore keeps a union-find over cells, with each
+equivalence class optionally carrying a constant binding.
+
+The soundness/completeness argument (sketched in DESIGN.md and standard for
+CFDs) rests on two facts:
+
+* CFD satisfaction is preserved under taking sub-instances, so consistency and
+  implication have one- and two-tuple small-model properties respectively;
+* every binding or unification performed by the chase is *forced*: it must
+  hold in every instance of the sought shape, so a conflict proves that no
+  such instance exists, and a chase fixpoint without conflict can be
+  instantiated into a concrete witness by giving distinct fresh values to the
+  remaining free classes (fresh values exist because those attributes have
+  unbounded domains).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.cfd import CFD
+from repro.core.pattern import PatternValue
+
+Cell = Tuple[int, str]  # (tuple id, attribute name)
+
+
+class ChaseConflict(Exception):
+    """Two different constants were forced onto the same cell class."""
+
+
+class SymbolicState:
+    """One or two symbolic tuples with a union-find over their cells."""
+
+    def __init__(self, tuple_ids: Sequence[int], attributes: Sequence[str]) -> None:
+        self._tuple_ids = tuple(tuple_ids)
+        self._attributes = tuple(attributes)
+        self._parent: Dict[Cell, Cell] = {}
+        self._constant: Dict[Cell, Any] = {}
+        for tuple_id in self._tuple_ids:
+            for attribute in self._attributes:
+                cell = (tuple_id, attribute)
+                self._parent[cell] = cell
+
+    # ------------------------------------------------------------------ union-find
+    def _find(self, cell: Cell) -> Cell:
+        root = cell
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[cell] != root:
+            self._parent[cell], cell = root, self._parent[cell]
+        return root
+
+    def bind(self, tuple_id: int, attribute: str, value: Any) -> bool:
+        """Force a cell to a constant.  Returns True if the state changed.
+
+        Raises :class:`ChaseConflict` when the cell class already holds a
+        different constant.
+        """
+        root = self._find((tuple_id, attribute))
+        if root in self._constant:
+            if self._constant[root] != value:
+                raise ChaseConflict(
+                    f"cell {tuple_id}.{attribute} forced to both "
+                    f"{self._constant[root]!r} and {value!r}"
+                )
+            return False
+        self._constant[root] = value
+        return True
+
+    def unify(self, left: Cell, right: Cell) -> bool:
+        """Force two cells to be equal.  Returns True if the state changed."""
+        left_root = self._find(left)
+        right_root = self._find(right)
+        if left_root == right_root:
+            return False
+        left_const = self._constant.get(left_root)
+        right_const = self._constant.get(right_root)
+        if left_const is not None and right_const is not None and left_const != right_const:
+            raise ChaseConflict(
+                f"cells {left} and {right} forced equal but bound to "
+                f"{left_const!r} and {right_const!r}"
+            )
+        self._parent[right_root] = left_root
+        if right_const is not None and left_const is None:
+            self._constant[left_root] = right_const
+        self._constant.pop(right_root, None)
+        return True
+
+    # ------------------------------------------------------------------ queries
+    def constant_of(self, tuple_id: int, attribute: str) -> Optional[Any]:
+        """The constant bound to the cell's class, or ``None`` if it is free."""
+        return self._constant.get(self._find((tuple_id, attribute)))
+
+    def is_bound(self, tuple_id: int, attribute: str) -> bool:
+        return self.constant_of(tuple_id, attribute) is not None
+
+    def same_class(self, left: Cell, right: Cell) -> bool:
+        """Whether two cells are known to be equal (same class or same constant)."""
+        left_root = self._find(left)
+        right_root = self._find(right)
+        if left_root == right_root:
+            return True
+        left_const = self._constant.get(left_root)
+        right_const = self._constant.get(right_root)
+        return left_const is not None and left_const == right_const
+
+    def matches_cell(self, tuple_id: int, attribute: str, cell: PatternValue) -> bool:
+        """Whether the symbolic cell is *known* to match the pattern cell.
+
+        A free cell stands for a fresh value distinct from every constant in
+        the input, so it matches only wildcard / don't-care cells; a bound
+        cell matches a constant cell iff the constants are equal.
+        """
+        if not cell.is_constant:
+            return True
+        value = self.constant_of(tuple_id, attribute)
+        return value is not None and value == cell.value
+
+    def matches_lhs(self, tuple_id: int, cfd: CFD, pattern_index: int = 0) -> bool:
+        """Whether the symbolic tuple matches the pattern's LHS cells."""
+        pattern = cfd.tableau[pattern_index]
+        return all(
+            self.matches_cell(tuple_id, attribute, pattern.lhs_cell(attribute))
+            for attribute in cfd.lhs
+        )
+
+    def instantiate(
+        self,
+        attributes: Sequence[str],
+        forbidden: Iterable[Any] = (),
+        finite_domains: Optional[Dict[str, Tuple[Any, ...]]] = None,
+    ) -> Dict[int, Dict[str, Any]]:
+        """Produce concrete tuples from the symbolic state.
+
+        Free classes receive distinct synthetic values ``"$fresh_<n>"`` chosen
+        to avoid ``forbidden`` constants.  ``finite_domains`` is only used to
+        sanity-check that no free cell belongs to a finite-domain attribute
+        (callers pre-bind those before chasing).
+        """
+        finite_domains = finite_domains or {}
+        forbidden_set = set(forbidden)
+        class_value: Dict[Cell, Any] = {}
+        counter = 0
+        result: Dict[int, Dict[str, Any]] = {tid: {} for tid in self._tuple_ids}
+        for tuple_id in self._tuple_ids:
+            for attribute in attributes:
+                root = self._find((tuple_id, attribute))
+                if root in self._constant:
+                    result[tuple_id][attribute] = self._constant[root]
+                    continue
+                if attribute in finite_domains:
+                    raise ChaseConflict(
+                        f"free cell on finite-domain attribute {attribute!r}; "
+                        "callers must enumerate finite domains before chasing"
+                    )
+                if root not in class_value:
+                    value = f"$fresh_{counter}"
+                    while value in forbidden_set:
+                        counter += 1
+                        value = f"$fresh_{counter}"
+                    counter += 1
+                    class_value[root] = value
+                result[tuple_id][attribute] = class_value[root]
+        return result
+
+
+def single_tuple_chase(cfds: Sequence[CFD], state: SymbolicState, tuple_id: int = 0) -> None:
+    """Chase a single symbolic tuple with normal-form CFDs until fixpoint.
+
+    Whenever the tuple matches a pattern's LHS and the RHS cell is a constant,
+    that constant is forced onto the RHS attribute.  Raises
+    :class:`ChaseConflict` if two different constants are forced on one cell.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for cfd in cfds:
+            pattern = cfd.tableau[0]
+            rhs_attr = cfd.rhs[0]
+            rhs_cell = pattern.rhs_cell(rhs_attr)
+            if not rhs_cell.is_constant:
+                continue
+            if state.matches_lhs(tuple_id, cfd):
+                if state.bind(tuple_id, rhs_attr, rhs_cell.value):
+                    changed = True
+
+
+def pair_chase(cfds: Sequence[CFD], state: SymbolicState) -> None:
+    """Chase two symbolic tuples (ids 0 and 1) with normal-form CFDs until fixpoint.
+
+    Applies both the single-tuple constant rule to each tuple and the pairwise
+    rule: if the tuples are known equal on a pattern's LHS and both match it,
+    their RHS cells are unified.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for cfd in cfds:
+            pattern = cfd.tableau[0]
+            rhs_attr = cfd.rhs[0]
+            rhs_cell = pattern.rhs_cell(rhs_attr)
+            for tuple_id in (0, 1):
+                if rhs_cell.is_constant and state.matches_lhs(tuple_id, cfd):
+                    if state.bind(tuple_id, rhs_attr, rhs_cell.value):
+                        changed = True
+            lhs_equal = all(
+                state.same_class((0, attribute), (1, attribute)) for attribute in cfd.lhs
+            )
+            if (
+                lhs_equal
+                and state.matches_lhs(0, cfd)
+                and state.matches_lhs(1, cfd)
+                and state.unify((0, rhs_attr), (1, rhs_attr))
+            ):
+                changed = True
+
+
+def constants_in(cfds: Iterable[CFD]) -> Dict[str, set]:
+    """All constants mentioned in the CFDs, grouped by attribute."""
+    constants: Dict[str, set] = {}
+    for cfd in cfds:
+        for pattern in cfd.tableau:
+            for attribute, cell in list(pattern.lhs.items()) + list(pattern.rhs.items()):
+                if cell.is_constant:
+                    constants.setdefault(attribute, set()).add(cell.value)
+    return constants
+
+
+def all_constants(cfds: Iterable[CFD]) -> set:
+    """All constants mentioned anywhere in the CFDs."""
+    flat: set = set()
+    for values in constants_in(cfds).values():
+        flat.update(values)
+    return flat

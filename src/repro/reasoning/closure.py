@@ -1,0 +1,56 @@
+"""Attribute closures for the standard FDs embedded in CFDs.
+
+Classic FD reasoning (attribute closure, candidate keys) remains useful when
+working with CFDs: the embedded FDs of a CFD set bound what the CFDs can say,
+and the discovery algorithms in :mod:`repro.discovery` prune their search
+space with plain FD closures.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.cfd import CFD, FD
+
+
+def attribute_closure(attributes: Iterable[str], fds: Sequence[FD]) -> FrozenSet[str]:
+    """The closure ``X+`` of ``attributes`` under the given FDs."""
+    closure: Set[str] = set(attributes)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if set(fd.lhs) <= closure and not set(fd.rhs) <= closure:
+                closure.update(fd.rhs)
+                changed = True
+    return frozenset(closure)
+
+
+def embedded_fds(cfds: Iterable[CFD]) -> List[FD]:
+    """The standard FDs embedded in a collection of CFDs."""
+    return [cfd.embedded_fd for cfd in cfds]
+
+
+def fd_implies(fds: Sequence[FD], candidate: FD) -> bool:
+    """Classic FD implication via attribute closure."""
+    return set(candidate.rhs) <= attribute_closure(candidate.lhs, fds)
+
+
+def candidate_keys(attributes: Sequence[str], fds: Sequence[FD]) -> List[Tuple[str, ...]]:
+    """All minimal candidate keys of a schema w.r.t. plain FDs.
+
+    Exponential in the number of attributes; intended for the small schemas
+    used in tests and discovery, not for wide tables.
+    """
+    universe = tuple(attributes)
+    keys: List[Tuple[str, ...]] = []
+    # Breadth-first over subset size guarantees minimality by construction.
+    from itertools import combinations
+
+    for size in range(0, len(universe) + 1):
+        for subset in combinations(universe, size):
+            if any(set(key) <= set(subset) for key in keys):
+                continue
+            if attribute_closure(subset, fds) >= set(universe):
+                keys.append(subset)
+    return keys

@@ -1,0 +1,270 @@
+"""The inference system ``I`` for CFDs (Figure 3 of the paper).
+
+The eight rules FD1–FD8 generalise Armstrong's axioms.  Each rule is exposed
+as a static method on :class:`InferenceRules` that, given premises satisfying
+the rule's preconditions, returns the concluded normal-form CFD; premises that
+do not satisfy the preconditions raise :class:`~repro.errors.ReasoningError`.
+A :class:`Derivation` records a proof as a sequence of steps, mirroring the
+derivation of Example 3.2.
+
+The system is sound and complete for CFD implication (Theorem 3.3); soundness
+of every rule is exercised in the test suite by checking each conclusion with
+the chase-based :func:`repro.reasoning.implication.implies`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cfd import CFD
+from repro.core.pattern import WILDCARD, PatternValue
+from repro.core.tableau import PatternTableau, PatternTuple
+from repro.errors import ReasoningError
+from repro.reasoning.consistency import is_consistent_with_binding
+from repro.relation.schema import Schema
+
+
+def _require_normal_form(cfd: CFD, rule: str) -> PatternTuple:
+    if not cfd.is_normal_form():
+        raise ReasoningError(
+            f"{rule} expects a normal-form CFD (single RHS attribute, single pattern); "
+            f"got {cfd!r}"
+        )
+    return cfd.single_pattern()
+
+
+def _normal_form(lhs: Sequence[str], rhs_attr: str, lhs_cells: Dict[str, Any], rhs_cell: Any,
+                 name: Optional[str] = None) -> CFD:
+    tableau = PatternTableau(tuple(lhs), (rhs_attr,), [PatternTuple(lhs_cells, {rhs_attr: rhs_cell})])
+    return CFD(tuple(lhs), (rhs_attr,), tableau, name=name)
+
+
+class InferenceRules:
+    """The rules FD1–FD8 of the inference system ``I``."""
+
+    # ------------------------------------------------------------------ FD1
+    @staticmethod
+    def fd1(attributes: Sequence[str], target: str) -> CFD:
+        """FD1 (reflexivity): if ``A ∈ X`` then ``(X → A, tp)`` with all-wildcard ``tp``."""
+        if target not in attributes:
+            raise ReasoningError(f"FD1 requires the target {target!r} to belong to X {tuple(attributes)}")
+        lhs_cells = {attribute: WILDCARD for attribute in attributes}
+        return _normal_form(attributes, target, lhs_cells, WILDCARD, name="fd1")
+
+    # ------------------------------------------------------------------ FD2
+    @staticmethod
+    def fd2(premise: CFD, new_attribute: str) -> CFD:
+        """FD2 (augmentation): from ``(X → A, tp)`` infer ``([X, B] → A, tp')`` with ``tp'[B] = _``."""
+        pattern = _require_normal_form(premise, "FD2")
+        if new_attribute in premise.lhs:
+            raise ReasoningError(f"FD2: attribute {new_attribute!r} is already in the LHS")
+        lhs = tuple(premise.lhs) + (new_attribute,)
+        lhs_cells = {attribute: pattern.lhs_cell(attribute) for attribute in premise.lhs}
+        lhs_cells[new_attribute] = WILDCARD
+        rhs_attr = premise.rhs[0]
+        return _normal_form(lhs, rhs_attr, lhs_cells, pattern.rhs_cell(rhs_attr), name="fd2")
+
+    # ------------------------------------------------------------------ FD3
+    @staticmethod
+    def fd3(premises: Sequence[CFD], final: CFD) -> CFD:
+        """FD3 (transitivity): from ``(X → Ai, ti)`` (i ∈ [1,k]) and ``([A1..Ak] → B, tp)``
+        with ``(t1[A1], ..., tk[Ak]) ⪯ tp[A1..Ak]`` infer ``(X → B, tp')`` with
+        ``tp'[X] = t1[X]`` and ``tp'[B] = tp[B]``.
+        """
+        if not premises:
+            raise ReasoningError("FD3 needs at least one premise (X -> Ai, ti)")
+        patterns = [_require_normal_form(cfd, "FD3") for cfd in premises]
+        final_pattern = _require_normal_form(final, "FD3")
+        lhs = premises[0].lhs
+        first = patterns[0]
+        for cfd, pattern in zip(premises, patterns):
+            if cfd.lhs != lhs:
+                raise ReasoningError("FD3: every premise must share the same LHS attribute list X")
+            for attribute in lhs:
+                if pattern.lhs_cell(attribute) != first.lhs_cell(attribute):
+                    raise ReasoningError("FD3: premises must agree on the LHS pattern (ti[X] = tj[X])")
+        middle_attributes = tuple(cfd.rhs[0] for cfd in premises)
+        if set(final.lhs) != set(middle_attributes):
+            raise ReasoningError(
+                f"FD3: the final CFD's LHS {final.lhs} must be the premises' RHS attributes "
+                f"{middle_attributes}"
+            )
+        for cfd, pattern in zip(premises, patterns):
+            middle_attr = cfd.rhs[0]
+            produced = pattern.rhs_cell(middle_attr)
+            required = final_pattern.lhs_cell(middle_attr)
+            if not produced.subsumed_by(required):
+                raise ReasoningError(
+                    f"FD3: pattern cell {produced.render()!r} for {middle_attr!r} is not within "
+                    f"the scope of {required.render()!r}"
+                )
+        rhs_attr = final.rhs[0]
+        lhs_cells = {attribute: first.lhs_cell(attribute) for attribute in lhs}
+        return _normal_form(lhs, rhs_attr, lhs_cells, final_pattern.rhs_cell(rhs_attr), name="fd3")
+
+    # ------------------------------------------------------------------ FD4
+    @staticmethod
+    def fd4(premise: CFD, dropped: str) -> CFD:
+        """FD4: from ``([B, X] → A, tp)`` with ``tp[B] = _`` and ``tp[A]`` a constant,
+        infer ``(X → A, tp')`` with ``B`` dropped from the LHS."""
+        pattern = _require_normal_form(premise, "FD4")
+        if dropped not in premise.lhs:
+            raise ReasoningError(f"FD4: attribute {dropped!r} is not in the premise LHS")
+        if not pattern.lhs_cell(dropped).is_wildcard:
+            raise ReasoningError("FD4 requires the dropped attribute's pattern cell to be '_'")
+        rhs_attr = premise.rhs[0]
+        if not pattern.rhs_cell(rhs_attr).is_constant:
+            raise ReasoningError("FD4 requires the RHS pattern cell to be a constant")
+        lhs = tuple(attribute for attribute in premise.lhs if attribute != dropped)
+        lhs_cells = {attribute: pattern.lhs_cell(attribute) for attribute in lhs}
+        return _normal_form(lhs, rhs_attr, lhs_cells, pattern.rhs_cell(rhs_attr), name="fd4")
+
+    # ------------------------------------------------------------------ FD5
+    @staticmethod
+    def fd5(premise: CFD, attribute: str, constant: Any) -> CFD:
+        """FD5: in ``([B, X] → A, tp)`` with ``tp[B] = _`` substitute a constant ``b`` for ``_``."""
+        pattern = _require_normal_form(premise, "FD5")
+        if attribute not in premise.lhs:
+            raise ReasoningError(f"FD5: attribute {attribute!r} is not in the premise LHS")
+        if not pattern.lhs_cell(attribute).is_wildcard:
+            raise ReasoningError("FD5 requires the substituted attribute's pattern cell to be '_'")
+        lhs_cells = {attr: pattern.lhs_cell(attr) for attr in premise.lhs}
+        lhs_cells[attribute] = PatternValue.constant(constant)
+        rhs_attr = premise.rhs[0]
+        return _normal_form(premise.lhs, rhs_attr, lhs_cells, pattern.rhs_cell(rhs_attr), name="fd5")
+
+    # ------------------------------------------------------------------ FD6
+    @staticmethod
+    def fd6(premise: CFD) -> CFD:
+        """FD6: in ``(X → A, tp)`` with ``tp[A] = a`` substitute ``_`` for the constant."""
+        pattern = _require_normal_form(premise, "FD6")
+        rhs_attr = premise.rhs[0]
+        if not pattern.rhs_cell(rhs_attr).is_constant:
+            raise ReasoningError("FD6 requires the RHS pattern cell to be a constant")
+        lhs_cells = {attr: pattern.lhs_cell(attr) for attr in premise.lhs}
+        return _normal_form(premise.lhs, rhs_attr, lhs_cells, WILDCARD, name="fd6")
+
+    # ------------------------------------------------------------------ FD7
+    @staticmethod
+    def fd7(
+        sigma: Sequence[CFD],
+        premises: Sequence[CFD],
+        finite_attribute: str,
+        schema: Schema,
+    ) -> CFD:
+        """FD7 (finite-domain upgrade): if ``Σ ⊢ ([X, B] → A, ti)`` for every value
+        ``bi`` of ``dom(B)`` for which ``(Σ, B = bi)`` is consistent, and the
+        premises agree on ``X``, infer ``([X, B] → A, tp)`` with ``tp[B] = _``.
+        """
+        if not premises:
+            raise ReasoningError("FD7 needs at least one premise")
+        patterns = [_require_normal_form(cfd, "FD7") for cfd in premises]
+        attribute = schema[finite_attribute]
+        if not attribute.has_finite_domain:
+            raise ReasoningError(f"FD7: attribute {finite_attribute!r} must have a finite domain")
+        lhs = premises[0].lhs
+        rhs_attr = premises[0].rhs[0]
+        if finite_attribute not in lhs:
+            raise ReasoningError(f"FD7: attribute {finite_attribute!r} must be in the premise LHS")
+        first = patterns[0]
+        other_lhs = [attr for attr in lhs if attr != finite_attribute]
+        for cfd, pattern in zip(premises, patterns):
+            if cfd.lhs != lhs or cfd.rhs[0] != rhs_attr:
+                raise ReasoningError("FD7: premises must share the same embedded FD")
+            for attr in other_lhs:
+                if pattern.lhs_cell(attr) != first.lhs_cell(attr):
+                    raise ReasoningError("FD7: premises must agree on the X pattern cells")
+            if not pattern.lhs_cell(finite_attribute).is_constant:
+                raise ReasoningError("FD7: each premise must bind the finite attribute to a constant")
+        covered = {pattern.lhs_cell(finite_attribute).value for pattern in patterns}
+        assert attribute.domain is not None
+        for value in attribute.domain:
+            if value in covered:
+                continue
+            if is_consistent_with_binding(list(sigma), finite_attribute, value, schema=schema):
+                raise ReasoningError(
+                    f"FD7: value {value!r} of {finite_attribute!r} is consistent with Σ but not "
+                    "covered by any premise"
+                )
+        lhs_cells = {attr: first.lhs_cell(attr) for attr in other_lhs}
+        lhs_cells[finite_attribute] = WILDCARD
+        return _normal_form(lhs, rhs_attr, lhs_cells, first.rhs_cell(rhs_attr), name="fd7")
+
+    # ------------------------------------------------------------------ FD8
+    @staticmethod
+    def fd8(sigma: Sequence[CFD], finite_attribute: str, schema: Schema) -> CFD:
+        """FD8: if exactly one value ``b1`` of ``dom(B)`` is consistent with Σ,
+        infer ``(B → B, (_, b1))``."""
+        attribute = schema[finite_attribute]
+        if not attribute.has_finite_domain:
+            raise ReasoningError(f"FD8: attribute {finite_attribute!r} must have a finite domain")
+        assert attribute.domain is not None
+        consistent_values = [
+            value
+            for value in sorted(attribute.domain, key=repr)
+            if is_consistent_with_binding(list(sigma), finite_attribute, value, schema=schema)
+        ]
+        if len(consistent_values) != 1:
+            raise ReasoningError(
+                f"FD8 requires exactly one consistent value for {finite_attribute!r}, "
+                f"found {consistent_values!r}"
+            )
+        value = consistent_values[0]
+        return _normal_form(
+            (finite_attribute,),
+            finite_attribute,
+            {finite_attribute: WILDCARD},
+            PatternValue.constant(value),
+            name="fd8",
+        )
+
+
+@dataclass
+class DerivationStep:
+    """One application of an inference rule."""
+
+    rule: str
+    conclusion: CFD
+    premises: Tuple[CFD, ...] = ()
+    note: str = ""
+
+
+@dataclass
+class Derivation:
+    """A proof ``Σ ⊢_I φ`` recorded as a sequence of rule applications.
+
+    >>> derivation = Derivation()
+    >>> _ = derivation.assume(CFD.build(["A"], ["B"], [["_", "b"]]), note="psi1")
+    >>> len(derivation.steps)
+    1
+    """
+
+    steps: List[DerivationStep] = field(default_factory=list)
+
+    def assume(self, cfd: CFD, note: str = "") -> CFD:
+        """Record a premise taken from Σ."""
+        self.steps.append(DerivationStep(rule="premise", conclusion=cfd, note=note))
+        return cfd
+
+    def apply(self, rule: str, conclusion: CFD, premises: Sequence[CFD], note: str = "") -> CFD:
+        """Record a rule application and return its conclusion."""
+        self.steps.append(
+            DerivationStep(rule=rule, conclusion=conclusion, premises=tuple(premises), note=note)
+        )
+        return conclusion
+
+    @property
+    def conclusion(self) -> CFD:
+        """The conclusion of the final step."""
+        if not self.steps:
+            raise ReasoningError("empty derivation has no conclusion")
+        return self.steps[-1].conclusion
+
+    def render(self) -> str:
+        """A numbered, human-readable listing in the style of Example 3.2."""
+        lines = []
+        for index, step in enumerate(self.steps, start=1):
+            note = f"  -- {step.note}" if step.note else ""
+            lines.append(f"({index}) [{step.rule}] {step.conclusion.render().splitlines()[0]}{note}")
+        return "\n".join(lines)

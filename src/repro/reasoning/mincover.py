@@ -1,0 +1,89 @@
+"""Minimal covers of CFD sets (algorithm MinCover, Figure 4 of the paper).
+
+A minimal cover ``Σ_mc`` of ``Σ`` is an equivalent set of normal-form CFDs
+containing no redundant CFDs, attributes or patterns.  Computing it is an
+optimisation step for data cleaning: detection and repair costs grow with the
+number and width of the CFDs to be checked, so a smaller equivalent set is
+cheaper to validate (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.cfd import CFD, normalize_all
+from repro.core.tableau import PatternTableau, PatternTuple
+from repro.reasoning.consistency import is_consistent
+from repro.reasoning.implication import implies
+from repro.relation.schema import Schema
+
+
+def _drop_lhs_attribute(cfd: CFD, attribute: str) -> CFD:
+    """``(X − {B} → A, (tp[X − {B}], tp[A]))`` — the reduction of line 5 of MinCover."""
+    pattern = cfd.single_pattern()
+    lhs = tuple(attr for attr in cfd.lhs if attr != attribute)
+    rhs_attr = cfd.rhs[0]
+    reduced = PatternTuple(
+        {attr: pattern.lhs_cell(attr) for attr in lhs},
+        {rhs_attr: pattern.rhs_cell(rhs_attr)},
+    )
+    tableau = PatternTableau(lhs, (rhs_attr,), [reduced])
+    return CFD(lhs, (rhs_attr,), tableau, name=cfd.name, schema=cfd.schema)
+
+
+def minimal_cover(cfds: Sequence[CFD], schema: Optional[Schema] = None) -> List[CFD]:
+    """Compute a minimal cover of ``cfds`` (Figure 4).
+
+    Returns an empty list when ``cfds`` is inconsistent, exactly as the
+    paper's algorithm does (lines 1–2).
+
+    >>> psi1 = CFD.build(["A"], ["B"], [["_", "b"]])
+    >>> psi2 = CFD.build(["B"], ["C"], [["_", "c"]])
+    >>> phi = CFD.build(["A"], ["C"], [["a", "_"]])
+    >>> cover = minimal_cover([psi1, psi2, phi])
+    >>> sorted((cfd.lhs, cfd.rhs) for cfd in cover)
+    [((), ('B',)), ((), ('C',))]
+    """
+    sigma: List[CFD] = normalize_all(cfds)
+    if not is_consistent(sigma, schema):
+        return []
+
+    # Lines 3–6: remove redundant attributes from each CFD's LHS.
+    for index in range(len(sigma)):
+        current = sigma[index]
+        changed = True
+        while changed:
+            changed = False
+            for attribute in current.lhs:
+                reduced = _drop_lhs_attribute(current, attribute)
+                if implies(sigma, reduced, schema):
+                    sigma[index] = reduced
+                    current = reduced
+                    changed = True
+                    break
+
+    # Lines 8–10: remove redundant CFDs.
+    mincover: List[CFD] = list(sigma)
+    for cfd in list(sigma):
+        if cfd not in mincover:
+            continue
+        remaining = [other for other in mincover if other is not cfd]
+        if remaining and implies(remaining, cfd, schema):
+            mincover = remaining
+    return mincover
+
+
+def is_minimal(cfds: Sequence[CFD], schema: Optional[Schema] = None) -> bool:
+    """Check the minimality conditions of Section 3.3 on an already-normalised set."""
+    sigma = list(cfds)
+    for cfd in sigma:
+        if not cfd.is_normal_form():
+            return False
+        remaining = [other for other in sigma if other is not cfd]
+        if remaining and implies(remaining, cfd, schema):
+            return False
+        for attribute in cfd.lhs:
+            reduced = _drop_lhs_attribute(cfd, attribute)
+            if implies(sigma, reduced, schema):
+                return False
+    return True

@@ -1,0 +1,7 @@
+"""In-memory relational substrate: attributes, schemas, relations, CSV I/O."""
+
+from repro.relation.attribute import Attribute
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+__all__ = ["Attribute", "Relation", "Schema"]

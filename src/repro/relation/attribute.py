@@ -1,0 +1,100 @@
+"""Attributes of a relation schema.
+
+The paper distinguishes attributes with *finite* domains (e.g. ``bool``)
+from attributes with unbounded domains because finite domains are what make
+CFD consistency and implication intractable (Theorems 3.1 and 3.4).  An
+:class:`Attribute` therefore optionally carries an explicit finite domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional
+
+from repro.errors import DomainError, SchemaError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named attribute, optionally restricted to a finite domain.
+
+    Parameters
+    ----------
+    name:
+        Attribute name.  Must be a non-empty string.
+    domain:
+        Optional finite domain.  ``None`` (the default) means the attribute
+        ranges over an unbounded (countably infinite) domain, which is the
+        standard assumption for string/numeric columns.
+    dtype:
+        Python type used when parsing values from text (CSV files or SQL
+        results).  Defaults to ``str``.
+    """
+
+    name: str
+    domain: Optional[FrozenSet[Any]] = None
+    dtype: type = str
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, got {self.name!r}")
+        if self.domain is not None:
+            object.__setattr__(self, "domain", frozenset(self.domain))
+            if not self.domain:
+                raise DomainError(f"attribute {self.name!r} declared with an empty finite domain")
+
+    @property
+    def has_finite_domain(self) -> bool:
+        """Whether the attribute was declared with an explicit finite domain."""
+        return self.domain is not None
+
+    def admits(self, value: Any) -> bool:
+        """Return ``True`` when ``value`` belongs to the attribute's domain."""
+        if self.domain is None:
+            return True
+        return value in self.domain
+
+    def check(self, value: Any) -> Any:
+        """Validate ``value`` against the domain and return it unchanged.
+
+        Raises
+        ------
+        DomainError
+            If the attribute has a finite domain and ``value`` is not in it.
+        """
+        if not self.admits(value):
+            raise DomainError(
+                f"value {value!r} is not in the finite domain of attribute {self.name!r}"
+            )
+        return value
+
+    def parse(self, text: str) -> Any:
+        """Parse a textual value (e.g. a CSV cell) into the attribute's dtype."""
+        if self.dtype is str:
+            return text
+        if self.dtype is bool:
+            lowered = text.strip().lower()
+            if lowered in ("true", "1", "t", "yes"):
+                return True
+            if lowered in ("false", "0", "f", "no"):
+                return False
+            raise DomainError(f"cannot parse {text!r} as a boolean for attribute {self.name!r}")
+        try:
+            return self.dtype(text)
+        except (TypeError, ValueError) as exc:
+            raise DomainError(
+                f"cannot parse {text!r} as {self.dtype.__name__} for attribute {self.name!r}"
+            ) from exc
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def bool_attribute(name: str) -> Attribute:
+    """Convenience constructor for a boolean attribute (finite domain)."""
+    return Attribute(name, domain=frozenset({True, False}), dtype=bool)
+
+
+def enum_attribute(name: str, values: Any) -> Attribute:
+    """Convenience constructor for a finite string-valued attribute."""
+    return Attribute(name, domain=frozenset(values), dtype=str)

@@ -1,0 +1,229 @@
+"""In-memory relation instances.
+
+A :class:`Relation` is a bag (multiset) of tuples over a :class:`Schema`.
+Tuples are stored positionally as Python tuples; the class exposes both
+positional and by-name access, projection, selection, and CSV round-tripping.
+The CFD machinery treats relations as *bags* because the paper's experiments
+generate synthetic data that may contain duplicate rows.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import SchemaError
+from repro.relation.schema import Schema
+
+Row = Tuple[Any, ...]
+
+
+class Relation:
+    """A mutable in-memory instance of a relation schema.
+
+    >>> schema = Schema("r", ["A", "B"])
+    >>> rel = Relation(schema)
+    >>> rel.insert({"A": 1, "B": 2})
+    0
+    >>> rel.insert((3, 4))
+    1
+    >>> len(rel)
+    2
+    >>> rel.value(0, "B")
+    2
+    """
+
+    __slots__ = ("_schema", "_rows")
+
+    def __init__(self, schema: Schema, rows: Optional[Iterable[Union[Row, Mapping[str, Any]]]] = None) -> None:
+        self._schema = schema
+        self._rows: List[Row] = []
+        if rows is not None:
+            for row in rows:
+                self.insert(row)
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def schema(self) -> Schema:
+        """The schema of this relation."""
+        return self._schema
+
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        """A snapshot of all rows as positional tuples."""
+        return tuple(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._schema == other._schema and self._rows == other._rows
+
+    def __repr__(self) -> str:
+        return f"Relation({self._schema.name!r}, {len(self._rows)} rows)"
+
+    # ------------------------------------------------------------------ mutation
+    def insert(self, row: Union[Row, Sequence[Any], Mapping[str, Any]]) -> int:
+        """Insert a row given positionally or as a mapping; return its index."""
+        self._rows.append(self._coerce(row))
+        return len(self._rows) - 1
+
+    def extend(self, rows: Iterable[Union[Row, Mapping[str, Any]]]) -> None:
+        """Insert several rows."""
+        for row in rows:
+            self.insert(row)
+
+    def update(self, index: int, attribute: str, value: Any) -> None:
+        """Set ``attribute`` of the row at ``index`` to ``value`` in place."""
+        position = self._schema.position(attribute)
+        self._schema[attribute].check(value)
+        row = list(self._rows[index])
+        row[position] = value
+        self._rows[index] = tuple(row)
+
+    def delete(self, index: int) -> Row:
+        """Remove and return the row at ``index``."""
+        return self._rows.pop(index)
+
+    def _coerce(self, row: Union[Row, Sequence[Any], Mapping[str, Any]]) -> Row:
+        if isinstance(row, Mapping):
+            missing = [name for name in self._schema.names if name not in row]
+            if missing:
+                raise SchemaError(f"row is missing attributes {missing} for schema {self._schema.name!r}")
+            extra = [name for name in row if name not in self._schema]
+            if extra:
+                raise SchemaError(f"row has unknown attributes {extra} for schema {self._schema.name!r}")
+            values = tuple(row[name] for name in self._schema.names)
+        else:
+            values = tuple(row)
+            if len(values) != len(self._schema):
+                raise SchemaError(
+                    f"row has {len(values)} values but schema {self._schema.name!r} "
+                    f"has {len(self._schema)} attributes"
+                )
+        for attribute, value in zip(self._schema, values):
+            attribute.check(value)
+        return values
+
+    # ------------------------------------------------------------------ access
+    def value(self, index: int, attribute: str) -> Any:
+        """The value of ``attribute`` in the row at ``index``."""
+        return self._rows[index][self._schema.position(attribute)]
+
+    def row_dict(self, index: int) -> Dict[str, Any]:
+        """The row at ``index`` as an attribute-name → value mapping."""
+        return dict(zip(self._schema.names, self._rows[index]))
+
+    def project_row(self, index: int, attributes: Sequence[str]) -> Row:
+        """Project the row at ``index`` onto ``attributes`` (positional result)."""
+        positions = self._schema.positions(attributes)
+        row = self._rows[index]
+        return tuple(row[position] for position in positions)
+
+    def iter_dicts(self) -> Iterator[Dict[str, Any]]:
+        """Iterate over rows as dictionaries."""
+        names = self._schema.names
+        for row in self._rows:
+            yield dict(zip(names, row))
+
+    # ------------------------------------------------------------------ algebra
+    def select(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Relation":
+        """Return a new relation with the rows whose dict satisfies ``predicate``."""
+        result = Relation(self._schema)
+        for row, row_dict in zip(self._rows, self.iter_dicts()):
+            if predicate(row_dict):
+                result._rows.append(row)
+        return result
+
+    def project(self, attributes: Sequence[str], distinct: bool = False) -> "Relation":
+        """Project onto ``attributes``; optionally de-duplicate the result."""
+        projected_schema = self._schema.project(attributes)
+        positions = self._schema.positions(attributes)
+        result = Relation(projected_schema)
+        seen = set()
+        for row in self._rows:
+            values = tuple(row[position] for position in positions)
+            if distinct:
+                if values in seen:
+                    continue
+                seen.add(values)
+            result._rows.append(values)
+        return result
+
+    def group_by(self, attributes: Sequence[str]) -> Dict[Row, List[int]]:
+        """Group row indices by their projection onto ``attributes``."""
+        positions = self._schema.positions(attributes)
+        groups: Dict[Row, List[int]] = {}
+        for index, row in enumerate(self._rows):
+            key = tuple(row[position] for position in positions)
+            groups.setdefault(key, []).append(index)
+        return groups
+
+    def copy(self) -> "Relation":
+        """A shallow copy (rows are immutable tuples, so this is safe)."""
+        clone = Relation(self._schema)
+        clone._rows = list(self._rows)
+        return clone
+
+    def active_domain(self, attribute: str) -> Tuple[Any, ...]:
+        """Distinct values of ``attribute`` occurring in the relation, sorted."""
+        position = self._schema.position(attribute)
+        values = {row[position] for row in self._rows}
+        try:
+            return tuple(sorted(values))
+        except TypeError:
+            return tuple(sorted(values, key=repr))
+
+    # ------------------------------------------------------------------ I/O
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """Write the relation to a CSV file with a header row."""
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self._schema.names)
+            writer.writerows(self._rows)
+
+    @classmethod
+    def from_csv(cls, schema: Schema, path: Union[str, Path]) -> "Relation":
+        """Load a relation from a CSV file whose header matches ``schema``."""
+        relation = cls(schema)
+        with open(path, newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                return relation
+            if tuple(header) != schema.names:
+                raise SchemaError(
+                    f"CSV header {tuple(header)} does not match schema attributes {schema.names}"
+                )
+            for row in reader:
+                parsed = tuple(
+                    attribute.parse(cell) for attribute, cell in zip(schema.attributes, row)
+                )
+                relation.insert(parsed)
+        return relation
+
+    @classmethod
+    def from_dicts(cls, schema: Schema, rows: Iterable[Mapping[str, Any]]) -> "Relation":
+        """Build a relation from an iterable of attribute-name → value mappings."""
+        return cls(schema, rows)

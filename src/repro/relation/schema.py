@@ -1,0 +1,117 @@
+"""Relation schemas: ordered collections of :class:`~repro.relation.attribute.Attribute`."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.errors import SchemaError
+from repro.relation.attribute import Attribute
+
+AttributeLike = Union[str, Attribute]
+
+
+class Schema:
+    """An ordered relation schema ``R(A1, ..., An)``.
+
+    The schema is immutable once constructed.  Attributes may be given either
+    as :class:`Attribute` objects or as plain strings (which become
+    unbounded-domain string attributes).
+
+    >>> schema = Schema("cust", ["CC", "AC", "PN", "NM", "STR", "CT", "ZIP"])
+    >>> schema.names[:3]
+    ('CC', 'AC', 'PN')
+    """
+
+    __slots__ = ("_name", "_attributes", "_index")
+
+    def __init__(self, name: str, attributes: Iterable[AttributeLike]) -> None:
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"schema name must be a non-empty string, got {name!r}")
+        attrs: List[Attribute] = []
+        for item in attributes:
+            if isinstance(item, Attribute):
+                attrs.append(item)
+            elif isinstance(item, str):
+                attrs.append(Attribute(item))
+            else:
+                raise SchemaError(f"attributes must be Attribute or str, got {type(item).__name__}")
+        if not attrs:
+            raise SchemaError(f"schema {name!r} must have at least one attribute")
+        index: Dict[str, int] = {}
+        for position, attribute in enumerate(attrs):
+            if attribute.name in index:
+                raise SchemaError(f"duplicate attribute {attribute.name!r} in schema {name!r}")
+            index[attribute.name] = position
+        self._name = name
+        self._attributes: Tuple[Attribute, ...] = tuple(attrs)
+        self._index = index
+
+    @property
+    def name(self) -> str:
+        """The relation name."""
+        return self._name
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        """The attributes, in declaration order."""
+        return self._attributes
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """The attribute names, in declaration order."""
+        return tuple(attribute.name for attribute in self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._attributes[self._index[name]]
+        except KeyError:
+            raise SchemaError(f"schema {self._name!r} has no attribute {name!r}") from None
+
+    def position(self, name: str) -> int:
+        """Return the 0-based position of attribute ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"schema {self._name!r} has no attribute {name!r}") from None
+
+    def positions(self, names: Sequence[str]) -> Tuple[int, ...]:
+        """Return positions for several attribute names at once."""
+        return tuple(self.position(name) for name in names)
+
+    def validate_attributes(self, names: Iterable[str]) -> Tuple[str, ...]:
+        """Check that every name exists in the schema; return them as a tuple."""
+        resolved = tuple(names)
+        for name in resolved:
+            if name not in self._index:
+                raise SchemaError(f"schema {self._name!r} has no attribute {name!r}")
+        return resolved
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema containing only ``names`` (in the given order)."""
+        self.validate_attributes(names)
+        return Schema(self._name, [self[name] for name in names])
+
+    def finite_domain_attributes(self) -> Tuple[Attribute, ...]:
+        """Attributes declared with finite domains (relevant for consistency)."""
+        return tuple(attribute for attribute in self._attributes if attribute.has_finite_domain)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._name == other._name and self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._attributes))
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(self.names)
+        return f"Schema({self._name!r}: {attrs})"

@@ -1,0 +1,6 @@
+"""Cost-based heuristic repair of CFD violations (Section 6 of the paper)."""
+
+from repro.repair.cost import CostModel, levenshtein
+from repro.repair.heuristic import RepairResult, repair
+
+__all__ = ["CostModel", "RepairResult", "levenshtein", "repair"]

@@ -1,0 +1,280 @@
+"""A greedy, cost-based repair heuristic for CFD violations.
+
+The paper proves that CFD repairing is NP-complete (Theorem 6.1), points out
+that — unlike standard FDs — some violations can only be resolved by
+modifying *LHS* attributes, and defers its heuristic algorithm to a later
+report.  This module provides that deferred piece (flagged as an extension in
+DESIGN.md), following the cost-based value-modification model the paper
+cites:
+
+1. **Constant violations** are resolved by overwriting the offending RHS cell
+   with the pattern constant (the only value that satisfies the pattern).
+2. **Variable violations** are resolved per group by moving every tuple of the
+   group to the group's cheapest target value (the plurality value under the
+   cost model).
+3. If a cell keeps oscillating (a sign that RHS modification cannot resolve
+   the conflict — the paper's Section 6 example), the heuristic falls back to
+   modifying an LHS attribute of the cheapest tuple to a fresh value, which
+   breaks the pattern match.
+
+The algorithm re-detects violations after every pass and stops when the
+relation is clean or a pass budget is exhausted.  It is a heuristic: it does
+not guarantee minimum cost (that is the NP-complete part) but it does
+guarantee termination and, on consistent CFD sets, the tests verify it
+reaches a clean instance on all exercised workloads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cfd import CFD
+from repro.core.satisfaction import find_all_violations
+from repro.core.violations import ConstantViolation, VariableViolation
+from repro.errors import InconsistentCFDsError, RepairError
+from repro.reasoning.consistency import is_consistent
+from repro.relation.relation import Relation
+from repro.repair.cost import CostModel
+
+
+@dataclass(frozen=True)
+class CellChange:
+    """One attribute-value modification performed by the repair."""
+
+    tuple_index: int
+    attribute: str
+    old_value: Any
+    new_value: Any
+    cost: float
+    reason: str
+
+
+@dataclass
+class RepairResult:
+    """The outcome of :func:`repair`."""
+
+    relation: Relation
+    changes: List[CellChange] = field(default_factory=list)
+    clean: bool = False
+    passes: int = 0
+
+    @property
+    def total_cost(self) -> float:
+        return sum(change.cost for change in self.changes)
+
+    def changed_cells(self) -> Set[Tuple[int, str]]:
+        return {(change.tuple_index, change.attribute) for change in self.changes}
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "changes": len(self.changes),
+            "total_cost": round(self.total_cost, 4),
+            "clean": self.clean,
+            "passes": self.passes,
+        }
+
+
+_FRESH_PREFIX = "__repaired"
+
+
+def repair(
+    relation: Relation,
+    cfds: Sequence[CFD],
+    cost_model: Optional[CostModel] = None,
+    max_passes: int = 25,
+    check_consistency: bool = True,
+) -> RepairResult:
+    """Produce a repaired copy of ``relation`` satisfying ``cfds``.
+
+    The input relation is not modified.  Raises
+    :class:`~repro.errors.InconsistentCFDsError` when the CFD set has no
+    satisfying instance at all (no repair can exist then).
+
+    >>> from repro.datagen.cust import cust_relation, cust_cfds
+    >>> result = repair(cust_relation(), cust_cfds())
+    >>> result.clean
+    True
+    """
+    cfds = list(cfds)
+    if check_consistency and cfds and not is_consistent(cfds):
+        raise InconsistentCFDsError("the CFD set is inconsistent; no repair exists")
+    cost_model = cost_model or CostModel()
+    work = relation.copy()
+    result = RepairResult(relation=work)
+    modification_counts: Dict[Tuple[int, str], int] = defaultdict(int)
+
+    for pass_number in range(1, max_passes + 1):
+        result.passes = pass_number
+        report = find_all_violations(work, cfds)
+        if report.is_clean():
+            result.clean = True
+            return result
+        progressed = False
+        for violation in report.constant_violations():
+            progressed |= _fix_constant_violation(
+                work, violation, cost_model, result, modification_counts
+            )
+        # Re-detect after the forced constant fixes: they may already resolve
+        # (or change the shape of) the variable violations.
+        report = find_all_violations(work, cfds)
+        if report.is_clean():
+            result.clean = True
+            return result
+        for violation in report.variable_violations():
+            progressed |= _fix_variable_violation(
+                work, violation, cfds, cost_model, result, modification_counts
+            )
+        if not progressed:
+            raise RepairError("repair made no progress; giving up to avoid looping")
+
+    result.clean = find_all_violations(work, cfds).is_clean()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# individual fixes
+# ---------------------------------------------------------------------------
+def _fresh_value(old_value: Any, counter: int) -> str:
+    return f"{_FRESH_PREFIX}_{counter}_{old_value}"
+
+
+def _record_change(
+    work: Relation,
+    result: RepairResult,
+    counts: Dict[Tuple[int, str], int],
+    tuple_index: int,
+    attribute: str,
+    new_value: Any,
+    cost_model: CostModel,
+    reason: str,
+) -> bool:
+    old_value = work.value(tuple_index, attribute)
+    if old_value == new_value:
+        return False
+    work.update(tuple_index, attribute, new_value)
+    counts[(tuple_index, attribute)] += 1
+    result.changes.append(
+        CellChange(
+            tuple_index=tuple_index,
+            attribute=attribute,
+            old_value=old_value,
+            new_value=new_value,
+            cost=cost_model.modification_cost(tuple_index, old_value, new_value),
+            reason=reason,
+        )
+    )
+    return True
+
+
+def _fix_constant_violation(
+    work: Relation,
+    violation: ConstantViolation,
+    cost_model: CostModel,
+    result: RepairResult,
+    counts: Dict[Tuple[int, str], int],
+) -> bool:
+    tuple_index = violation.tuple_index
+    key = (tuple_index, violation.attribute)
+    if counts[key] >= 3:
+        # The RHS keeps being pushed back and forth: break the pattern match
+        # by moving an LHS value out of the way instead (Section 6's point
+        # that CFD repairs sometimes must touch the LHS).
+        return _break_lhs_match(work, tuple_index, violation.cfd_name, cost_model, result, counts)
+    return _record_change(
+        work,
+        result,
+        counts,
+        tuple_index,
+        violation.attribute,
+        violation.expected,
+        cost_model,
+        reason=f"constant violation of {violation.cfd_name}",
+    )
+
+
+def _fix_variable_violation(
+    work: Relation,
+    violation: VariableViolation,
+    cfds: Sequence[CFD],
+    cost_model: CostModel,
+    result: RepairResult,
+    counts: Dict[Tuple[int, str], int],
+) -> bool:
+    cfd = next((candidate for candidate in cfds if candidate.name == violation.cfd_name), None)
+    if cfd is None:
+        raise RepairError(f"violation refers to unknown CFD {violation.cfd_name!r}")
+    pattern = cfd.tableau[violation.pattern_index]
+    rhs_free = [attr for attr in cfd.rhs if not pattern.rhs_cell(attr).is_dontcare]
+    indices = list(violation.tuple_indices)
+    if len(indices) < 2 or not rhs_free:
+        return False
+
+    # Choose the target RHS value: the plurality value, breaking ties by the
+    # total cost of moving everyone else onto it.
+    projections = {index: work.project_row(index, rhs_free) for index in indices}
+    frequency = Counter(projections.values())
+    best_value = None
+    best_cost = None
+    for candidate_value, _count in frequency.most_common():
+        candidate_cost = 0.0
+        for index in indices:
+            for attribute, new_value in zip(rhs_free, candidate_value):
+                candidate_cost += cost_model.modification_cost(
+                    index, work.value(index, attribute), new_value
+                )
+        if best_cost is None or candidate_cost < best_cost:
+            best_cost = candidate_cost
+            best_value = candidate_value
+
+    progressed = False
+    assert best_value is not None
+    for index in indices:
+        if projections[index] == best_value:
+            continue
+        if any(counts[(index, attribute)] >= 3 for attribute in rhs_free):
+            progressed |= _break_lhs_match(work, index, cfd.name, cost_model, result, counts, cfd=cfd)
+            continue
+        for attribute, new_value in zip(rhs_free, best_value):
+            progressed |= _record_change(
+                work,
+                result,
+                counts,
+                index,
+                attribute,
+                new_value,
+                cost_model,
+                reason=f"variable violation of {cfd.name}",
+            )
+    return progressed
+
+
+def _break_lhs_match(
+    work: Relation,
+    tuple_index: int,
+    cfd_name: str,
+    cost_model: CostModel,
+    result: RepairResult,
+    counts: Dict[Tuple[int, str], int],
+    cfd: Optional[CFD] = None,
+) -> bool:
+    """Last-resort fix: move an LHS value to a fresh constant to break the match."""
+    attributes: Sequence[str]
+    if cfd is not None and cfd.lhs:
+        attributes = cfd.lhs
+    else:
+        # Fall back to any attribute of the tuple that has been modified least.
+        attributes = tuple(work.schema.names)
+    attribute = min(attributes, key=lambda attr: counts[(tuple_index, attr)])
+    fresh = _fresh_value(work.value(tuple_index, attribute), len(result.changes))
+    return _record_change(
+        work,
+        result,
+        counts,
+        tuple_index,
+        attribute,
+        fresh,
+        cost_model,
+        reason=f"LHS modification to break the match of {cfd_name}",
+    )

@@ -1,0 +1,24 @@
+"""SQL-based CFD violation detection (Section 4 of the paper).
+
+* :mod:`repro.sql.single` — the query pair ``(Q^C_φ, Q^V_φ)`` for one CFD.
+* :mod:`repro.sql.merge` — merging the tableaux of a CFD set into the
+  union-compatible ``T^X_Σ`` / ``T^Y_Σ`` pair with ``@`` don't-care cells.
+* :mod:`repro.sql.multi` — the single query pair ``(Q^C_Σ, Q^V_Σ)`` that
+  validates the whole set in two passes using a CASE-masked ``Macro`` relation.
+* :mod:`repro.sql.engine` — a SQLite execution engine tying it all together.
+"""
+
+from repro.sql.dialect import SQLDialect
+from repro.sql.engine import SQLDetector
+from repro.sql.merge import MergedTableau, merge_cfds
+from repro.sql.multi import MergedQueryBuilder
+from repro.sql.single import SingleCFDQueryBuilder
+
+__all__ = [
+    "MergedQueryBuilder",
+    "MergedTableau",
+    "SQLDetector",
+    "SQLDialect",
+    "SingleCFDQueryBuilder",
+    "merge_cfds",
+]

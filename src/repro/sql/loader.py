@@ -1,0 +1,174 @@
+"""Loading relations and pattern tableaux into SQLite.
+
+The detection engine treats the pattern tableau exactly as the paper does —
+as an ordinary table joined with the data — so both the relation instance and
+every tableau are materialised as SQLite tables here.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.cfd import CFD
+from repro.errors import SQLGenerationError
+from repro.relation.relation import Relation
+from repro.sql.dialect import DEFAULT_DIALECT, SQLDialect
+from repro.sql.merge import MergedTableau
+
+_NAME_SANITIZER = re.compile(r"[^A-Za-z0-9_]")
+
+
+def sanitize_name(name: str) -> str:
+    """Turn an arbitrary name into a safe SQL identifier fragment."""
+    sanitized = _NAME_SANITIZER.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = f"t_{sanitized}"
+    return sanitized
+
+
+def data_table_name(relation: Relation) -> str:
+    """The table name used for a relation instance."""
+    return sanitize_name(relation.schema.name)
+
+
+def tableau_table_name(cfd: CFD) -> str:
+    """The table name used for a single CFD's pattern tableau."""
+    return f"tab_{sanitize_name(cfd.name)}"
+
+
+def load_relation(
+    connection: sqlite3.Connection,
+    relation: Relation,
+    dialect: SQLDialect = DEFAULT_DIALECT,
+    table_name: Optional[str] = None,
+) -> str:
+    """Create and populate the data table; returns its name.
+
+    The table has one column per schema attribute plus the dialect's index
+    column, which stores the row's position in the in-memory relation so that
+    SQL results can be mapped back to :class:`Relation` indices.
+    """
+    name = table_name or data_table_name(relation)
+    quoted = dialect.quote_identifier(name)
+    columns = ", ".join(
+        f"{dialect.quote_identifier(attribute)}" for attribute in relation.schema.names
+    )
+    index_column = dialect.quote_identifier(dialect.index_column)
+    connection.execute(f"DROP TABLE IF EXISTS {quoted}")
+    connection.execute(f"CREATE TABLE {quoted} ({index_column} INTEGER PRIMARY KEY, {columns})")
+    placeholders = ", ".join(["?"] * (len(relation.schema) + 1))
+    connection.executemany(
+        f"INSERT INTO {quoted} VALUES ({placeholders})",
+        ((index,) + row for index, row in enumerate(relation)),
+    )
+    connection.commit()
+    return name
+
+
+def create_indexes(
+    connection: sqlite3.Connection,
+    table_name: str,
+    cfds: Iterable[CFD],
+    dialect: SQLDialect = DEFAULT_DIALECT,
+) -> List[str]:
+    """Create one composite index per distinct CFD LHS on the data table.
+
+    Mirrors the paper's observation that constants in pattern tuples let the
+    optimizer use indexes, while variables restrict index use.
+    """
+    created: List[str] = []
+    seen = set()
+    for cfd in cfds:
+        if not cfd.lhs or cfd.lhs in seen:
+            continue
+        seen.add(cfd.lhs)
+        index_name = f"idx_{sanitize_name(table_name)}_{'_'.join(sanitize_name(a) for a in cfd.lhs)}"
+        columns = ", ".join(dialect.quote_identifier(attribute) for attribute in cfd.lhs)
+        connection.execute(
+            f"CREATE INDEX IF NOT EXISTS {dialect.quote_identifier(index_name)} "
+            f"ON {dialect.quote_identifier(table_name)} ({columns})"
+        )
+        created.append(index_name)
+    connection.commit()
+    return created
+
+
+def load_single_tableau(
+    connection: sqlite3.Connection,
+    cfd: CFD,
+    dialect: SQLDialect = DEFAULT_DIALECT,
+    table_name: Optional[str] = None,
+) -> str:
+    """Create and populate the tableau table of one CFD; returns its name.
+
+    The table stores LHS cells in ``x_<attr>`` columns and RHS cells in
+    ``y_<attr>`` columns (this keeps the two occurrences of an attribute that
+    appears on both sides distinct, the paper's ``t[A_L]``/``t[A_R]``).
+    """
+    name = table_name or tableau_table_name(cfd)
+    quoted = dialect.quote_identifier(name)
+    columns = [f"{dialect.quote_identifier(dialect.pattern_id_column)} INTEGER PRIMARY KEY"]
+    columns.extend(dialect.quote_identifier(dialect.lhs_column(attr)) for attr in cfd.lhs)
+    columns.extend(dialect.quote_identifier(dialect.rhs_column(attr)) for attr in cfd.rhs)
+    connection.execute(f"DROP TABLE IF EXISTS {quoted}")
+    connection.execute(f"CREATE TABLE {quoted} ({', '.join(columns)})")
+    width = 1 + len(cfd.lhs) + len(cfd.rhs)
+    placeholders = ", ".join(["?"] * width)
+    rows = []
+    for pattern_index, pattern in enumerate(cfd.tableau):
+        cells = [pattern_index]
+        cells.extend(dialect.encode_cell(pattern.lhs_cell(attr)) for attr in cfd.lhs)
+        cells.extend(dialect.encode_cell(pattern.rhs_cell(attr)) for attr in cfd.rhs)
+        rows.append(tuple(cells))
+    connection.executemany(f"INSERT INTO {quoted} VALUES ({placeholders})", rows)
+    connection.commit()
+    return name
+
+
+def load_merged_tableau(
+    connection: sqlite3.Connection,
+    merged: MergedTableau,
+    dialect: SQLDialect = DEFAULT_DIALECT,
+    name_prefix: str = "sigma",
+) -> Dict[str, str]:
+    """Create and populate ``T^X_Σ`` and ``T^Y_Σ``; returns their table names."""
+    prefix = sanitize_name(name_prefix)
+    x_name = f"tx_{prefix}"
+    y_name = f"ty_{prefix}"
+    pid = dialect.quote_identifier(dialect.pattern_id_column)
+
+    x_quoted = dialect.quote_identifier(x_name)
+    x_columns = [f"{pid} INTEGER PRIMARY KEY"]
+    x_columns.extend(
+        dialect.quote_identifier(dialect.lhs_column(attr)) for attr in merged.lhs_attributes
+    )
+    connection.execute(f"DROP TABLE IF EXISTS {x_quoted}")
+    connection.execute(f"CREATE TABLE {x_quoted} ({', '.join(x_columns)})")
+    x_placeholders = ", ".join(["?"] * (1 + len(merged.lhs_attributes)))
+    connection.executemany(
+        f"INSERT INTO {x_quoted} VALUES ({x_placeholders})",
+        (
+            (pattern_id,) + tuple(dialect.encode_cell(cell) for cell in cells)
+            for pattern_id, cells in merged.x_rows()
+        ),
+    )
+
+    y_quoted = dialect.quote_identifier(y_name)
+    y_columns = [f"{pid} INTEGER PRIMARY KEY"]
+    y_columns.extend(
+        dialect.quote_identifier(dialect.rhs_column(attr)) for attr in merged.rhs_attributes
+    )
+    connection.execute(f"DROP TABLE IF EXISTS {y_quoted}")
+    connection.execute(f"CREATE TABLE {y_quoted} ({', '.join(y_columns)})")
+    y_placeholders = ", ".join(["?"] * (1 + len(merged.rhs_attributes)))
+    connection.executemany(
+        f"INSERT INTO {y_quoted} VALUES ({y_placeholders})",
+        (
+            (pattern_id,) + tuple(dialect.encode_cell(cell) for cell in cells)
+            for pattern_id, cells in merged.y_rows()
+        ),
+    )
+    connection.commit()
+    return {"x": x_name, "y": y_name}

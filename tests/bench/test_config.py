@@ -1,0 +1,44 @@
+"""Tests for the benchmark configuration and scaling knobs."""
+
+import pytest
+
+from repro.bench.config import BenchConfig, default_config, quick_config
+
+
+class TestScaling:
+    def test_default_scale_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert default_config().scale == 1.0
+
+    def test_env_var_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert default_config().scale == 2.5
+
+    def test_invalid_env_var_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "not-a-number")
+        assert default_config().scale == 1.0
+
+    def test_negative_env_var_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-3")
+        assert default_config().scale == 1.0
+
+    def test_sz_sweep_scales(self):
+        small = BenchConfig(scale=1.0)
+        large = BenchConfig(scale=2.0)
+        assert [2 * size for size in small.sz_sweep()] == large.sz_sweep()
+
+    def test_sweeps_have_floors(self):
+        tiny = BenchConfig(scale=0.0001)
+        assert all(size >= 1_000 for size in tiny.sz_sweep())
+        assert all(size >= 50 for size in tiny.tabsz_sweep())
+        assert tiny.fixed_relation_size() >= 1_000
+
+    def test_paper_parameters_recorded(self):
+        config = BenchConfig()
+        assert config.default_noise == pytest.approx(0.05)
+        assert config.noise_sweep[0] == 0.0 and config.noise_sweep[-1] == pytest.approx(0.09)
+        assert config.numconsts_sweep[0] == 1.0 and config.numconsts_sweep[-1] == pytest.approx(0.1)
+
+    def test_quick_config_is_small(self):
+        config = quick_config()
+        assert max(config.sz_sweep()) <= 2_000

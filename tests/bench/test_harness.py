@@ -1,0 +1,65 @@
+"""Tests for the benchmark workload builder and timing helpers."""
+
+import pytest
+
+from repro.bench.harness import (
+    DetectionWorkload,
+    build_workload,
+    time_detection,
+    time_query_split,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(size=800, noise=0.05, seed=1, num_attrs=3, tabsz=100, num_consts=1.0)
+
+
+class TestBuildWorkload:
+    def test_workload_shape(self, workload):
+        assert len(workload.relation) == 800
+        assert len(workload.cfds) == 1
+        assert workload.cfds[0].lhs == ("ZIP", "CT")
+
+    def test_relation_caching(self):
+        first = build_workload(size=800, noise=0.05, seed=1, tabsz=50)
+        second = build_workload(size=800, noise=0.05, seed=1, tabsz=200)
+        assert first.relation is second.relation
+
+    def test_multiple_cfds(self):
+        workload = build_workload(size=500, noise=0.05, seed=2, num_cfds=3, tabsz=50)
+        assert len(workload.cfds) == 3
+
+    def test_label_mentions_the_knobs(self, workload):
+        assert "SZ=800" in workload.label
+        assert "NUMATTRs=3" in workload.label
+
+    def test_detector_factory(self, workload):
+        detector = workload.detector()
+        try:
+            run = detector.detect(workload.cfds, form="dnf", expand_variable_violations=False)
+            assert run.timings
+        finally:
+            detector.close()
+
+
+class TestTiming:
+    def test_time_detection_returns_positive_time_and_run(self, workload):
+        seconds, run = time_detection(workload, form="dnf")
+        assert seconds > 0
+        assert len(run.timings) == 2  # one Q^C and one Q^V, expansion disabled
+
+    def test_repeats_take_the_median(self, workload):
+        seconds, _ = time_detection(workload, form="dnf", repeats=3)
+        assert seconds > 0
+
+    def test_merged_strategy_supported(self):
+        workload = build_workload(size=500, noise=0.05, seed=2, num_cfds=2, tabsz=50)
+        seconds, run = time_detection(workload, strategy="merged")
+        assert seconds > 0
+        assert [timing.label for timing in run.timings] == ["qc:merged", "qv:merged"]
+
+    def test_query_split_covers_both_queries(self, workload):
+        split = time_query_split(workload, form="dnf")
+        assert set(split) == {"qc", "qv"}
+        assert split["qc"] >= 0 and split["qv"] >= 0

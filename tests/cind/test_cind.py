@@ -1,0 +1,124 @@
+"""Tests for the CIND formalism and in-memory satisfaction."""
+
+import pytest
+
+from repro.cind.cind import CIND, CINDPattern
+from repro.cind.satisfaction import find_cind_violations, satisfies_cind
+from repro.errors import CFDError
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+
+@pytest.fixture
+def orders():
+    schema = Schema("orders", ["order_id", "item_id", "type"])
+    return Relation(schema, [
+        ("o1", "b1", "book"),
+        ("o2", "b2", "book"),
+        ("o3", "c1", "cd"),
+        ("o4", "b9", "book"),     # dangling reference
+        ("o5", "x1", "voucher"),  # not constrained by the CIND
+    ])
+
+
+@pytest.fixture
+def books():
+    schema = Schema("books", ["id", "format"])
+    return Relation(schema, [("b1", "paperback"), ("b2", "hardcover"), ("b3", "paperback")])
+
+
+@pytest.fixture
+def book_cind():
+    """orders[item_id; type = 'book'] ⊆ books[id; format = _]."""
+    return CIND.build(
+        ["item_id"], ["id"], ["type"], ["format"], [["book", "_"]],
+        name="orders_reference_books",
+    )
+
+
+class TestConstruction:
+    def test_build_shape(self, book_cind):
+        assert book_cind.source_attributes == ("item_id",)
+        assert book_cind.target_attributes == ("id",)
+        assert book_cind.source_condition == ("type",)
+        assert len(book_cind.patterns) == 1
+
+    def test_default_pattern_is_all_wildcards(self):
+        cind = CIND(["a"], ["b"], ["c"], ["d"])
+        assert cind.is_standard_ind()
+
+    def test_mismatched_inclusion_lists_rejected(self):
+        with pytest.raises(CFDError):
+            CIND(["a", "b"], ["x"])
+
+    def test_empty_inclusion_lists_rejected(self):
+        with pytest.raises(CFDError):
+            CIND([], [])
+
+    def test_wrong_pattern_width_rejected(self):
+        with pytest.raises(CFDError):
+            CIND.build(["a"], ["b"], ["c"], ["d"], [["only-one"]])
+
+    def test_pattern_attribute_mismatch_rejected(self):
+        with pytest.raises(CFDError):
+            CIND(["a"], ["b"], ["c"], ["d"],
+                 patterns=[CINDPattern({"wrong": "_"}, {"d": "_"})])
+
+    def test_name_default_and_override(self, book_cind):
+        assert book_cind.name == "orders_reference_books"
+        assert CIND(["a"], ["b"]).name == "cind_a__b"
+
+    def test_equality(self):
+        left = CIND.build(["a"], ["b"], ["c"], [], [["x"]])
+        right = CIND.build(["a"], ["b"], ["c"], [], [["x"]])
+        other = CIND.build(["a"], ["b"], ["c"], [], [["y"]])
+        assert left == right
+        assert left != other
+
+
+class TestSatisfaction:
+    def test_violations_are_the_dangling_book_orders(self, orders, books, book_cind):
+        violations = find_cind_violations(orders, books, book_cind)
+        assert [v.tuple_index for v in violations] == [3]
+        assert violations[0].key == ("b9",)
+
+    def test_unconditioned_tuples_are_not_checked(self, orders, books, book_cind):
+        # o3 (cd) and o5 (voucher) do not match the 'book' condition.
+        indices = {v.tuple_index for v in find_cind_violations(orders, books, book_cind)}
+        assert indices.isdisjoint({2, 4})
+
+    def test_satisfies_after_adding_the_missing_book(self, orders, books, book_cind):
+        books.insert(("b9", "ebook"))
+        assert satisfies_cind(orders, books, book_cind)
+
+    def test_standard_ind_checks_every_source_tuple(self, orders, books):
+        ind = CIND(["item_id"], ["id"])
+        violations = find_cind_violations(orders, books, ind)
+        assert {v.tuple_index for v in violations} == {2, 3, 4}
+
+    def test_target_condition_restricts_matches(self, orders, books):
+        cind = CIND.build(
+            ["item_id"], ["id"], ["type"], ["format"], [["book", "paperback"]],
+            name="paperbacks_only",
+        )
+        violations = find_cind_violations(orders, books, cind)
+        # b2 exists but is a hardcover, so o2 now violates as well.
+        assert {v.tuple_index for v in violations} == {1, 3}
+
+    def test_empty_source_satisfies_everything(self, books, book_cind):
+        empty = Relation(Schema("orders", ["order_id", "item_id", "type"]))
+        assert satisfies_cind(empty, books, book_cind)
+
+    def test_empty_target_violates_every_conditioned_tuple(self, orders, book_cind):
+        empty = Relation(Schema("books", ["id", "format"]))
+        violations = find_cind_violations(orders, empty, book_cind)
+        assert {v.tuple_index for v in violations} == {0, 1, 3}
+
+    def test_multiple_patterns(self, orders, books):
+        cind = CIND.build(
+            ["item_id"], ["id"], ["type"], ["format"],
+            [["book", "_"], ["cd", "_"]],
+            name="books_and_cds",
+        )
+        violations = find_cind_violations(orders, books, cind)
+        assert {v.tuple_index for v in violations} == {2, 3}

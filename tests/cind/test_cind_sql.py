@@ -1,0 +1,94 @@
+"""Tests for SQL-based CIND detection (cross-checked against the in-memory oracle)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cind.cind import CIND
+from repro.cind.satisfaction import find_cind_violations
+from repro.cind.sql import CINDQueryBuilder, detect_cind_violations_sql
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+
+@pytest.fixture
+def orders():
+    schema = Schema("orders", ["order_id", "item_id", "type"])
+    return Relation(schema, [
+        ("o1", "b1", "book"),
+        ("o2", "b9", "book"),
+        ("o3", "c1", "cd"),
+    ])
+
+
+@pytest.fixture
+def books():
+    schema = Schema("books", ["id", "format"])
+    return Relation(schema, [("b1", "paperback")])
+
+
+@pytest.fixture
+def book_cind():
+    return CIND.build(["item_id"], ["id"], ["type"], ["format"], [["book", "_"]], name="ref")
+
+
+class TestQueryText:
+    def test_query_uses_not_exists_antijoin(self, book_cind):
+        builder = CINDQueryBuilder(book_cind, "orders", "books", "tab_ref")
+        sql = builder.violation_sql()
+        assert "NOT EXISTS" in sql
+        assert 't2."id" = t1."item_id"' in sql
+
+    def test_query_size_independent_of_pattern_count(self):
+        small = CIND.build(["a"], ["b"], ["c"], [], [["x"]], name="n")
+        large = CIND.build(["a"], ["b"], ["c"], [], [[f"x{i}"] for i in range(300)], name="n")
+        small_sql = CINDQueryBuilder(small, "s", "t", "tab").violation_sql()
+        large_sql = CINDQueryBuilder(large, "s", "t", "tab").violation_sql()
+        assert small_sql == large_sql
+
+    def test_tableau_ddl_and_rows(self, book_cind):
+        builder = CINDQueryBuilder(book_cind, "orders", "books", "tab_ref")
+        assert "x_type" in builder.tableau_ddl()
+        assert builder.tableau_rows() == [(0, "book", "_")]
+
+
+class TestExecution:
+    def test_sql_matches_oracle(self, orders, books, book_cind):
+        oracle = {v.tuple_index for v in find_cind_violations(orders, books, book_cind)}
+        sql = {v.tuple_index for v in detect_cind_violations_sql(orders, books, book_cind)}
+        assert sql == oracle == {1}
+
+    def test_standard_ind_via_sql(self, orders, books):
+        ind = CIND(["item_id"], ["id"])
+        oracle = {v.tuple_index for v in find_cind_violations(orders, books, ind)}
+        sql = {v.tuple_index for v in detect_cind_violations_sql(orders, books, ind)}
+        assert sql == oracle == {1, 2}
+
+    def test_clean_pair_returns_nothing(self, orders, books, book_cind):
+        books.insert(("b9", "ebook"))
+        assert detect_cind_violations_sql(orders, books, book_cind) == []
+
+
+SOURCE_VALUES = ("k1", "k2", "k3")
+TYPES = ("book", "cd")
+FORMATS = ("paper", "audio")
+
+source_rows = st.tuples(st.sampled_from(SOURCE_VALUES), st.sampled_from(TYPES))
+target_rows = st.tuples(st.sampled_from(SOURCE_VALUES), st.sampled_from(FORMATS))
+condition_cell = st.sampled_from(TYPES + ("_",))
+format_cell = st.sampled_from(FORMATS + ("_",))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(source_rows, max_size=6),
+    st.lists(target_rows, max_size=6),
+    st.lists(st.tuples(condition_cell, format_cell), min_size=1, max_size=3),
+)
+def test_sql_and_oracle_agree_on_random_instances(source_data, target_data, pattern_rows):
+    source = Relation(Schema("s", ["key", "type"]), source_data)
+    target = Relation(Schema("t", ["ref", "format"]), target_data)
+    cind = CIND.build(["key"], ["ref"], ["type"], ["format"], pattern_rows, name="rand")
+    oracle = {(v.tuple_index, v.pattern_index) for v in find_cind_violations(source, target, cind)}
+    sql = {(v.tuple_index, v.pattern_index)
+           for v in detect_cind_violations_sql(source, target, cind)}
+    assert sql == oracle

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.datagen.cust import cust_cfds, cust_relation, cust_schema, phi1, phi2, phi3
+from repro.datagen.generator import TaxRecordGenerator
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+
+@pytest.fixture
+def cust():
+    """The Figure 1 instance (behavioural variant; see cust.py docstring)."""
+    return cust_relation()
+
+
+@pytest.fixture
+def cust_constraints():
+    """The CFDs of Figure 2."""
+    return cust_cfds()
+
+
+@pytest.fixture
+def cfd_phi1():
+    return phi1()
+
+
+@pytest.fixture
+def cfd_phi2():
+    return phi2()
+
+
+@pytest.fixture
+def cfd_phi3():
+    return phi3()
+
+
+@pytest.fixture
+def abc_schema():
+    """A tiny generic schema used by reasoning tests."""
+    return Schema("r", ["A", "B", "C"])
+
+
+@pytest.fixture
+def small_tax_workload():
+    """A small deterministic tax-records instance with 5% noise."""
+    return TaxRecordGenerator(size=500, noise=0.05, seed=11).generate()
+
+
+@pytest.fixture
+def clean_tax_relation():
+    """A small tax-records instance with no injected noise."""
+    return TaxRecordGenerator(size=400, noise=0.0, seed=5).generate_relation()
+
+
+def make_relation(attributes, rows, name="r"):
+    """Helper used across test modules to build small relations tersely."""
+    return Relation(Schema(name, attributes), rows)
+
+
+@pytest.fixture
+def relation_factory():
+    return make_relation

@@ -1,0 +1,177 @@
+"""Tests for repro.core.cfd: CFD construction, classification, normalization."""
+
+import pytest
+
+from repro.core.cfd import CFD, FD, normalize_all
+from repro.core.tableau import PatternTableau
+from repro.errors import CFDError
+from repro.relation.schema import Schema
+
+
+class TestFD:
+    def test_str(self):
+        assert str(FD(("CC", "AC"), ("CT",))) == "[CC, AC] -> [CT]"
+
+    def test_requires_rhs(self):
+        with pytest.raises(CFDError):
+            FD(("A",), ())
+
+    def test_to_cfd_is_all_wildcards(self):
+        cfd = FD(("A", "B"), ("C",)).to_cfd()
+        assert cfd.is_standard_fd()
+        assert cfd.lhs == ("A", "B")
+
+    def test_fd_equality(self):
+        assert FD(("A",), ("B",)) == FD(["A"], ["B"])
+
+
+class TestCFDConstruction:
+    def test_build_paper_phi1(self):
+        phi1 = CFD.build(["CC", "ZIP"], ["STR"], [["44", "_", "_"]], name="phi1")
+        assert phi1.lhs == ("CC", "ZIP")
+        assert phi1.rhs == ("STR",)
+        assert len(phi1.tableau) == 1
+        assert phi1.name == "phi1"
+
+    def test_default_name_is_derived(self):
+        cfd = CFD.build(["A"], ["B"], [["_", "_"]])
+        assert cfd.name == "cfd_A__B"
+
+    def test_empty_lhs_allowed(self):
+        cfd = CFD.build([], ["B"], [["b"]])
+        assert cfd.lhs == ()
+        assert cfd.name == "cfd_empty__B"
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(CFDError):
+            CFD.build(["A"], [], [["_"]])
+
+    def test_duplicate_lhs_rejected(self):
+        with pytest.raises(CFDError):
+            CFD.build(["A", "A"], ["B"], [["_", "_", "_"]])
+
+    def test_duplicate_rhs_rejected(self):
+        with pytest.raises(CFDError):
+            CFD.build(["A"], ["B", "B"], [["_", "_", "_"]])
+
+    def test_empty_tableau_rejected(self):
+        tableau = PatternTableau(("A",), ("B",))
+        with pytest.raises(CFDError):
+            CFD(("A",), ("B",), tableau)
+
+    def test_mismatched_tableau_rejected(self):
+        tableau = PatternTableau.build(["A"], ["B"], [["_", "_"]])
+        with pytest.raises(CFDError):
+            CFD(("X",), ("B",), tableau)
+
+    def test_schema_validation(self):
+        schema = Schema("r", ["A", "B"])
+        CFD.build(["A"], ["B"], [["_", "_"]], schema=schema)  # fine
+        with pytest.raises(Exception):
+            CFD.build(["A"], ["Z"], [["_", "_"]], schema=schema)
+
+    def test_attribute_in_both_sides_allowed(self):
+        cfd = CFD.build(["B"], ["B"], [["_", "b1"]])
+        assert cfd.attributes == ("B",)
+
+    def test_from_fd(self):
+        cfd = CFD.from_fd(FD(("A",), ("B",)), name="fd")
+        assert cfd.is_standard_fd()
+        assert cfd.name == "fd"
+
+
+class TestClassification:
+    def test_standard_fd(self):
+        assert CFD.build(["A"], ["B"], [["_", "_"]]).is_standard_fd()
+        assert not CFD.build(["A"], ["B"], [["a", "_"]]).is_standard_fd()
+
+    def test_instance_level(self):
+        assert CFD.build(["A"], ["B"], [["a", "b"]]).is_instance_level()
+        assert not CFD.build(["A"], ["B"], [["a", "_"]]).is_instance_level()
+
+    def test_multi_pattern_is_neither(self):
+        cfd = CFD.build(["A"], ["B"], [["_", "_"], ["a", "b"]])
+        assert not cfd.is_standard_fd()
+        assert not cfd.is_instance_level()
+
+    def test_normal_form(self):
+        assert CFD.build(["A"], ["B"], [["_", "b"]]).is_normal_form()
+        assert not CFD.build(["A"], ["B", "C"], [["_", "b", "c"]]).is_normal_form()
+        assert not CFD.build(["A"], ["B"], [["_", "b"], ["a", "_"]]).is_normal_form()
+
+    def test_uses_dontcare(self):
+        assert CFD.build(["A"], ["B"], [["@", "_"]]).uses_dontcare()
+        assert not CFD.build(["A"], ["B"], [["a", "_"]]).uses_dontcare()
+
+    def test_embedded_fd(self):
+        cfd = CFD.build(["A", "B"], ["C"], [["_", "_", "_"]])
+        assert cfd.embedded_fd == FD(("A", "B"), ("C",))
+
+    def test_attributes_order_and_dedup(self):
+        cfd = CFD.build(["A", "B"], ["B", "C"], [["_", "_", "_", "_"]])
+        assert cfd.attributes == ("A", "B", "C")
+
+
+class TestNormalization:
+    def test_normalize_splits_rhs_and_rows(self):
+        cfd = CFD.build(
+            ["CC", "AC"],
+            ["CT", "ZIP"],
+            [["01", "908", "MH", "_"], ["_", "_", "_", "_"]],
+            name="phi",
+        )
+        parts = cfd.normalize()
+        assert len(parts) == 4
+        assert all(part.is_normal_form() for part in parts)
+        assert {part.rhs[0] for part in parts} == {"CT", "ZIP"}
+
+    def test_normalize_preserves_lhs_cells(self):
+        cfd = CFD.build(["A", "B"], ["C"], [["a", "_", "c"]])
+        (part,) = cfd.normalize()
+        assert part.single_pattern().lhs_cell("A").value == "a"
+        assert part.single_pattern().lhs_cell("B").is_wildcard
+
+    def test_normalize_all(self):
+        cfds = [
+            CFD.build(["A"], ["B", "C"], [["_", "b", "c"]]),
+            CFD.build(["B"], ["C"], [["_", "_"]]),
+        ]
+        assert len(normalize_all(cfds)) == 3
+
+    def test_single_pattern_requires_one_row(self):
+        cfd = CFD.build(["A"], ["B"], [["_", "b"], ["a", "_"]])
+        with pytest.raises(CFDError):
+            cfd.single_pattern()
+
+    def test_normalized_names_are_unique(self):
+        cfd = CFD.build(["A"], ["B", "C"], [["_", "b", "c"], ["a", "_", "_"]], name="x")
+        names = [part.name for part in cfd.normalize()]
+        assert len(names) == len(set(names))
+
+
+class TestEqualityAndRendering:
+    def test_equality_ignores_pattern_order(self):
+        left = CFD.build(["A"], ["B"], [["a", "b"], ["_", "_"]])
+        right = CFD.build(["A"], ["B"], [["_", "_"], ["a", "b"]])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_inequality_on_different_patterns(self):
+        left = CFD.build(["A"], ["B"], [["a", "b"]])
+        right = CFD.build(["A"], ["B"], [["a", "c"]])
+        assert left != right
+
+    def test_render_contains_fd_and_tableau(self):
+        cfd = CFD.build(["CC", "ZIP"], ["STR"], [["44", "_", "_"]], name="phi1")
+        rendered = cfd.render()
+        assert "phi1" in rendered
+        assert "44" in rendered
+
+    def test_with_schema_round_trip(self):
+        schema = Schema("r", ["A", "B"])
+        cfd = CFD.build(["A"], ["B"], [["_", "_"]])
+        assert cfd.with_schema(schema).schema is schema
+
+    def test_repr(self):
+        cfd = CFD.build(["A"], ["B"], [["_", "_"]], name="x")
+        assert "x" in repr(cfd)

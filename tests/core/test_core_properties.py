@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) for the core CFD formalism.
+
+Invariants exercised here:
+
+* the match relation is reflexive on constants and total for wildcards;
+* the ``⪯`` order is reflexive and transitive, and specialising a pattern can
+  only shrink the set of matching tuples;
+* CFD satisfaction is preserved under taking sub-instances (the small-model
+  property that the chase-based reasoning relies on);
+* a CFD and its normalisation agree on every instance.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cfd import CFD
+from repro.core.pattern import DONTCARE, WILDCARD, PatternValue
+from repro.core.satisfaction import find_all_violations, satisfies
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+ATTRIBUTES = ("A", "B", "C")
+VALUES = ("v0", "v1", "v2")
+
+value_strategy = st.sampled_from(VALUES)
+cell_strategy = st.one_of(
+    st.sampled_from(VALUES).map(PatternValue.constant),
+    st.just(WILDCARD),
+)
+row_strategy = st.tuples(*(value_strategy for _ in ATTRIBUTES))
+
+
+@st.composite
+def relations(draw, min_rows=0, max_rows=6):
+    rows = draw(st.lists(row_strategy, min_size=min_rows, max_size=max_rows))
+    return Relation(Schema("r", ATTRIBUTES), rows)
+
+
+@st.composite
+def normal_form_cfds(draw):
+    """A random normal-form CFD over (A, B, C) with single-attribute RHS."""
+    rhs_attr = draw(st.sampled_from(ATTRIBUTES))
+    lhs_attrs = [attr for attr in ATTRIBUTES if attr != rhs_attr]
+    lhs_cells = {attr: draw(cell_strategy) for attr in lhs_attrs}
+    rhs_cell = draw(cell_strategy)
+    pattern = {**{attr: cell for attr, cell in lhs_cells.items()}, rhs_attr: rhs_cell}
+    return CFD.build(lhs_attrs, [rhs_attr], [pattern])
+
+
+@st.composite
+def general_cfds(draw, max_patterns=3):
+    """A random CFD over (A, B, C) with a multi-row tableau."""
+    rhs_attr = draw(st.sampled_from(ATTRIBUTES))
+    lhs_attrs = [attr for attr in ATTRIBUTES if attr != rhs_attr]
+    n_patterns = draw(st.integers(min_value=1, max_value=max_patterns))
+    rows = []
+    for _ in range(n_patterns):
+        row = {attr: draw(cell_strategy) for attr in lhs_attrs}
+        row[rhs_attr] = draw(cell_strategy)
+        rows.append(row)
+    return CFD.build(lhs_attrs, [rhs_attr], rows)
+
+
+class TestPatternValueProperties:
+    @given(value_strategy)
+    def test_constant_matches_itself(self, value):
+        assert PatternValue.constant(value).matches(value)
+
+    @given(value_strategy, value_strategy)
+    def test_constant_matches_only_equal_values(self, left, right):
+        assert PatternValue.constant(left).matches(right) == (left == right)
+
+    @given(st.one_of(value_strategy, st.integers(), st.booleans()))
+    def test_wildcard_and_dontcare_match_everything(self, value):
+        assert WILDCARD.matches(value)
+        assert DONTCARE.matches(value)
+
+    @given(cell_strategy)
+    def test_order_is_reflexive(self, cell):
+        assert cell.subsumed_by(cell)
+
+    @given(cell_strategy, cell_strategy, cell_strategy)
+    def test_order_is_transitive(self, first, second, third):
+        if first.subsumed_by(second) and second.subsumed_by(third):
+            assert first.subsumed_by(third)
+
+    @given(cell_strategy, cell_strategy, st.one_of(value_strategy, st.integers()))
+    def test_subsumption_implies_match_containment(self, specific, general, value):
+        """If specific ⪯ general, every value matching specific matches general."""
+        if specific.subsumed_by(general) and specific.matches(value):
+            assert general.matches(value)
+
+
+class TestSatisfactionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(relations(), general_cfds())
+    def test_satisfaction_closed_under_subinstances(self, relation, cfd):
+        """If I |= φ then every sub-instance of I satisfies φ (Section 3's small-model basis)."""
+        if not satisfies(relation, cfd):
+            return
+        for drop_index in range(len(relation)):
+            rows = [row for index, row in enumerate(relation) if index != drop_index]
+            smaller = Relation(relation.schema, rows)
+            assert satisfies(smaller, cfd)
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations(), general_cfds())
+    def test_normalization_preserves_satisfaction(self, relation, cfd):
+        """I |= φ iff I |= Σ_φ for the normalised parts (Section 3.2)."""
+        normalized = cfd.normalize()
+        direct = satisfies(relation, cfd)
+        via_parts = all(satisfies(relation, part) for part in normalized)
+        assert direct == via_parts
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations(min_rows=1), normal_form_cfds())
+    def test_violating_indices_are_valid(self, relation, cfd):
+        report = find_all_violations(relation, [cfd])
+        for index in report.violating_indices():
+            assert 0 <= index < len(relation)
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations(), general_cfds())
+    def test_duplicating_a_relation_does_not_create_violations(self, relation, cfd):
+        """Adding exact duplicates never breaks a satisfied CFD (bag semantics)."""
+        if not satisfies(relation, cfd):
+            return
+        doubled = Relation(relation.schema, list(relation.rows) + list(relation.rows))
+        assert satisfies(doubled, cfd)
+
+    @settings(max_examples=40, deadline=None)
+    @given(relations(min_rows=1), general_cfds())
+    def test_standard_fd_pattern_is_least_restrictive_per_group(self, relation, cfd):
+        """A CFD violation implies its all-wildcard (FD) variant is violated or the
+        violation involves a pattern constant (i.e. CFDs refine FDs)."""
+        report = find_all_violations(relation, [cfd])
+        fd_cfd = CFD.build(cfd.lhs, cfd.rhs, [["_"] * (len(cfd.lhs) + len(cfd.rhs))])
+        fd_report = find_all_violations(relation, [fd_cfd])
+        if report.variable_violations() and not fd_report.variable_violations():
+            # Variable violations of a refined pattern must also be FD violations.
+            raise AssertionError("variable violation without the embedded FD being violated")

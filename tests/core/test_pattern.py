@@ -1,0 +1,124 @@
+"""Tests for repro.core.pattern: the match and order relations."""
+
+import pytest
+
+from repro.core.pattern import (
+    CONSTANT_KIND,
+    DONTCARE,
+    DONTCARE_KIND,
+    WILDCARD,
+    WILDCARD_KIND,
+    PatternValue,
+)
+
+
+class TestConstruction:
+    def test_constant(self):
+        cell = PatternValue.constant("44")
+        assert cell.is_constant
+        assert cell.value == "44"
+
+    def test_wildcard_singleton(self):
+        assert WILDCARD.is_wildcard
+        assert WILDCARD.value is None
+
+    def test_dontcare_singleton(self):
+        assert DONTCARE.is_dontcare
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            PatternValue("nonsense")
+
+    def test_wildcard_with_value_rejected(self):
+        with pytest.raises(ValueError):
+            PatternValue(WILDCARD_KIND, "x")
+
+    def test_kind_property(self):
+        assert PatternValue.constant(1).kind == CONSTANT_KIND
+        assert WILDCARD.kind == WILDCARD_KIND
+        assert DONTCARE.kind == DONTCARE_KIND
+
+
+class TestCoercion:
+    def test_underscore_token_becomes_wildcard(self):
+        assert PatternValue.coerce("_") is WILDCARD
+
+    def test_at_token_becomes_dontcare(self):
+        assert PatternValue.coerce("@") is DONTCARE
+
+    def test_other_values_become_constants(self):
+        assert PatternValue.coerce("44") == PatternValue.constant("44")
+        assert PatternValue.coerce(7) == PatternValue.constant(7)
+
+    def test_existing_pattern_value_passes_through(self):
+        cell = PatternValue.constant("x")
+        assert PatternValue.coerce(cell) is cell
+
+
+class TestMatchRelation:
+    """The paper's ``t[A] ≍ tc[A]`` relation."""
+
+    def test_constant_matches_equal_value_only(self):
+        cell = PatternValue.constant("NYC")
+        assert cell.matches("NYC")
+        assert not cell.matches("MH")
+
+    def test_wildcard_matches_everything(self):
+        assert WILDCARD.matches("anything")
+        assert WILDCARD.matches(123)
+        assert WILDCARD.matches(None)
+
+    def test_dontcare_matches_everything(self):
+        assert DONTCARE.matches("x")
+        assert DONTCARE.matches(0)
+
+    def test_example_from_paper(self):
+        # t[A, B] = (a, b) matches tc[A, B] = (a, _)
+        assert PatternValue.constant("a").matches("a")
+        assert WILDCARD.matches("b")
+
+
+class TestOrderRelation:
+    """The ``⪯`` relation of Section 3.2 used by inference rule FD3."""
+
+    def test_constant_below_wildcard(self):
+        assert PatternValue.constant("b").subsumed_by(WILDCARD)
+
+    def test_wildcard_not_below_constant(self):
+        assert not WILDCARD.subsumed_by(PatternValue.constant("b"))
+
+    def test_equal_constants(self):
+        assert PatternValue.constant("b").subsumed_by(PatternValue.constant("b"))
+
+    def test_different_constants(self):
+        assert not PatternValue.constant("b").subsumed_by(PatternValue.constant("c"))
+
+    def test_wildcard_below_wildcard(self):
+        assert WILDCARD.subsumed_by(WILDCARD)
+
+    def test_anything_below_dontcare(self):
+        assert PatternValue.constant("b").subsumed_by(DONTCARE)
+        assert WILDCARD.subsumed_by(DONTCARE)
+
+
+class TestEqualityAndRendering:
+    def test_equality_by_kind_and_value(self):
+        assert PatternValue.constant("a") == PatternValue.constant("a")
+        assert PatternValue.constant("a") != PatternValue.constant("b")
+        assert PatternValue.constant("_") != WILDCARD or True  # coerce not applied by constant()
+
+    def test_hashable(self):
+        cells = {PatternValue.constant("a"), PatternValue.constant("a"), WILDCARD}
+        assert len(cells) == 2
+
+    def test_render(self):
+        assert WILDCARD.render() == "_"
+        assert DONTCARE.render() == "@"
+        assert PatternValue.constant("44").render() == "44"
+
+    def test_repr_is_informative(self):
+        assert "44" in repr(PatternValue.constant("44"))
+        assert "_" in repr(WILDCARD)
+
+    def test_not_equal_to_raw_values(self):
+        assert PatternValue.constant("a") != "a"

@@ -1,0 +1,156 @@
+"""Tests for repro.core.satisfaction: the in-memory semantics of Section 2."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.satisfaction import (
+    find_all_violations,
+    find_violations,
+    satisfies,
+    satisfies_all,
+)
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+
+@pytest.fixture
+def ab_relation():
+    schema = Schema("r", ["A", "B", "C"])
+    return Relation(schema, [("a1", "b1", "c1"), ("a1", "b1", "c2"), ("a2", "b2", "c1")])
+
+
+class TestPaperExamples:
+    """Example 2.2 and Example 4.1: which tuples of Figure 1 violate which CFDs."""
+
+    def test_cust_satisfies_phi1(self, cust, cfd_phi1):
+        assert satisfies(cust, cfd_phi1)
+
+    def test_cust_satisfies_phi3(self, cust, cfd_phi3):
+        assert satisfies(cust, cfd_phi3)
+
+    def test_cust_violates_phi2(self, cust, cfd_phi2):
+        assert not satisfies(cust, cfd_phi2)
+
+    def test_constant_violations_are_t1_t2(self, cust, cfd_phi2):
+        report = find_violations(cust, cfd_phi2)
+        constant_indices = {v.tuple_index for v in report.constant_violations()}
+        assert constant_indices == {0, 1}
+
+    def test_constant_violation_details(self, cust, cfd_phi2):
+        report = find_violations(cust, cfd_phi2)
+        violation = sorted(report.constant_violations(), key=lambda v: v.tuple_index)[0]
+        assert violation.attribute == "CT"
+        assert violation.expected == "MH"
+        assert violation.actual == "NYC"
+
+    def test_variable_violations_are_t3_t4(self, cust, cfd_phi2):
+        report = find_violations(cust, cfd_phi2)
+        indices = set()
+        for violation in report.variable_violations():
+            indices.update(violation.tuple_indices)
+        assert indices == {2, 3}
+
+    def test_all_cfds_flag_first_four_tuples(self, cust, cust_constraints):
+        report = find_all_violations(cust, cust_constraints)
+        assert report.violating_indices() == frozenset({0, 1, 2, 3})
+
+    def test_satisfies_all(self, cust, cfd_phi1, cfd_phi3, cust_constraints):
+        assert satisfies_all(cust, [cfd_phi1, cfd_phi3])
+        assert not satisfies_all(cust, cust_constraints)
+
+
+class TestSingleTupleViolations:
+    def test_single_tuple_can_violate_a_cfd(self):
+        """Unlike standard FDs, one tuple alone can violate a CFD (Section 2)."""
+        schema = Schema("r", ["A", "B"])
+        relation = Relation(schema, [("a", "wrong")])
+        cfd = CFD.build(["A"], ["B"], [["a", "right"]])
+        report = find_violations(relation, cfd)
+        assert len(report.constant_violations()) == 1
+        assert not report.variable_violations()
+
+    def test_non_matching_tuple_is_fine(self):
+        schema = Schema("r", ["A", "B"])
+        relation = Relation(schema, [("other", "anything")])
+        cfd = CFD.build(["A"], ["B"], [["a", "right"]])
+        assert satisfies(relation, cfd)
+
+    def test_empty_lhs_constant_cfd_constrains_every_tuple(self):
+        schema = Schema("r", ["A", "B"])
+        relation = Relation(schema, [("x", "b"), ("y", "not-b")])
+        cfd = CFD.build([], ["B"], [["b"]])
+        report = find_violations(relation, cfd)
+        assert {v.tuple_index for v in report.constant_violations()} == {1}
+
+    def test_wildcard_rhs_needs_two_tuples(self):
+        schema = Schema("r", ["A", "B"])
+        relation = Relation(schema, [("a", "b1")])
+        cfd = CFD.build(["A"], ["B"], [["_", "_"]])
+        assert satisfies(relation, cfd)
+
+
+class TestMultiTupleViolations:
+    def test_standard_fd_violation(self, ab_relation):
+        fd_cfd = CFD.build(["A"], ["C"], [["_", "_"]])
+        report = find_violations(ab_relation, fd_cfd)
+        assert len(report.variable_violations()) == 1
+        assert set(report.variable_violations()[0].tuple_indices) == {0, 1}
+
+    def test_pattern_restricts_the_fd(self, ab_relation):
+        restricted = CFD.build(["A"], ["C"], [["a2", "_"]])
+        assert satisfies(ab_relation, restricted)
+
+    def test_group_key_reported(self, ab_relation):
+        fd_cfd = CFD.build(["A"], ["C"], [["_", "_"]])
+        violation = find_violations(ab_relation, fd_cfd).variable_violations()[0]
+        assert violation.group_key == ("a1",)
+        assert violation.attributes == ("A",)
+
+    def test_duplicate_rows_do_not_violate(self):
+        schema = Schema("r", ["A", "B"])
+        relation = Relation(schema, [("a", "b"), ("a", "b")])
+        cfd = CFD.build(["A"], ["B"], [["_", "_"]])
+        assert satisfies(relation, cfd)
+
+    def test_multiple_patterns_checked_independently(self, cust, cfd_phi3):
+        # phi3's (44, 141, GLA) row matches nothing; (01, 215, PHI) row matches
+        # t5 and is satisfied; the wildcard row groups by CC, AC.
+        report = find_violations(cust, cfd_phi3)
+        assert report.is_clean()
+
+
+class TestDontCareSemantics:
+    """Section 4.2.1: '@' removes an attribute from both the grouping and the check."""
+
+    def test_dontcare_on_lhs_widens_the_group(self):
+        schema = Schema("r", ["A", "B", "C"])
+        relation = Relation(schema, [("a1", "b1", "c1"), ("a2", "b1", "c2")])
+        # Group only by B (A is don't care): the two tuples disagree on C.
+        cfd = CFD.build(["A", "B"], ["C"], [["@", "_", "_"]])
+        report = find_violations(relation, cfd)
+        assert len(report.variable_violations()) == 1
+
+    def test_dontcare_on_rhs_removes_the_check(self):
+        schema = Schema("r", ["A", "B", "C"])
+        relation = Relation(schema, [("a1", "b1", "c1"), ("a1", "b1", "c2")])
+        cfd = CFD.build(["A"], ["B", "C"], [["_", "_", "@"]])
+        assert satisfies(relation, cfd)
+
+    def test_all_rhs_dontcare_never_violated(self):
+        schema = Schema("r", ["A", "B"])
+        relation = Relation(schema, [("a", "b1"), ("a", "b2")])
+        cfd = CFD.build(["A"], ["B"], [["_", "@"]])
+        assert satisfies(relation, cfd)
+
+
+class TestEmptyAndEdgeCases:
+    def test_empty_relation_satisfies_everything(self, cust_constraints):
+        empty = Relation(Schema("cust", ["CC", "AC", "PN", "NM", "STR", "CT", "ZIP"]))
+        assert satisfies_all(empty, cust_constraints)
+
+    def test_find_all_violations_empty_cfd_list(self, cust):
+        assert find_all_violations(cust, []).is_clean()
+
+    def test_violation_report_mentions_cfd_name(self, cust, cfd_phi2):
+        report = find_violations(cust, cfd_phi2)
+        assert all(v.cfd_name == "phi2" for v in report)

@@ -1,0 +1,156 @@
+"""Tests for repro.core.tableau: pattern tuples and pattern tableaux."""
+
+import pytest
+
+from repro.core.pattern import DONTCARE, WILDCARD, PatternValue
+from repro.core.tableau import PatternTableau, PatternTuple
+from repro.errors import PatternError
+
+
+@pytest.fixture
+def pt():
+    return PatternTuple(
+        {"CC": "01", "AC": "908", "PN": "_"},
+        {"STR": "_", "CT": "MH", "ZIP": "_"},
+    )
+
+
+class TestPatternTuple:
+    def test_cells_are_coerced(self, pt):
+        assert pt.lhs_cell("CC") == PatternValue.constant("01")
+        assert pt.lhs_cell("PN") is WILDCARD
+        assert pt.rhs_cell("CT").is_constant
+
+    def test_missing_cell_raises(self, pt):
+        with pytest.raises(PatternError):
+            pt.lhs_cell("ZIP")
+        with pytest.raises(PatternError):
+            pt.rhs_cell("CC")
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(PatternError):
+            PatternTuple({"A": "_"}, {})
+
+    def test_empty_lhs_allowed(self):
+        pattern = PatternTuple({}, {"B": "b"})
+        assert pattern.lhs_attributes == ()
+
+    def test_constant_and_free_attribute_views(self):
+        pattern = PatternTuple({"A": "a", "B": "@"}, {"C": "_", "D": "d"})
+        assert pattern.lhs_constant_attributes() == ("A",)
+        assert pattern.rhs_constant_attributes() == ("D",)
+        assert pattern.lhs_free_attributes() == ("A",)
+        assert set(pattern.rhs_free_attributes()) == {"C", "D"}
+
+    def test_classification(self):
+        constant_only = PatternTuple({"A": "a"}, {"B": "b"})
+        variable_only = PatternTuple({"A": "_"}, {"B": "_"})
+        mixed = PatternTuple({"A": "a"}, {"B": "_"})
+        assert constant_only.is_constant_only()
+        assert variable_only.is_variable_only()
+        assert not mixed.is_constant_only()
+        assert not mixed.is_variable_only()
+
+    def test_matching(self, pt):
+        row = {"CC": "01", "AC": "908", "PN": "123", "STR": "x", "CT": "MH", "ZIP": "y"}
+        assert pt.matches_lhs(row)
+        assert pt.matches_rhs(row)
+        row["CT"] = "NYC"
+        assert not pt.matches_rhs(row)
+        row["AC"] = "212"
+        assert not pt.matches_lhs(row)
+
+    def test_subsumed_by_pointwise(self):
+        specific = PatternTuple({"A": "a"}, {"B": "b"})
+        general = PatternTuple({"A": "_"}, {"B": "_"})
+        assert specific.subsumed_by(general)
+        assert not general.subsumed_by(specific)
+
+    def test_subsumed_by_requires_same_attributes(self):
+        left = PatternTuple({"A": "a"}, {"B": "b"})
+        right = PatternTuple({"X": "a"}, {"B": "b"})
+        assert not left.subsumed_by(right)
+
+    def test_with_cell_replacements(self, pt):
+        changed = pt.with_lhs_cell("PN", "999").with_rhs_cell("CT", "_")
+        assert changed.lhs_cell("PN").value == "999"
+        assert changed.rhs_cell("CT") is WILDCARD
+        # original untouched
+        assert pt.lhs_cell("PN") is WILDCARD
+
+    def test_without_lhs_attribute(self, pt):
+        reduced = pt.without_lhs_attribute("PN")
+        assert "PN" not in reduced.lhs_attributes
+        assert set(reduced.rhs_attributes) == {"STR", "CT", "ZIP"}
+
+    def test_restrict(self, pt):
+        restricted = pt.restrict(["CC"], ["CT"])
+        assert restricted.lhs_attributes == ("CC",)
+        assert restricted.rhs_attributes == ("CT",)
+
+    def test_equality_ignores_insertion_order(self):
+        left = PatternTuple({"A": "a", "B": "_"}, {"C": "c"})
+        right = PatternTuple({"B": "_", "A": "a"}, {"C": "c"})
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_repr_mentions_cells(self, pt):
+        assert "CC=01" in repr(pt)
+
+
+class TestPatternTableau:
+    def test_build_from_sequences(self):
+        tableau = PatternTableau.build(
+            ["CC", "AC"], ["CT"], [["01", "215", "PHI"], ["44", "141", "GLA"], ["_", "_", "_"]]
+        )
+        assert len(tableau) == 3
+        assert tableau[0].lhs_cell("AC").value == "215"
+        assert tableau[2].is_variable_only()
+
+    def test_build_from_mappings(self):
+        tableau = PatternTableau.build(
+            ["CC"], ["CT"], [{"CC": "01", "CT": "NYC"}]
+        )
+        assert tableau[0].rhs_cell("CT").value == "NYC"
+
+    def test_build_wrong_width_raises(self):
+        with pytest.raises(PatternError):
+            PatternTableau.build(["A"], ["B"], [["only-one-cell"]])
+
+    def test_append_validates_attribute_sets(self):
+        tableau = PatternTableau(("A",), ("B",))
+        with pytest.raises(PatternError):
+            tableau.append(PatternTuple({"X": "_"}, {"B": "_"}))
+        with pytest.raises(PatternError):
+            tableau.append(PatternTuple({"A": "_"}, {"Y": "_"}))
+
+    def test_requires_rhs_attributes(self):
+        with pytest.raises(PatternError):
+            PatternTableau(("A",), ())
+
+    def test_iteration_and_indexing(self):
+        tableau = PatternTableau.build(["A"], ["B"], [["a", "b"], ["_", "_"]])
+        assert [row.lhs_cell("A").render() for row in tableau] == ["a", "_"]
+        assert tableau[1].is_variable_only()
+
+    def test_equality(self):
+        left = PatternTableau.build(["A"], ["B"], [["a", "b"]])
+        right = PatternTableau.build(["A"], ["B"], [["a", "b"]])
+        other = PatternTableau.build(["A"], ["B"], [["a", "c"]])
+        assert left == right
+        assert left != other
+
+    def test_constant_ratio(self):
+        tableau = PatternTableau.build(["A"], ["B"], [["a", "b"], ["_", "b"], ["@", "b"]])
+        # cells: (a,b), (_,b), (@ excluded, b) -> constants 4 of 5 considered
+        assert tableau.constant_ratio() == pytest.approx(4 / 5)
+
+    def test_constant_ratio_empty_tableau(self):
+        tableau = PatternTableau(("A",), ("B",))
+        assert tableau.constant_ratio() == 0.0
+
+    def test_render_contains_markers(self):
+        tableau = PatternTableau.build(["A"], ["B"], [["_", "b"]])
+        rendered = tableau.render()
+        assert "_" in rendered
+        assert "A" in rendered and "B" in rendered

@@ -1,0 +1,100 @@
+"""Tests for repro.core.violations: the report container."""
+
+import pytest
+
+from repro.core.violations import (
+    ConstantViolation,
+    VariableViolation,
+    ViolationReport,
+)
+
+
+@pytest.fixture
+def sample_violations():
+    return [
+        ConstantViolation(
+            cfd_name="phi2", pattern_index=0, tuple_indices=(0,),
+            attribute="CT", expected="MH", actual="NYC",
+        ),
+        ConstantViolation(
+            cfd_name="phi2", pattern_index=0, tuple_indices=(1,),
+            attribute="CT", expected="MH", actual="NYC",
+        ),
+        VariableViolation(
+            cfd_name="phi3", pattern_index=2, tuple_indices=(2, 3),
+            attributes=("CC", "AC"), group_key=("01", "212"),
+        ),
+    ]
+
+
+class TestViolationObjects:
+    def test_constant_violation_kind_and_index(self, sample_violations):
+        violation = sample_violations[0]
+        assert violation.kind == "constant"
+        assert violation.tuple_index == 0
+
+    def test_variable_violation_kind(self, sample_violations):
+        assert sample_violations[2].kind == "variable"
+
+    def test_violations_are_frozen(self, sample_violations):
+        with pytest.raises(Exception):
+            sample_violations[0].attribute = "ZIP"  # type: ignore[misc]
+
+    def test_violations_are_hashable(self, sample_violations):
+        assert len(set(sample_violations)) == 3
+
+
+class TestViolationReport:
+    def test_empty_report_is_clean(self):
+        report = ViolationReport()
+        assert report.is_clean()
+        assert not report
+        assert len(report) == 0
+
+    def test_add_and_len(self, sample_violations):
+        report = ViolationReport()
+        for violation in sample_violations:
+            report.add(violation)
+        assert len(report) == 3
+        assert not report.is_clean()
+
+    def test_constructor_accepts_iterable(self, sample_violations):
+        assert len(ViolationReport(sample_violations)) == 3
+
+    def test_filters_by_kind(self, sample_violations):
+        report = ViolationReport(sample_violations)
+        assert len(report.constant_violations()) == 2
+        assert len(report.variable_violations()) == 1
+
+    def test_violating_indices_union(self, sample_violations):
+        report = ViolationReport(sample_violations)
+        assert report.violating_indices() == frozenset({0, 1, 2, 3})
+
+    def test_by_cfd_grouping(self, sample_violations):
+        grouped = ViolationReport(sample_violations).by_cfd()
+        assert set(grouped) == {"phi2", "phi3"}
+        assert len(grouped["phi2"]) == 2
+
+    def test_summary_counts(self, sample_violations):
+        summary = ViolationReport(sample_violations).summary()
+        assert summary == {
+            "violations": 3,
+            "constant_violations": 2,
+            "variable_violations": 1,
+            "violating_tuples": 4,
+        }
+
+    def test_merge_combines_reports(self, sample_violations):
+        left = ViolationReport(sample_violations[:1])
+        right = ViolationReport(sample_violations[1:])
+        merged = left.merge(right)
+        assert len(merged) == 3
+        assert len(left) == 1  # originals untouched
+
+    def test_extend_and_iter(self, sample_violations):
+        report = ViolationReport()
+        report.extend(sample_violations)
+        assert list(report) == list(sample_violations)
+
+    def test_repr_contains_counts(self, sample_violations):
+        assert "3 violations" in repr(ViolationReport(sample_violations))

@@ -1,0 +1,110 @@
+"""Tests for the parameterised experiment CFD catalog."""
+
+import pytest
+
+from repro.core.satisfaction import satisfies_all
+from repro.datagen.cfd_catalog import (
+    area_city_state_cfd,
+    exemption_cfd,
+    experiment_cfd,
+    experiment_cfd_set,
+    no_tax_state_cfd,
+    phone_address_fd_cfd,
+    zip_city_state_cfd,
+    zip_state_cfd,
+)
+from repro.datagen.geo import catalog
+from repro.errors import CFDError
+
+
+class TestNamedCFDs:
+    def test_zip_state_shape(self):
+        cfd = zip_state_cfd()
+        assert cfd.lhs == ("ZIP",)
+        assert cfd.rhs == ("ST",)
+        assert len(cfd.tableau) == len(catalog().zip_state_pairs())
+
+    def test_zip_city_state_shape(self):
+        cfd = zip_city_state_cfd(tabsz=50, seed=1)
+        assert cfd.lhs == ("ZIP", "CT")
+        assert len(cfd.tableau) == 50
+
+    def test_area_city_state_shape(self):
+        cfd = area_city_state_cfd()
+        assert cfd.lhs == ("CC", "AC")
+        assert cfd.rhs == ("CT", "ST")
+
+    def test_exemption_cfd_covers_every_state_and_status(self):
+        cfd = exemption_cfd()
+        assert len(cfd.tableau) == 50 * 4
+
+    def test_no_tax_state_cfd_only_zero_rates(self):
+        cfd = no_tax_state_cfd()
+        assert all(row.rhs_cell("TX").value == "0.00" for row in cfd.tableau)
+
+    def test_phone_address_fd_is_a_standard_fd(self):
+        assert phone_address_fd_cfd().is_standard_fd()
+
+
+class TestKnobs:
+    def test_tabsz_controls_pattern_count(self):
+        assert len(zip_state_cfd(tabsz=10, seed=0).tableau) == 10
+        assert len(zip_state_cfd(tabsz=100, seed=0).tableau) == 100
+
+    def test_tabsz_larger_than_universe_is_capped(self):
+        universe = len(catalog().zip_state_pairs())
+        assert len(zip_state_cfd(tabsz=universe * 10).tableau) == universe
+
+    def test_num_consts_controls_constant_ratio(self):
+        all_constants = zip_city_state_cfd(tabsz=200, num_consts=1.0, seed=1)
+        half_constants = zip_city_state_cfd(tabsz=200, num_consts=0.5, seed=1)
+        assert all_constants.tableau.constant_ratio() > half_constants.tableau.constant_ratio()
+
+    def test_num_consts_zero_allowed(self):
+        cfd = zip_city_state_cfd(tabsz=50, num_consts=0.0, seed=1)
+        wildcard_rows = sum(
+            1 for row in cfd.tableau if not row.is_constant_only()
+        )
+        assert wildcard_rows == 50
+
+    def test_invalid_num_consts_rejected(self):
+        with pytest.raises(CFDError):
+            zip_city_state_cfd(tabsz=10, num_consts=1.5)
+
+    def test_sampling_is_deterministic_per_seed(self):
+        assert zip_state_cfd(tabsz=20, seed=3) == zip_state_cfd(tabsz=20, seed=3)
+        assert zip_state_cfd(tabsz=20, seed=3) != zip_state_cfd(tabsz=20, seed=4)
+
+
+class TestExperimentFactory:
+    @pytest.mark.parametrize("num_attrs,expected_lhs", [
+        (2, ("ZIP",)),
+        (3, ("ZIP", "CT")),
+        (4, ("CC", "AC")),
+    ])
+    def test_num_attrs_selects_the_constraint(self, num_attrs, expected_lhs):
+        cfd = experiment_cfd(num_attrs=num_attrs, tabsz=20, seed=1)
+        assert cfd.lhs == expected_lhs
+        assert len(cfd.lhs) + len(cfd.rhs) == num_attrs
+
+    def test_unsupported_num_attrs_rejected(self):
+        with pytest.raises(CFDError):
+            experiment_cfd(num_attrs=7)
+
+    def test_experiment_cfds_hold_on_clean_data(self, clean_tax_relation):
+        for num_attrs in (2, 3, 4):
+            cfd = experiment_cfd(num_attrs=num_attrs, tabsz=None, num_consts=0.7, seed=2)
+            assert satisfies_all(clean_tax_relation, [cfd]), f"NUMATTRs={num_attrs}"
+
+    def test_experiment_cfd_set_size_and_names(self):
+        cfds = experiment_cfd_set(num_cfds=6, tabsz=20, seed=1)
+        assert len(cfds) == 6
+        assert len({cfd.name for cfd in cfds}) == 6
+
+    def test_experiment_cfd_set_requires_positive_count(self):
+        with pytest.raises(CFDError):
+            experiment_cfd_set(num_cfds=0)
+
+    def test_experiment_cfd_set_holds_on_clean_data(self, clean_tax_relation):
+        cfds = experiment_cfd_set(num_cfds=5, tabsz=100, num_consts=1.0, seed=3)
+        assert satisfies_all(clean_tax_relation, cfds)

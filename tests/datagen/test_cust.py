@@ -1,0 +1,84 @@
+"""Tests for the cust running example (Figure 1 / Figure 2)."""
+
+import pytest
+
+from repro.datagen.cust import (
+    CUST_ATTRIBUTES,
+    cust_cfds,
+    cust_relation,
+    cust_relation_printed,
+    cust_schema,
+    fd_f1,
+    fd_f2,
+    phi1,
+    phi2,
+    phi3,
+    phi5,
+)
+
+
+class TestSchemaAndInstance:
+    def test_schema_matches_example_11(self):
+        assert cust_schema().names == ("CC", "AC", "PN", "NM", "STR", "CT", "ZIP")
+        assert CUST_ATTRIBUTES == cust_schema().names
+
+    def test_instance_has_six_tuples(self):
+        assert len(cust_relation()) == 6
+        assert len(cust_relation_printed()) == 6
+
+    def test_t1_values(self):
+        t1 = cust_relation().row_dict(0)
+        assert t1["NM"] == "Mike"
+        assert t1["CT"] == "NYC"
+        assert t1["AC"] == "908"
+
+    def test_t6_is_the_uk_tuple(self):
+        t6 = cust_relation().row_dict(5)
+        assert t6["CC"] == "44"
+        assert t6["CT"] == "EDI"
+
+    def test_behavioural_and_printed_variants_differ_only_in_t4_zip(self):
+        behavioural = cust_relation()
+        printed = cust_relation_printed()
+        for index in range(6):
+            left, right = behavioural.row_dict(index), printed.row_dict(index)
+            differing = {attr for attr in left if left[attr] != right[attr]}
+            if index == 3:
+                assert differing == {"ZIP"}
+            else:
+                assert differing == set()
+
+
+class TestCFDs:
+    def test_phi1_shape(self):
+        cfd = phi1()
+        assert cfd.lhs == ("CC", "ZIP")
+        assert cfd.rhs == ("STR",)
+        assert cfd.tableau[0].lhs_cell("CC").value == "44"
+
+    def test_phi2_has_three_patterns_per_example_21(self):
+        cfd = phi2()
+        assert len(cfd.tableau) == 3
+        cities = {row.rhs_cell("CT").render() for row in cfd.tableau}
+        assert cities == {"MH", "NYC", "_"}
+
+    def test_phi3_has_three_patterns(self):
+        cfd = phi3()
+        assert len(cfd.tableau) == 3
+        assert cfd.tableau[1].rhs_cell("CT").value == "GLA"
+
+    def test_phi5_is_a_plain_fd(self):
+        assert phi5().is_standard_fd()
+
+    def test_cust_cfds_returns_phi1_to_phi3(self):
+        names = [cfd.name for cfd in cust_cfds()]
+        assert names == ["phi1", "phi2", "phi3"]
+
+    def test_fds_of_example_11(self):
+        assert fd_f1().lhs == ("CC", "AC", "PN")
+        assert fd_f2().rhs == ("CT",)
+
+    def test_cfds_validate_against_schema(self):
+        for cfd in cust_cfds():
+            assert cfd.schema is not None
+            assert set(cfd.attributes) <= set(cfd.schema.names)

@@ -1,0 +1,110 @@
+"""Tests for the tax-records generator (the Section 5 experiment substrate)."""
+
+import pytest
+
+from repro.core.satisfaction import find_all_violations, satisfies_all
+from repro.datagen.cfd_catalog import (
+    exemption_cfd,
+    no_tax_state_cfd,
+    zip_city_state_cfd,
+    zip_state_cfd,
+)
+from repro.datagen.generator import (
+    NOISE_ATTRIBUTES,
+    TAX_ATTRIBUTES,
+    TaxRecordGenerator,
+    tax_schema,
+)
+
+
+class TestSchema:
+    def test_fifteen_attributes_as_in_section_5(self):
+        """The cust attributes plus the 8 extra ones described in the paper."""
+        assert len(TAX_ATTRIBUTES) == 15
+        assert tax_schema().names == TAX_ATTRIBUTES
+
+    def test_contains_the_cust_prefix(self):
+        assert TAX_ATTRIBUTES[:7] == ("CC", "AC", "PN", "NM", "STR", "CT", "ZIP")
+
+    def test_contains_the_tax_attributes(self):
+        for attribute in ("ST", "MR", "CH", "SA", "TX", "STX", "MTX", "CTX"):
+            assert attribute in TAX_ATTRIBUTES
+
+
+class TestGeneration:
+    def test_requested_size(self):
+        result = TaxRecordGenerator(size=250, noise=0.0, seed=1).generate()
+        assert len(result.relation) == 250
+
+    def test_zero_size(self):
+        result = TaxRecordGenerator(size=0, noise=0.0, seed=1).generate()
+        assert len(result.relation) == 0
+        assert result.noise_rate == 0.0
+
+    def test_determinism(self):
+        first = TaxRecordGenerator(size=100, noise=0.1, seed=9).generate()
+        second = TaxRecordGenerator(size=100, noise=0.1, seed=9).generate()
+        assert first.relation == second.relation
+        assert first.dirty_indices == second.dirty_indices
+
+    def test_different_seeds_differ(self):
+        first = TaxRecordGenerator(size=100, noise=0.0, seed=1).generate_relation()
+        second = TaxRecordGenerator(size=100, noise=0.0, seed=2).generate_relation()
+        assert first != second
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TaxRecordGenerator(size=-1)
+        with pytest.raises(ValueError):
+            TaxRecordGenerator(size=10, noise=1.5)
+
+    def test_country_code_is_us(self):
+        relation = TaxRecordGenerator(size=50, noise=0.0, seed=1).generate_relation()
+        assert {row[0] for row in relation} == {"01"}
+
+
+class TestCleanDataSatisfiesCatalogCFDs:
+    """With NOISE = 0 every catalog CFD must hold — the generator's core contract."""
+
+    @pytest.mark.parametrize("cfd_factory", [
+        zip_state_cfd,
+        zip_city_state_cfd,
+        exemption_cfd,
+        no_tax_state_cfd,
+    ])
+    def test_clean_data_is_clean(self, clean_tax_relation, cfd_factory):
+        assert satisfies_all(clean_tax_relation, [cfd_factory()])
+
+
+class TestNoiseInjection:
+    def test_noise_rate_roughly_matches(self):
+        result = TaxRecordGenerator(size=2000, noise=0.1, seed=3).generate()
+        assert 0.06 <= result.noise_rate <= 0.14
+
+    def test_zero_noise_means_no_dirty_tuples(self):
+        result = TaxRecordGenerator(size=300, noise=0.0, seed=3).generate()
+        assert result.dirty_indices == set()
+
+    def test_corrupted_attributes_recorded(self):
+        result = TaxRecordGenerator(size=500, noise=0.2, seed=3).generate()
+        assert set(result.corrupted_attributes) == result.dirty_indices
+        assert set(result.corrupted_attributes.values()) <= set(NOISE_ATTRIBUTES)
+
+    def test_noise_produces_detectable_violations(self):
+        result = TaxRecordGenerator(size=1500, noise=0.1, seed=7).generate()
+        report = find_all_violations(result.relation, [zip_state_cfd()])
+        assert not report.is_clean()
+
+    def test_constant_violations_only_on_dirty_tuples(self):
+        result = TaxRecordGenerator(size=800, noise=0.1, seed=5).generate()
+        report = find_all_violations(result.relation, [zip_state_cfd(), exemption_cfd()])
+        constant_violators = {v.tuple_index for v in report.constant_violations()}
+        assert constant_violators <= result.dirty_indices
+
+    def test_higher_noise_means_more_violations(self):
+        low = TaxRecordGenerator(size=1500, noise=0.02, seed=9).generate()
+        high = TaxRecordGenerator(size=1500, noise=0.09, seed=9).generate()
+        cfd = zip_state_cfd()
+        low_count = len(find_all_violations(low.relation, [cfd]))
+        high_count = len(find_all_violations(high.relation, [cfd]))
+        assert high_count > low_count

@@ -1,0 +1,79 @@
+"""Tests for the geography catalog substrate."""
+
+import pytest
+
+from repro.datagen.geo import GeoCatalog, Location, catalog
+
+
+@pytest.fixture(scope="module")
+def geo():
+    return catalog()
+
+
+class TestCatalogShape:
+    def test_all_fifty_states_present(self, geo):
+        assert len(geo.states()) == 50
+
+    def test_every_state_has_cities(self, geo):
+        for state in geo.states():
+            assert geo.cities_of(state)
+
+    def test_locations_are_consistent_records(self, geo):
+        for location in geo.locations[:200]:
+            assert isinstance(location, Location)
+            assert geo.state_of_zip(location.zip_code) == location.state
+
+    def test_catalog_is_deterministic(self):
+        first = catalog()
+        second = GeoCatalog()
+        assert [loc for loc in first.locations[:50]] == [loc for loc in second.locations[:50]]
+
+
+class TestFunctionalRelationships:
+    """These are the relationships the experiment CFDs are built from."""
+
+    def test_zip_determines_state(self, geo):
+        mapping = {}
+        for location in geo.locations:
+            previous = mapping.setdefault(location.zip_code, location.state)
+            assert previous == location.state
+
+    def test_zip_city_determines_state(self, geo):
+        mapping = {}
+        for zip_code, city, state in geo.zip_city_state_triples():
+            previous = mapping.setdefault((zip_code, city), state)
+            assert previous == state
+
+    def test_area_code_determines_state_for_listed_pairs(self, geo):
+        pairs = dict(geo.area_state_pairs())
+        for location in geo.locations:
+            if location.area_code in pairs:
+                assert pairs[location.area_code] == location.state
+
+    def test_single_city_area_codes_determine_city(self, geo):
+        triples = {area: (city, state) for area, city, state in geo.area_city_state_triples()}
+        cities_by_area = {}
+        for location in geo.locations:
+            cities_by_area.setdefault(location.area_code, set()).add(location.city)
+        for area, (city, _) in triples.items():
+            assert cities_by_area[area] == {city}
+
+    def test_city_alone_does_not_determine_state(self, geo):
+        """The paper's constraint (b) exists precisely because of such homonyms."""
+        states_by_city = {}
+        for location in geo.locations:
+            states_by_city.setdefault(location.city, set()).add(location.state)
+        assert any(len(states) > 1 for states in states_by_city.values())
+
+
+class TestSizing:
+    def test_zip_state_pairs_count_matches_zip_per_city(self, geo):
+        assert len(geo.zip_state_pairs()) == len({loc.zip_code for loc in geo.locations})
+
+    def test_larger_catalog_on_demand(self):
+        small = catalog(zips_per_city=5)
+        large = catalog(zips_per_city=30)
+        assert len(large.zip_state_pairs()) > len(small.zip_state_pairs())
+
+    def test_default_catalog_is_a_singleton(self):
+        assert catalog() is catalog()

@@ -1,0 +1,58 @@
+"""Tests for generic noise injection."""
+
+import pytest
+
+from repro.datagen.noise import inject_noise
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+
+@pytest.fixture
+def relation():
+    schema = Schema("r", ["A", "B"])
+    return Relation(schema, [(f"a{i}", f"b{i % 3}") for i in range(100)])
+
+
+class TestInjectNoise:
+    def test_rate_zero_changes_nothing(self, relation):
+        before = relation.rows
+        report = inject_noise(relation, ["B"], rate=0.0, seed=1)
+        assert relation.rows == before
+        assert report.dirty_indices == set()
+
+    def test_rate_one_changes_every_row(self, relation):
+        report = inject_noise(relation, ["B"], rate=1.0, seed=1)
+        assert len(report.dirty_indices) == len(relation)
+
+    def test_changes_are_recorded_accurately(self, relation):
+        report = inject_noise(relation, ["A", "B"], rate=0.3, seed=2)
+        for index, attribute, old, new in report.changes:
+            assert relation.value(index, attribute) == new
+            assert old != new
+
+    def test_value_pool_is_used(self, relation):
+        report = inject_noise(relation, ["B"], rate=1.0, seed=3, value_pool={"B": ["ZZZ"]})
+        changed_values = {relation.value(index, "B") for index in report.dirty_indices}
+        assert changed_values == {"ZZZ"}
+
+    def test_single_value_active_domain_falls_back_to_synthetic(self):
+        schema = Schema("r", ["A"])
+        relation = Relation(schema, [("only",), ("only",)])
+        inject_noise(relation, ["A"], rate=1.0, seed=1)
+        assert any(value.endswith("_dirty") for (value,) in relation.rows)
+
+    def test_determinism(self):
+        schema = Schema("r", ["A", "B"])
+        left = Relation(schema, [(i, i % 5) for i in range(50)])
+        right = Relation(schema, [(i, i % 5) for i in range(50)])
+        inject_noise(left, ["B"], rate=0.4, seed=7)
+        inject_noise(right, ["B"], rate=0.4, seed=7)
+        assert left == right
+
+    def test_invalid_rate_rejected(self, relation):
+        with pytest.raises(ValueError):
+            inject_noise(relation, ["B"], rate=2.0)
+
+    def test_requires_attributes(self, relation):
+        with pytest.raises(ValueError):
+            inject_noise(relation, [], rate=0.5)

@@ -1,0 +1,69 @@
+"""Tests for the tax-policy catalog substrate."""
+
+import pytest
+
+from repro.datagen.geo import catalog
+from repro.datagen.tax import BRACKET_BOUNDS, NO_INCOME_TAX_STATES, TaxCatalog
+
+
+@pytest.fixture(scope="module")
+def tax():
+    return TaxCatalog(catalog().states())
+
+
+class TestPolicies:
+    def test_every_state_has_a_policy(self, tax):
+        assert set(tax.states()) == set(catalog().states())
+
+    def test_no_income_tax_states_have_zero_rates(self, tax):
+        for state in NO_INCOME_TAX_STATES:
+            assert tax.rate(state, 50_000) == 0.0
+            assert tax.exemption(state, married=False, children=True) == (0, 0, 0)
+
+    def test_rates_are_monotone_in_salary(self, tax):
+        for state in tax.states():
+            rates = [tax.rate(state, bound + 1) for bound in BRACKET_BOUNDS]
+            assert rates == sorted(rates)
+
+    def test_rate_is_deterministic(self):
+        states = catalog().states()
+        assert TaxCatalog(states).rate("CA", 75_000) == TaxCatalog(states).rate("CA", 75_000)
+
+    def test_bracket_for_boundaries(self, tax):
+        policy = tax.policy("CA")
+        assert policy.bracket_for(0) == 0
+        assert policy.bracket_for(BRACKET_BOUNDS[1]) == 1
+        assert policy.bracket_for(10 ** 9) == len(BRACKET_BOUNDS) - 1
+
+
+class TestExemptions:
+    def test_married_exemption_replaces_single(self, tax):
+        single, married, _ = tax.exemption("CA", married=True, children=False)
+        assert single == 0 and married > 0
+        single, married, _ = tax.exemption("CA", married=False, children=False)
+        assert single > 0 and married == 0
+
+    def test_child_exemption_requires_children(self, tax):
+        assert tax.exemption("NY", married=False, children=False)[2] == 0
+        assert tax.exemption("NY", married=False, children=True)[2] > 0
+
+    def test_exemption_is_a_function_of_state_and_status(self, tax):
+        """The functional relationship behind the exemption CFD."""
+        seen = {}
+        for state in tax.states():
+            for married in (False, True):
+                for children in (False, True):
+                    key = (state, married, children)
+                    value = tax.exemption(state, married, children)
+                    assert seen.setdefault(key, value) == value
+
+
+class TestTriples:
+    def test_state_bracket_rate_triples_cover_all_brackets(self, tax):
+        triples = tax.state_bracket_rate_triples()
+        assert len(triples) == len(tax.states()) * len(BRACKET_BOUNDS)
+
+    def test_triples_agree_with_rate_lookup(self, tax):
+        for state, bracket, rate in tax.state_bracket_rate_triples()[:100]:
+            salary = BRACKET_BOUNDS[bracket]
+            assert tax.rate(state, salary) == rate

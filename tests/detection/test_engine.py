@@ -1,0 +1,64 @@
+"""Tests for the detection façade."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.detection.engine import CrossCheckResult, cross_check, detect_violations
+from repro.errors import DetectionError
+
+
+class TestDetectViolations:
+    def test_default_method_is_inmemory(self, cust, cust_constraints):
+        report = detect_violations(cust, cust_constraints)
+        assert report.violating_indices() == frozenset({0, 1, 2, 3})
+
+    def test_sql_method(self, cust, cust_constraints):
+        report = detect_violations(cust, cust_constraints, method="sql")
+        assert report.violating_indices() == frozenset({0, 1, 2, 3})
+
+    def test_sql_merged_strategy(self, cust, cust_constraints):
+        report = detect_violations(cust, cust_constraints, method="sql", strategy="merged")
+        assert report.violating_indices() == frozenset({0, 1, 2, 3})
+
+    def test_accepts_a_single_cfd(self, cust, cfd_phi2):
+        report = detect_violations(cust, cfd_phi2)
+        assert not report.is_clean()
+
+    def test_unknown_method_rejected(self, cust, cust_constraints):
+        with pytest.raises(DetectionError):
+            detect_violations(cust, cust_constraints, method="psychic")
+
+    def test_clean_input_gives_clean_report(self, cust, cfd_phi1, cfd_phi3):
+        assert detect_violations(cust, [cfd_phi1, cfd_phi3]).is_clean()
+
+    def test_empty_cfd_collection(self, cust):
+        assert detect_violations(cust, []).is_clean()
+
+
+class TestCrossCheck:
+    def test_agreement_on_cust(self, cust, cust_constraints):
+        result = cross_check(cust, cust_constraints)
+        assert result.agree
+        assert result.only_inmemory == frozenset()
+        assert result.only_sql == frozenset()
+
+    def test_agreement_on_generated_data(self, small_tax_workload):
+        from repro.datagen.cfd_catalog import zip_city_state_cfd
+
+        result = cross_check(small_tax_workload.relation, [zip_city_state_cfd()])
+        assert result.agree
+
+    def test_merged_strategy_cross_check(self, cust, cust_constraints):
+        result = cross_check(cust, cust_constraints, strategy="merged")
+        assert result.agree
+
+    def test_single_cfd_argument(self, cust, cfd_phi2):
+        assert cross_check(cust, cfd_phi2).agree
+
+    def test_disagreement_reporting_fields(self):
+        result = CrossCheckResult(
+            inmemory_indices=frozenset({1, 2}), sql_indices=frozenset({2, 3})
+        )
+        assert not result.agree
+        assert result.only_inmemory == frozenset({1})
+        assert result.only_sql == frozenset({3})

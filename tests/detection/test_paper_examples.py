@@ -1,0 +1,83 @@
+"""End-to-end reproduction of the paper's worked examples (experiment E1).
+
+* Example 1.1 — the standard FDs f1/f2 and the conditional constraints.
+* Example 2.2 — ϕ1 and ϕ3 hold on Figure 1, ϕ2 does not; a single tuple can
+  violate a CFD.
+* Example 4.1 — Q^C returns t1, t2 and Q^V returns t3, t4 for ϕ2.
+"""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.satisfaction import find_violations, satisfies
+from repro.datagen.cust import (
+    cust_cfds,
+    cust_relation,
+    cust_relation_printed,
+    fd_f1,
+    fd_f2,
+    phi1,
+    phi2,
+    phi3,
+)
+from repro.detection.engine import detect_violations
+
+
+class TestExample11:
+    def test_f2_holds_on_figure_1(self, cust):
+        assert satisfies(cust, fd_f2().to_cfd())
+
+    def test_f1_holds_on_the_printed_table(self):
+        assert satisfies(cust_relation_printed(), fd_f1().to_cfd())
+
+    def test_phi1_equivalent_constraint_phi0(self, cust):
+        """φ0: [CC=44, ZIP] → [STR] holds on the instance."""
+        assert satisfies(cust, phi1())
+
+    def test_t1_t2_violate_the_908_pattern_but_not_f1(self, cust):
+        assert satisfies(cust, fd_f2().to_cfd())
+        refined = CFD.build(
+            ["CC", "AC", "PN"], ["STR", "CT", "ZIP"], [["01", "908", "_", "_", "MH", "_"]]
+        )
+        report = find_violations(cust, refined)
+        assert {v.tuple_index for v in report.constant_violations()} == {0, 1}
+
+
+class TestExample22:
+    def test_phi1_and_phi3_hold(self, cust):
+        assert satisfies(cust, phi1())
+        assert satisfies(cust, phi3())
+
+    def test_phi2_violated_by_single_tuples(self, cust):
+        report = find_violations(cust, phi2())
+        assert report.constant_violations(), "a single tuple can violate a CFD"
+
+    def test_violating_cells_are_the_city_of_t1_t2(self, cust):
+        report = find_violations(cust, phi2())
+        for violation in report.constant_violations():
+            assert violation.attribute == "CT"
+            assert violation.expected == "MH"
+
+
+class TestExample41:
+    @pytest.mark.parametrize("method,strategy", [
+        ("inmemory", "per_cfd"),
+        ("sql", "per_cfd"),
+        ("sql", "merged"),
+    ])
+    def test_detection_finds_exactly_t1_to_t4(self, method, strategy):
+        report = detect_violations(cust_relation(), cust_cfds(), method=method, strategy=strategy)
+        assert report.violating_indices() == frozenset({0, 1, 2, 3})
+
+    def test_qc_finds_t1_t2_and_qv_finds_t3_t4(self, cust):
+        report = find_violations(cust, phi2())
+        qc = {violation.tuple_index for violation in report.constant_violations()}
+        qv = set()
+        for violation in report.variable_violations():
+            qv.update(violation.tuple_indices)
+        assert qc == {0, 1}
+        assert qv == {2, 3}
+
+    def test_t5_t6_are_clean(self):
+        report = detect_violations(cust_relation(), cust_cfds())
+        assert {4, 5}.isdisjoint(report.violating_indices())

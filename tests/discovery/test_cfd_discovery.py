@@ -1,0 +1,88 @@
+"""Tests for constant-CFD discovery."""
+
+import pytest
+
+from repro.core.satisfaction import find_violations
+from repro.discovery.cfd_discovery import discover_constant_cfds, discover_patterns
+from repro.errors import DiscoveryError
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+
+@pytest.fixture
+def relation():
+    schema = Schema("r", ["CITY", "STATE", "OTHER"])
+    rows = [
+        ("NYC", "NY", "x1"),
+        ("NYC", "NY", "x2"),
+        ("NYC", "NY", "x3"),
+        ("PHI", "PA", "x4"),
+        ("PHI", "PA", "x5"),
+        ("EDI", "SC", "x6"),
+    ]
+    return Relation(schema, rows)
+
+
+class TestDiscoverPatterns:
+    def test_finds_high_support_pattern(self, relation):
+        patterns = discover_patterns(relation, min_support=3, max_lhs_size=1)
+        assert any(
+            p.lhs == ("CITY",) and p.lhs_values == ("NYC",) and p.rhs == "STATE" and p.rhs_value == "NY"
+            for p in patterns
+        )
+
+    def test_support_threshold_filters(self, relation):
+        patterns = discover_patterns(relation, min_support=4, max_lhs_size=1)
+        assert not any(p.lhs_values == ("PHI",) for p in patterns if p.rhs == "STATE")
+
+    def test_confidence_below_one_allows_noisy_groups(self):
+        schema = Schema("r", ["A", "B"])
+        rows = [("a", "b")] * 9 + [("a", "z")]
+        relation = Relation(schema, rows)
+        strict = discover_patterns(relation, min_support=2, min_confidence=1.0, max_lhs_size=1)
+        lenient = discover_patterns(relation, min_support=2, min_confidence=0.85, max_lhs_size=1)
+        assert not any(p.lhs == ("A",) and p.rhs == "B" for p in strict)
+        assert any(p.lhs == ("A",) and p.rhs == "B" and p.confidence == 0.9 for p in lenient)
+
+    def test_invalid_parameters_rejected(self, relation):
+        with pytest.raises(DiscoveryError):
+            discover_patterns(relation, min_support=0)
+        with pytest.raises(DiscoveryError):
+            discover_patterns(relation, min_confidence=0.0)
+        with pytest.raises(DiscoveryError):
+            discover_patterns(relation, max_lhs_size=0)
+
+
+class TestDiscoverConstantCFDs:
+    def test_one_cfd_per_embedded_fd(self, relation):
+        cfds = discover_constant_cfds(relation, min_support=2, max_lhs_size=1)
+        keys = [(cfd.lhs, cfd.rhs) for cfd in cfds]
+        assert len(keys) == len(set(keys))
+
+    def test_discovered_cfds_are_instance_level_patterns(self, relation):
+        for cfd in discover_constant_cfds(relation, min_support=2, max_lhs_size=1):
+            for row in cfd.tableau:
+                assert row.is_constant_only()
+
+    def test_discovered_cfds_hold_with_full_confidence(self, relation):
+        for cfd in discover_constant_cfds(relation, min_support=2, min_confidence=1.0, max_lhs_size=1):
+            assert find_violations(relation, cfd).is_clean()
+
+    def test_city_state_cfd_found(self, relation):
+        cfds = discover_constant_cfds(relation, min_support=2, max_lhs_size=1)
+        city_state = [cfd for cfd in cfds if cfd.lhs == ("CITY",) and cfd.rhs == ("STATE",)]
+        assert city_state
+        assert len(city_state[0].tableau) == 2  # NYC and PHI; EDI lacks support
+
+    def test_discovery_on_clean_tax_data_recovers_geo_constraints(self, clean_tax_relation):
+        cfds = discover_constant_cfds(
+            clean_tax_relation,
+            min_support=5,
+            max_lhs_size=1,
+            attributes=["CT", "ST", "TX"],
+        )
+        assert any(cfd.lhs == ("CT",) and cfd.rhs == ("ST",) for cfd in cfds)
+
+    def test_discovery_names_are_stable(self, relation):
+        cfds = discover_constant_cfds(relation, min_support=2, max_lhs_size=1)
+        assert all(cfd.name.startswith("discovered_") for cfd in cfds)

@@ -1,0 +1,63 @@
+"""Tests for TANE-style FD discovery."""
+
+import pytest
+
+from repro.core.cfd import FD
+from repro.core.satisfaction import satisfies
+from repro.discovery.fd_discovery import discover_fds
+from repro.errors import DiscoveryError
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+
+class TestDiscoverFDs:
+    def test_discovers_simple_dependency(self):
+        schema = Schema("r", ["A", "B"])
+        relation = Relation(schema, [("a1", "b1"), ("a1", "b1"), ("a2", "b2")])
+        fds = discover_fds(relation, max_lhs_size=1)
+        assert FD(("A",), ("B",)) in fds
+
+    def test_discovered_fds_hold_on_the_data(self, cust):
+        for fd in discover_fds(cust, max_lhs_size=2):
+            assert satisfies(cust, fd.to_cfd()), f"{fd} does not hold"
+
+    def test_finds_the_paper_fds_on_cust(self, cust):
+        fds = discover_fds(cust, max_lhs_size=2)
+        assert any(fd.lhs == ("AC",) and fd.rhs == ("CT",) for fd in fds)
+        # [CC, AC] -> CT is not minimal because AC -> CT already holds.
+        assert not any(set(fd.lhs) == {"CC", "AC"} and fd.rhs == ("CT",) for fd in fds)
+
+    def test_minimality_pruning(self):
+        schema = Schema("r", ["A", "B", "C"])
+        relation = Relation(schema, [("a1", "b1", "c1"), ("a2", "b1", "c1"), ("a3", "b2", "c2")])
+        fds = discover_fds(relation, max_lhs_size=2)
+        assert FD(("B",), ("C",)) in fds
+        assert FD(("A", "B"), ("C",)) not in fds
+
+    def test_no_trivial_fds_by_default(self, cust):
+        fds = discover_fds(cust, max_lhs_size=1)
+        assert all(fd.rhs[0] not in fd.lhs for fd in fds)
+
+    def test_trivial_fds_on_request(self):
+        schema = Schema("r", ["A", "B"])
+        relation = Relation(schema, [("a", "b")])
+        fds = discover_fds(relation, max_lhs_size=1, include_trivial=True)
+        assert FD(("A",), ("A",)) in fds
+
+    def test_attribute_restriction(self, cust):
+        fds = discover_fds(cust, max_lhs_size=1, attributes=["AC", "CT"])
+        assert all(set(fd.lhs) | set(fd.rhs) <= {"AC", "CT"} for fd in fds)
+
+    def test_invalid_lhs_size_rejected(self, cust):
+        with pytest.raises(DiscoveryError):
+            discover_fds(cust, max_lhs_size=0)
+
+    def test_empty_relation_everything_holds(self):
+        schema = Schema("r", ["A", "B"])
+        relation = Relation(schema)
+        fds = discover_fds(relation, max_lhs_size=1)
+        assert FD(("A",), ("B",)) in fds
+
+    def test_generated_tax_data_yields_zip_to_state(self, clean_tax_relation):
+        fds = discover_fds(clean_tax_relation, max_lhs_size=1, attributes=["ZIP", "CT", "ST"])
+        assert any(fd.lhs == ("ZIP",) and fd.rhs == ("ST",) for fd in fds)

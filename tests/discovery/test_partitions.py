@@ -1,0 +1,72 @@
+"""Tests for partition machinery used by dependency discovery."""
+
+import pytest
+
+from repro.discovery.partitions import error_rate, partition, partition_with_keys, refines
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+
+@pytest.fixture
+def relation():
+    schema = Schema("r", ["A", "B", "C"])
+    return Relation(
+        schema,
+        [
+            ("a1", "b1", "c1"),
+            ("a1", "b1", "c1"),
+            ("a1", "b2", "c2"),
+            ("a2", "b1", "c3"),
+        ],
+    )
+
+
+class TestPartition:
+    def test_partition_on_single_attribute(self, relation):
+        classes = partition(relation, ["A"])
+        assert sorted(sorted(c) for c in classes) == [[0, 1, 2], [3]]
+
+    def test_partition_on_two_attributes(self, relation):
+        classes = partition(relation, ["A", "B"])
+        assert sorted(len(c) for c in classes) == [1, 1, 2]
+
+    def test_partition_on_empty_attribute_list(self, relation):
+        classes = partition(relation, [])
+        assert classes == [(0, 1, 2, 3)]
+
+    def test_partition_of_empty_relation(self):
+        empty = Relation(Schema("r", ["A"]))
+        assert partition(empty, []) == []
+        assert partition(empty, ["A"]) == []
+
+    def test_partition_with_keys(self, relation):
+        keyed = partition_with_keys(relation, ["B"])
+        assert keyed[("b1",)] == (0, 1, 3)
+        assert keyed[("b2",)] == (2,)
+
+
+class TestRefines:
+    def test_holding_fd(self, relation):
+        assert refines(relation, ["A", "B"], ["C"])
+
+    def test_violated_fd(self, relation):
+        assert not refines(relation, ["A"], ["B"])
+
+    def test_trivial_fd(self, relation):
+        assert refines(relation, ["A"], ["A"])
+
+    def test_key_determines_everything(self, relation):
+        assert refines(relation, ["C"], ["A", "B"])
+
+
+class TestErrorRate:
+    def test_zero_error_for_holding_fd(self, relation):
+        assert error_rate(relation, ["A", "B"], ["C"]) == 0.0
+
+    def test_error_counts_minority_tuples(self, relation):
+        # A -> B: group a1 has B values {b1, b1, b2} -> 1 tuple must go.
+        assert error_rate(relation, ["A"], ["B"]) == pytest.approx(1 / 4)
+
+    def test_empty_relation(self):
+        empty = Relation(Schema("r", ["A", "B"]))
+        assert error_rate(empty, ["A"], ["B"]) == 0.0

@@ -1,0 +1,142 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import load_cfds, load_relation_csv, main
+from repro.datagen.cust import cust_cfds, cust_relation
+from repro.io.json_format import write_cfd_json
+from repro.io.text_format import write_cfd_file
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    """A CSV of the cust instance plus the Figure 2 CFDs in both rule formats."""
+    data_path = tmp_path / "cust.csv"
+    cust_relation().to_csv(data_path)
+    rules_path = tmp_path / "rules.cfd"
+    write_cfd_file(rules_path, cust_cfds())
+    json_rules_path = tmp_path / "rules.json"
+    write_cfd_json(json_rules_path, cust_cfds())
+    return {
+        "dir": tmp_path,
+        "data": str(data_path),
+        "rules": str(rules_path),
+        "json_rules": str(json_rules_path),
+    }
+
+
+class TestLoaders:
+    def test_load_relation_csv(self, workspace):
+        relation = load_relation_csv(workspace["data"])
+        assert len(relation) == 6
+        assert relation.schema.names == cust_relation().schema.names
+
+    def test_load_relation_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_relation_csv(str(tmp_path / "nope.csv"))
+
+    def test_load_cfds_text_and_json(self, workspace):
+        assert load_cfds(workspace["rules"]) == cust_cfds()
+        assert load_cfds(workspace["json_rules"]) == cust_cfds()
+
+
+class TestDetectCommand:
+    def test_detect_finds_violations_and_returns_1(self, workspace, capsys):
+        code = main(["detect", "--data", workspace["data"], "--cfds", workspace["rules"]])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "violations" in output
+
+    def test_detect_writes_json_report(self, workspace, capsys):
+        report_path = workspace["dir"] / "report.json"
+        main([
+            "detect", "--data", workspace["data"], "--cfds", workspace["rules"],
+            "--output", str(report_path), "--quiet",
+        ])
+        payload = json.loads(report_path.read_text())
+        assert sorted(payload["violating_tuples"]) == [0, 1, 2, 3]
+
+    def test_detect_inmemory_method(self, workspace):
+        code = main([
+            "detect", "--data", workspace["data"], "--cfds", workspace["rules"],
+            "--method", "inmemory", "--quiet",
+        ])
+        assert code == 1
+
+    def test_detect_clean_data_returns_0(self, workspace, tmp_path, capsys):
+        clean_rules = tmp_path / "clean.cfd"
+        clean_rules.write_text("cfd phi1 on cust: [CC = 44, ZIP] -> [STR]\n")
+        code = main(["detect", "--data", workspace["data"], "--cfds", str(clean_rules)])
+        assert code == 0
+
+    def test_detect_missing_file_returns_2(self, workspace, capsys):
+        code = main(["detect", "--data", "missing.csv", "--cfds", workspace["rules"]])
+        assert code == 2
+
+
+class TestRepairCommand:
+    def test_repair_writes_clean_csv(self, workspace, capsys):
+        output_path = workspace["dir"] / "repaired.csv"
+        code = main([
+            "repair", "--data", workspace["data"], "--cfds", workspace["rules"],
+            "--output", str(output_path), "--changes",
+        ])
+        assert code == 0
+        assert output_path.exists()
+        # the repaired file passes detection
+        code = main(["detect", "--data", str(output_path), "--cfds", workspace["rules"], "--quiet"])
+        assert code == 0
+
+
+class TestDiscoverCommand:
+    def test_discover_prints_rules(self, workspace, capsys):
+        code = main([
+            "discover", "--data", workspace["data"], "--min-support", "2", "--max-lhs", "1",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Discovered" in output
+
+    def test_discover_writes_rule_file(self, workspace, capsys):
+        mined = workspace["dir"] / "mined.cfd"
+        main([
+            "discover", "--data", workspace["data"], "--min-support", "2",
+            "--max-lhs", "1", "--output", str(mined),
+        ])
+        assert load_cfds(str(mined))
+
+    def test_discover_json_output(self, workspace, capsys):
+        mined = workspace["dir"] / "mined.json"
+        main([
+            "discover", "--data", workspace["data"], "--min-support", "2",
+            "--max-lhs", "1", "--output", str(mined), "--json",
+        ])
+        assert json.loads(mined.read_text())["cfds"]
+
+
+class TestCheckAndShowCommands:
+    def test_check_consistent_rules(self, workspace, capsys):
+        code = main(["check", "--cfds", workspace["rules"], "--mincover"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "consistent: True" in output
+
+    def test_check_inconsistent_rules(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cfd"
+        bad.write_text("[A] -> [B = b]\n[A] -> [B = c]\n")
+        code = main(["check", "--cfds", str(bad)])
+        assert code == 1
+
+    def test_show_text(self, workspace, capsys):
+        code = main(["show", "--cfds", workspace["rules"]])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "phi2" in output
+
+    def test_show_json(self, workspace, capsys):
+        code = main(["show", "--cfds", workspace["json_rules"], "--json"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert json.loads(output)["cfds"]

@@ -1,0 +1,108 @@
+"""Tests for the CFD JSON format."""
+
+import json
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.datagen.cust import cust_cfds, phi2
+from repro.errors import ParseError
+from repro.io.json_format import (
+    cfd_to_dict,
+    cfds_from_json,
+    cfds_to_json,
+    dict_to_cfd,
+    read_cfd_json,
+    write_cfd_json,
+)
+
+
+class TestEncoding:
+    def test_dict_shape(self):
+        payload = cfd_to_dict(phi2())
+        assert payload["name"] == "phi2"
+        assert payload["lhs"] == ["CC", "AC", "PN"]
+        assert payload["relation"] == "cust"
+        assert len(payload["patterns"]) == 3
+
+    def test_wildcards_encoded_as_marker(self):
+        payload = cfd_to_dict(phi2())
+        assert payload["patterns"][0]["lhs"]["PN"] == "_"
+        assert payload["patterns"][0]["rhs"]["CT"] == "MH"
+
+    def test_dontcare_encoded(self):
+        cfd = CFD.build(["A"], ["B"], [["@", "_"]])
+        payload = cfd_to_dict(cfd)
+        assert payload["patterns"][0]["lhs"]["A"] == "@"
+
+    def test_custom_markers(self):
+        cfd = CFD.build(["A"], ["B"], [["_", "b"]])
+        payload = cfd_to_dict(cfd, wildcard="<any>")
+        assert payload["patterns"][0]["lhs"]["A"] == "<any>"
+
+    def test_json_document_is_valid_json(self):
+        document = json.loads(cfds_to_json(cust_cfds()))
+        assert len(document["cfds"]) == 3
+
+
+class TestDecoding:
+    def test_round_trip(self):
+        for cfd in cust_cfds():
+            assert dict_to_cfd(cfd_to_dict(cfd)) == cfd
+
+    def test_round_trip_through_text(self):
+        loaded = cfds_from_json(cfds_to_json(cust_cfds()))
+        assert loaded == cust_cfds()
+
+    def test_non_string_constants_survive(self):
+        cfd = CFD.build(["A"], ["B"], [[1, 2.5]], name="numeric")
+        assert cfds_from_json(cfds_to_json([cfd])) == [cfd]
+
+    def test_bare_list_accepted(self):
+        payloads = [cfd_to_dict(cfd) for cfd in cust_cfds()]
+        assert len(cfds_from_json(json.dumps(payloads))) == 3
+
+    def test_literal_underscore_constant_with_custom_marker(self):
+        """With a custom wildcard marker, a genuine "_" constant is representable."""
+        from repro.core.pattern import PatternValue
+        from repro.core.tableau import PatternTableau, PatternTuple
+
+        tableau = PatternTableau(
+            ("A",), ("B",),
+            [PatternTuple({"A": PatternValue.constant("_")}, {"B": "x"})],
+        )
+        literal = CFD(("A",), ("B",), tableau, name="literal_underscore")
+        payload = cfd_to_dict(literal, wildcard="<any>")
+        assert payload["patterns"][0]["lhs"]["A"] == "_"
+        rebuilt = dict_to_cfd(payload, wildcard="<any>")
+        assert rebuilt.tableau[0].lhs_cell("A").is_constant
+        assert rebuilt == literal
+
+
+class TestErrors:
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ParseError):
+            cfds_from_json("{not json")
+
+    def test_missing_cfds_key(self):
+        with pytest.raises(ParseError):
+            cfds_from_json('{"rules": []}')
+
+    def test_wrong_top_level_type(self):
+        with pytest.raises(ParseError):
+            cfds_from_json('"just a string"')
+
+    def test_missing_pattern_fields(self):
+        with pytest.raises(ParseError):
+            dict_to_cfd({"lhs": ["A"], "rhs": ["B"], "patterns": [{"lhs": {}}]})
+
+    def test_empty_patterns_rejected(self):
+        with pytest.raises(ParseError):
+            dict_to_cfd({"lhs": ["A"], "rhs": ["B"], "patterns": []})
+
+
+class TestFiles:
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "rules.json"
+        write_cfd_json(path, cust_cfds())
+        assert read_cfd_json(path) == cust_cfds()

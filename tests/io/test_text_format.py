@@ -1,0 +1,149 @@
+"""Tests for the CFD text format."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.datagen.cust import cust_cfds, phi2
+from repro.errors import ParseError
+from repro.io.text_format import (
+    format_cfd,
+    format_cfds,
+    parse_cfd,
+    parse_cfds,
+    read_cfd_file,
+    write_cfd_file,
+)
+
+
+class TestSingleLineForm:
+    def test_minimal_form(self):
+        cfd = parse_cfd("[ZIP] -> [ST]")
+        assert cfd.lhs == ("ZIP",)
+        assert cfd.rhs == ("ST",)
+        assert cfd.is_standard_fd()
+
+    def test_constants_in_header(self):
+        cfd = parse_cfd("cfd phi1 on cust: [CC = 44, ZIP] -> [STR]")
+        assert cfd.name == "phi1"
+        assert cfd.tableau[0].lhs_cell("CC").value == "44"
+        assert cfd.tableau[0].lhs_cell("ZIP").is_wildcard
+        assert cfd.tableau[0].rhs_cell("STR").is_wildcard
+
+    def test_rhs_constant(self):
+        cfd = parse_cfd("[CC = 01, AC = 215] -> [CT = PHI]")
+        assert cfd.tableau[0].rhs_cell("CT").value == "PHI"
+
+    def test_quoted_constant_with_spaces_and_commas(self):
+        cfd = parse_cfd('[CT = "New York, NY"] -> [ST = NY]')
+        assert cfd.tableau[0].lhs_cell("CT").value == "New York, NY"
+
+    def test_empty_lhs(self):
+        cfd = parse_cfd("[] -> [B = b]")
+        assert cfd.lhs == ()
+        assert cfd.tableau[0].rhs_cell("B").value == "b"
+
+    def test_dontcare_marker(self):
+        cfd = parse_cfd("[A = @, B] -> [C]")
+        assert cfd.tableau[0].lhs_cell("A").is_dontcare
+
+    def test_name_without_relation(self):
+        cfd = parse_cfd("cfd myrule: [A] -> [B]")
+        assert cfd.name == "myrule"
+
+    def test_anonymous_cfds_get_numbered_names(self):
+        cfds = parse_cfds("[A] -> [B]\n[B] -> [C]")
+        assert [cfd.name for cfd in cfds] == ["cfd_1", "cfd_2"]
+
+
+class TestTableauBlockForm:
+    PHI2_TEXT = """
+    # phi2, the Figure 2(b) CFD
+    cfd phi2 on cust: [CC, AC, PN] -> [STR, CT, ZIP] {
+        01, 908, _ | _, MH, _
+        01, 212, _ | _, NYC, _
+        _,  _,   _ | _, _,   _
+    }
+    """
+
+    def test_parse_phi2(self):
+        cfd = parse_cfd(self.PHI2_TEXT)
+        assert cfd == phi2()
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# leading comment\n\n[A] -> [B]  # trailing comment\n"
+        assert len(parse_cfds(text)) == 1
+
+    def test_row_width_validated(self):
+        text = "[A, B] -> [C] {\n a | c\n}"
+        with pytest.raises(ParseError):
+            parse_cfds(text)
+
+    def test_missing_separator_rejected(self):
+        text = "[A] -> [C] {\n a, c\n}"
+        with pytest.raises(ParseError):
+            parse_cfds(text)
+
+    def test_unterminated_block_rejected(self):
+        text = "[A] -> [C] {\n a | c\n"
+        with pytest.raises(ParseError):
+            parse_cfds(text)
+
+    def test_empty_block_rejected(self):
+        text = "[A] -> [C] {\n}"
+        with pytest.raises(ParseError):
+            parse_cfds(text)
+
+    def test_multiple_definitions(self):
+        text = "[A] -> [B]\n\ncfd two on r: [B] -> [C] {\n b1 | c1\n b2 | c2\n}"
+        cfds = parse_cfds(text)
+        assert len(cfds) == 2
+        assert len(cfds[1].tableau) == 2
+
+
+class TestErrors:
+    def test_garbage_header(self):
+        with pytest.raises(ParseError):
+            parse_cfds("this is not a CFD")
+
+    def test_missing_rhs(self):
+        with pytest.raises(ParseError):
+            parse_cfds("[A] -> []")
+
+    def test_parse_cfd_requires_exactly_one(self):
+        with pytest.raises(ParseError):
+            parse_cfd("[A] -> [B]\n[B] -> [C]")
+
+    def test_empty_attribute_item(self):
+        with pytest.raises(ParseError):
+            parse_cfds("[A, ] -> [B]")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("cfd", cust_cfds(), ids=lambda cfd: cfd.name)
+    def test_cust_cfds_round_trip(self, cfd):
+        assert parse_cfd(format_cfd(cfd)) == cfd
+
+    def test_round_trip_preserves_names(self):
+        original = CFD.build(["A"], ["B"], [["a", "b"], ["_", "_"]], name="rule7")
+        assert parse_cfd(format_cfd(original)).name == "rule7"
+
+    def test_round_trip_with_awkward_constants(self):
+        original = CFD.build(["CT"], ["ST"], [["New York, NY", "NY"]], name="quoted")
+        assert parse_cfd(format_cfd(original)) == original
+
+    def test_format_cfds_joins_definitions(self):
+        text = format_cfds(cust_cfds())
+        assert len(parse_cfds(text)) == 3
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "rules.cfd"
+        write_cfd_file(path, cust_cfds())
+        loaded = read_cfd_file(path)
+        assert loaded == cust_cfds()
+
+    def test_single_pattern_formats_on_one_line(self):
+        cfd = CFD.build(["CC", "ZIP"], ["STR"], [["44", "_", "_"]], name="phi1")
+        assert "\n" not in format_cfd(cfd)
+
+    def test_multi_pattern_formats_as_block(self):
+        assert "{" in format_cfd(phi2())

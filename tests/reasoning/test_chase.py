@@ -1,0 +1,162 @@
+"""Tests for the symbolic chase machinery."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.reasoning.chase import (
+    ChaseConflict,
+    SymbolicState,
+    all_constants,
+    constants_in,
+    pair_chase,
+    single_tuple_chase,
+)
+
+
+@pytest.fixture
+def state():
+    return SymbolicState((0,), ("A", "B", "C"))
+
+
+@pytest.fixture
+def pair_state():
+    return SymbolicState((0, 1), ("A", "B", "C"))
+
+
+class TestSymbolicState:
+    def test_cells_start_free(self, state):
+        assert state.constant_of(0, "A") is None
+        assert not state.is_bound(0, "A")
+
+    def test_bind_and_read(self, state):
+        assert state.bind(0, "A", "a") is True
+        assert state.constant_of(0, "A") == "a"
+
+    def test_rebinding_same_value_is_noop(self, state):
+        state.bind(0, "A", "a")
+        assert state.bind(0, "A", "a") is False
+
+    def test_conflicting_bind_raises(self, state):
+        state.bind(0, "A", "a")
+        with pytest.raises(ChaseConflict):
+            state.bind(0, "A", "b")
+
+    def test_unify_free_cells(self, pair_state):
+        assert pair_state.unify((0, "A"), (1, "A")) is True
+        assert pair_state.same_class((0, "A"), (1, "A"))
+
+    def test_unify_propagates_constants(self, pair_state):
+        pair_state.bind(0, "A", "a")
+        pair_state.unify((0, "A"), (1, "A"))
+        assert pair_state.constant_of(1, "A") == "a"
+
+    def test_unify_constant_into_free_class(self, pair_state):
+        pair_state.unify((0, "A"), (1, "A"))
+        pair_state.bind(1, "A", "a")
+        assert pair_state.constant_of(0, "A") == "a"
+
+    def test_unify_conflicting_constants_raises(self, pair_state):
+        pair_state.bind(0, "A", "a")
+        pair_state.bind(1, "A", "b")
+        with pytest.raises(ChaseConflict):
+            pair_state.unify((0, "A"), (1, "A"))
+
+    def test_same_class_via_equal_constants(self, pair_state):
+        pair_state.bind(0, "A", "a")
+        pair_state.bind(1, "A", "a")
+        assert pair_state.same_class((0, "A"), (1, "A"))
+
+    def test_matches_cell_semantics(self, state):
+        from repro.core.pattern import WILDCARD, PatternValue
+
+        assert state.matches_cell(0, "A", WILDCARD)
+        assert not state.matches_cell(0, "A", PatternValue.constant("a"))
+        state.bind(0, "A", "a")
+        assert state.matches_cell(0, "A", PatternValue.constant("a"))
+        assert not state.matches_cell(0, "A", PatternValue.constant("b"))
+
+    def test_instantiate_gives_distinct_fresh_values(self, pair_state):
+        pair_state.bind(0, "A", "a")
+        pair_state.unify((0, "B"), (1, "B"))
+        concrete = pair_state.instantiate(("A", "B", "C"), forbidden={"a"})
+        assert concrete[0]["A"] == "a"
+        assert concrete[0]["B"] == concrete[1]["B"]
+        assert concrete[0]["C"] != concrete[1]["C"]
+        assert concrete[0]["C"] != "a"
+
+    def test_instantiate_refuses_free_finite_domain_cells(self, state):
+        with pytest.raises(ChaseConflict):
+            state.instantiate(("A",), finite_domains={"A": ("x", "y")})
+
+
+class TestSingleTupleChase:
+    def test_forces_constants_transitively(self, state):
+        sigma = [
+            CFD.build(["A"], ["B"], [["_", "b"]]),
+            CFD.build(["B"], ["C"], [["b", "c"]]),
+        ]
+        single_tuple_chase(sigma, state)
+        assert state.constant_of(0, "B") == "b"
+        assert state.constant_of(0, "C") == "c"
+
+    def test_constant_lhs_does_not_fire_on_free_cells(self, state):
+        sigma = [CFD.build(["A"], ["B"], [["a", "b"]])]
+        single_tuple_chase(sigma, state)
+        assert state.constant_of(0, "B") is None
+
+    def test_conflicting_forcings_raise(self, state):
+        sigma = [
+            CFD.build(["A"], ["B"], [["_", "b"]]),
+            CFD.build(["A"], ["B"], [["_", "c"]]),
+        ]
+        with pytest.raises(ChaseConflict):
+            single_tuple_chase(sigma, state)
+
+    def test_wildcard_rhs_is_inert(self, state):
+        sigma = [CFD.build(["A"], ["B"], [["_", "_"]])]
+        single_tuple_chase(sigma, state)
+        assert state.constant_of(0, "B") is None
+
+
+class TestPairChase:
+    def test_unifies_rhs_when_lhs_shared(self, pair_state):
+        pair_state.unify((0, "A"), (1, "A"))
+        sigma = [CFD.build(["A"], ["B"], [["_", "_"]])]
+        pair_chase(sigma, pair_state)
+        assert pair_state.same_class((0, "B"), (1, "B"))
+
+    def test_does_not_unify_without_lhs_agreement(self, pair_state):
+        sigma = [CFD.build(["A"], ["B"], [["_", "_"]])]
+        pair_chase(sigma, pair_state)
+        assert not pair_state.same_class((0, "B"), (1, "B"))
+
+    def test_transitive_unification(self, pair_state):
+        pair_state.unify((0, "A"), (1, "A"))
+        sigma = [
+            CFD.build(["A"], ["B"], [["_", "_"]]),
+            CFD.build(["B"], ["C"], [["_", "_"]]),
+        ]
+        pair_chase(sigma, pair_state)
+        assert pair_state.same_class((0, "C"), (1, "C"))
+
+    def test_constant_rule_applies_per_tuple(self, pair_state):
+        pair_state.bind(0, "A", "a")
+        sigma = [CFD.build(["A"], ["B"], [["a", "b"]])]
+        pair_chase(sigma, pair_state)
+        assert pair_state.constant_of(0, "B") == "b"
+        assert pair_state.constant_of(1, "B") is None
+
+
+class TestConstantExtraction:
+    def test_constants_in_groups_by_attribute(self):
+        cfds = [
+            CFD.build(["A"], ["B"], [["a1", "b1"], ["_", "b2"]]),
+            CFD.build(["B"], ["A"], [["b3", "_"]]),
+        ]
+        constants = constants_in(cfds)
+        assert constants["A"] == {"a1"}
+        assert constants["B"] == {"b1", "b2", "b3"}
+
+    def test_all_constants_flattens(self):
+        cfds = [CFD.build(["A"], ["B"], [["a1", "b1"]])]
+        assert all_constants(cfds) == {"a1", "b1"}

@@ -1,0 +1,72 @@
+"""Tests for classic FD closures over the embedded FDs."""
+
+import pytest
+
+from repro.core.cfd import CFD, FD
+from repro.reasoning.closure import (
+    attribute_closure,
+    candidate_keys,
+    embedded_fds,
+    fd_implies,
+)
+
+
+@pytest.fixture
+def fds():
+    return [FD(("A",), ("B",)), FD(("B",), ("C",)), FD(("C", "D"), ("E",))]
+
+
+class TestAttributeClosure:
+    def test_closure_includes_input(self, fds):
+        assert {"A"} <= set(attribute_closure(["A"], fds))
+
+    def test_transitive_closure(self, fds):
+        assert attribute_closure(["A"], fds) == frozenset({"A", "B", "C"})
+
+    def test_closure_with_composite_lhs(self, fds):
+        assert attribute_closure(["A", "D"], fds) == frozenset({"A", "B", "C", "D", "E"})
+
+    def test_closure_with_no_fds(self):
+        assert attribute_closure(["X"], []) == frozenset({"X"})
+
+
+class TestFDImplication:
+    def test_implied_fd(self, fds):
+        assert fd_implies(fds, FD(("A",), ("C",)))
+
+    def test_not_implied_fd(self, fds):
+        assert not fd_implies(fds, FD(("C",), ("A",)))
+
+    def test_reflexive_fd(self, fds):
+        assert fd_implies(fds, FD(("A", "B"), ("A",)))
+
+
+class TestEmbeddedFDs:
+    def test_embedded_fds_extracted(self):
+        cfds = [
+            CFD.build(["A"], ["B"], [["a", "b"]]),
+            CFD.build(["B", "C"], ["D"], [["_", "_", "_"]]),
+        ]
+        assert embedded_fds(cfds) == [FD(("A",), ("B",)), FD(("B", "C"), ("D",))]
+
+
+class TestCandidateKeys:
+    def test_single_key(self, fds):
+        keys = candidate_keys(["A", "B", "C", "D", "E"], fds)
+        assert ("A", "D") in keys
+
+    def test_keys_are_minimal(self, fds):
+        keys = candidate_keys(["A", "B", "C", "D", "E"], fds)
+        for key in keys:
+            for other in keys:
+                if key != other:
+                    assert not set(other) < set(key)
+
+    def test_no_fds_means_full_key(self):
+        keys = candidate_keys(["A", "B"], [])
+        assert keys == [("A", "B")]
+
+    def test_every_attribute_determined(self):
+        fds = [FD(("A",), ("B",)), FD(("B",), ("A",))]
+        keys = candidate_keys(["A", "B"], fds)
+        assert ("A",) in keys and ("B",) in keys

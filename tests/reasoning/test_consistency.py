@@ -1,0 +1,157 @@
+"""Tests for consistency analysis (Section 3.1, Theorem 3.2)."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.satisfaction import satisfies_all
+from repro.reasoning.consistency import (
+    consistency_witness,
+    consistent_domain_values,
+    is_consistent,
+    is_consistent_with_binding,
+)
+from repro.relation.attribute import Attribute, bool_attribute
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+
+@pytest.fixture
+def bool_schema():
+    return Schema("r", [bool_attribute("A"), "B"])
+
+
+class TestExample31:
+    """The two inconsistency scenarios of Example 3.1."""
+
+    def test_psi1_contradictory_constants_is_inconsistent(self):
+        psi1 = CFD.build(["A"], ["B"], [["_", "b"], ["_", "c"]])
+        assert not is_consistent([psi1])
+
+    def test_each_pattern_alone_is_consistent(self):
+        only_b = CFD.build(["A"], ["B"], [["_", "b"]])
+        only_c = CFD.build(["A"], ["B"], [["_", "c"]])
+        assert is_consistent([only_b])
+        assert is_consistent([only_c])
+
+    def test_finite_domain_interplay_is_inconsistent(self, bool_schema):
+        psi2 = CFD.build(["A"], ["B"], [[True, "b1"], [False, "b2"]])
+        psi3 = CFD.build(["B"], ["A"], [["b1", False], ["b2", True]])
+        assert is_consistent([psi2], schema=bool_schema)
+        assert is_consistent([psi3], schema=bool_schema)
+        assert not is_consistent([psi2, psi3], schema=bool_schema)
+
+    def test_finite_domain_interplay_consistent_without_domain_info(self):
+        """Without declaring A's domain finite, a fresh value escapes the trap."""
+        psi2 = CFD.build(["A"], ["B"], [[True, "b1"], [False, "b2"]])
+        psi3 = CFD.build(["B"], ["A"], [["b1", False], ["b2", True]])
+        assert is_consistent([psi2, psi3])
+
+
+class TestBasicCases:
+    def test_empty_set_is_consistent(self):
+        assert is_consistent([])
+
+    def test_standard_fds_always_consistent(self):
+        cfds = [
+            CFD.build(["A"], ["B"], [["_", "_"]]),
+            CFD.build(["B", "C"], ["A"], [["_", "_", "_"]]),
+        ]
+        assert is_consistent(cfds)
+
+    def test_instance_level_cfds_consistent(self):
+        cfds = [
+            CFD.build(["A"], ["B"], [["a", "b"]]),
+            CFD.build(["A"], ["C"], [["a", "c"]]),
+        ]
+        assert is_consistent(cfds)
+
+    def test_constant_chain_conflict(self):
+        """Forced constants that clash through a chain of CFDs."""
+        cfds = [
+            CFD.build([], ["A"], [["a"]]),
+            CFD.build(["A"], ["B"], [["a", "b1"]]),
+            CFD.build([], ["B"], [["b2"]]),
+        ]
+        assert not is_consistent(cfds)
+
+    def test_constant_chain_without_conflict(self):
+        cfds = [
+            CFD.build([], ["A"], [["a"]]),
+            CFD.build(["A"], ["B"], [["a", "b1"]]),
+            CFD.build([], ["B"], [["b1"]]),
+        ]
+        assert is_consistent(cfds)
+
+    def test_cust_cfds_are_consistent(self, cust_constraints):
+        assert is_consistent(cust_constraints)
+
+
+class TestWitness:
+    def test_witness_satisfies_the_cfds(self):
+        cfds = [
+            CFD.build([], ["A"], [["a"]]),
+            CFD.build(["A"], ["B"], [["a", "b1"]]),
+        ]
+        witness = consistency_witness(cfds)
+        assert witness is not None
+        schema = Schema("r", sorted(witness))
+        relation = Relation(schema, [tuple(witness[name] for name in schema.names)])
+        assert satisfies_all(relation, cfds)
+
+    def test_witness_none_for_inconsistent_set(self):
+        cfds = [CFD.build(["A"], ["B"], [["_", "b"], ["_", "c"]])]
+        assert consistency_witness(cfds) is None
+
+    def test_witness_respects_bindings(self):
+        cfds = [CFD.build(["A"], ["B"], [["a", "b"]])]
+        witness = consistency_witness(cfds, bindings={"A": "a"})
+        assert witness is not None
+        assert witness["A"] == "a"
+        assert witness["B"] == "b"
+
+    def test_empty_cfd_set_witness_is_empty_tuple(self):
+        assert consistency_witness([]) == {}
+
+
+class TestBindingConsistency:
+    """The (Σ, B = b) test behind inference rules FD7 and FD8."""
+
+    def test_binding_blocked_by_constant_cfd(self):
+        sigma = [CFD.build([], ["B"], [["b1"]])]
+        assert is_consistent_with_binding(sigma, "B", "b1")
+        assert not is_consistent_with_binding(sigma, "B", "b2")
+
+    def test_example_31_has_no_consistent_boolean_value(self, bool_schema):
+        psi2 = CFD.build(["A"], ["B"], [[True, "b1"], [False, "b2"]])
+        psi3 = CFD.build(["B"], ["A"], [["b1", False], ["b2", True]])
+        sigma = [psi2, psi3]
+        assert not is_consistent_with_binding(sigma, "A", True, schema=bool_schema)
+        assert not is_consistent_with_binding(sigma, "A", False, schema=bool_schema)
+
+    def test_consistent_domain_values(self, bool_schema):
+        sigma = [CFD.build(["A"], ["B"], [[True, "b1"], [True, "b2"]])]
+        values = consistent_domain_values(sigma, "A", bool_schema)
+        assert values == (False,)
+
+    def test_consistent_domain_values_requires_finite_domain(self):
+        schema = Schema("r", ["A", "B"])
+        with pytest.raises(ValueError):
+            consistent_domain_values([], "A", schema)
+
+
+class TestFiniteDomainEnumeration:
+    def test_three_valued_domain(self):
+        schema = Schema("r", [Attribute("A", domain={"x", "y", "z"}), "B"])
+        sigma = [
+            CFD.build(["A"], ["B"], [["x", "b1"], ["y", "b2"], ["z", "b3"]]),
+            CFD.build(["B"], ["B"], [["b1", "b1"], ["b2", "b2"], ["b3", "b3"]]),
+        ]
+        assert is_consistent(sigma, schema=schema)
+
+    def test_fully_blocked_finite_domain(self):
+        schema = Schema("r", [Attribute("A", domain={"x", "y"}), "B"])
+        sigma = [
+            CFD.build(["A"], ["B"], [["x", "b1"], ["y", "b1"]]),
+            CFD.build([], ["B"], [["b2"]]),
+        ]
+        assert not is_consistent(sigma, schema=schema)

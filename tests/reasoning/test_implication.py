@@ -1,0 +1,156 @@
+"""Tests for implication analysis (Section 3.2, Theorems 3.4/3.5)."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.reasoning.implication import equivalent, implies
+from repro.relation.attribute import bool_attribute
+from repro.relation.schema import Schema
+
+
+@pytest.fixture
+def bool_schema():
+    return Schema("r", [bool_attribute("A"), "B", "C"])
+
+
+class TestExample32:
+    """Σ = {ψ1, ψ2} implies φ = (A → C, (a, _)) — the paper's worked derivation."""
+
+    def test_paper_example(self):
+        psi1 = CFD.build(["A"], ["B"], [["_", "b"]])
+        psi2 = CFD.build(["B"], ["C"], [["_", "c"]])
+        phi = CFD.build(["A"], ["C"], [["a", "_"]])
+        assert implies([psi1, psi2], phi)
+
+    def test_intermediate_step_also_implied(self):
+        """Step (3) of the derivation: (A → C, (_, c))."""
+        psi1 = CFD.build(["A"], ["B"], [["_", "b"]])
+        psi2 = CFD.build(["B"], ["C"], [["_", "c"]])
+        step3 = CFD.build(["A"], ["C"], [["_", "c"]])
+        assert implies([psi1, psi2], step3)
+
+    def test_reverse_not_implied(self):
+        psi1 = CFD.build(["A"], ["B"], [["_", "b"]])
+        phi = CFD.build(["A"], ["C"], [["a", "_"]])
+        assert not implies([psi1], phi)
+
+
+class TestClassicalFDBehaviour:
+    """On all-wildcard CFDs, implication must coincide with Armstrong FD implication."""
+
+    def test_transitivity(self):
+        ab = CFD.build(["A"], ["B"], [["_", "_"]])
+        bc = CFD.build(["B"], ["C"], [["_", "_"]])
+        ac = CFD.build(["A"], ["C"], [["_", "_"]])
+        assert implies([ab, bc], ac)
+
+    def test_reflexivity(self):
+        trivial = CFD.build(["A", "B"], ["A"], [["_", "_", "_"]])
+        assert implies([], trivial)
+
+    def test_augmentation(self):
+        ab = CFD.build(["A"], ["B"], [["_", "_"]])
+        augmented = CFD.build(["A", "C"], ["B"], [["_", "_", "_"]])
+        assert implies([ab], augmented)
+
+    def test_no_spurious_implication(self):
+        ab = CFD.build(["A"], ["B"], [["_", "_"]])
+        ba = CFD.build(["B"], ["A"], [["_", "_"]])
+        assert not implies([ab], ba)
+
+    def test_union_of_rhs(self):
+        ab = CFD.build(["A"], ["B"], [["_", "_"]])
+        ac = CFD.build(["A"], ["C"], [["_", "_"]])
+        abc = CFD.build(["A"], ["B", "C"], [["_", "_", "_"]])
+        assert implies([ab, ac], abc)
+
+
+class TestPatternSpecificImplication:
+    def test_specialising_the_lhs_pattern_is_implied(self):
+        general = CFD.build(["A"], ["B"], [["_", "_"]])
+        special = CFD.build(["A"], ["B"], [["a", "_"]])
+        assert implies([general], special)
+        assert not implies([special], general)
+
+    def test_generalising_a_constant_rhs_is_implied(self):
+        constant = CFD.build(["A"], ["B"], [["a", "b"]])
+        wildcard = CFD.build(["A"], ["B"], [["a", "_"]])
+        assert implies([constant], wildcard)
+        assert not implies([wildcard], constant)
+
+    def test_dropping_a_wildcard_lhs_attribute_with_constant_rhs(self):
+        """The FD4 scenario: ([B, X] → A, (_, x ‖ a)) implies (X → A, (x ‖ a))."""
+        wide = CFD.build(["B", "X"], ["A"], [["_", "x", "a"]])
+        narrow = CFD.build(["X"], ["A"], [["x", "a"]])
+        assert implies([wide], narrow)
+        assert implies([narrow], wide)
+
+    def test_constant_propagation_through_chain(self):
+        sigma = [
+            CFD.build([], ["A"], [["a"]]),
+            CFD.build(["A"], ["B"], [["a", "b"]]),
+        ]
+        assert implies(sigma, CFD.build([], ["B"], [["b"]]))
+        assert not implies(sigma, CFD.build([], ["B"], [["c"]]))
+
+    def test_unrelated_pattern_not_implied(self):
+        sigma = [CFD.build(["A"], ["B"], [["a1", "b1"]])]
+        assert not implies(sigma, CFD.build(["A"], ["B"], [["a2", "b1"]]))
+
+    def test_multi_pattern_cfd_needs_every_row_implied(self):
+        sigma = [CFD.build(["A"], ["B"], [["a1", "b1"]])]
+        phi = CFD.build(["A"], ["B"], [["a1", "b1"], ["a2", "b2"]])
+        assert not implies(sigma, phi)
+        sigma.append(CFD.build(["A"], ["B"], [["a2", "b2"]]))
+        assert implies(sigma, phi)
+
+
+class TestInconsistentSigma:
+    def test_inconsistent_sigma_implies_everything(self):
+        sigma = [CFD.build(["A"], ["B"], [["_", "b"], ["_", "c"]])]
+        arbitrary = CFD.build(["C"], ["A"], [["x", "y"]])
+        assert implies(sigma, arbitrary)
+
+
+class TestFiniteDomains:
+    def test_case_analysis_over_finite_domain(self, bool_schema):
+        """Σ forces C = c whichever boolean value A takes, so (B → C, (_, c)) follows."""
+        sigma = [
+            CFD.build(["A"], ["C"], [[True, "c"], [False, "c"]]),
+        ]
+        phi = CFD.build(["B"], ["C"], [["_", "c"]])
+        assert implies(sigma, phi, schema=bool_schema)
+        # Without knowing the domain of A is finite, the implication does not hold.
+        assert not implies(sigma, phi)
+
+    def test_finite_domain_variable_rhs(self, bool_schema):
+        """Two tuples agreeing on B must agree on C once every A value forces the same C."""
+        sigma = [
+            CFD.build(["A"], ["C"], [[True, "c1"], [False, "c1"]]),
+        ]
+        phi = CFD.build(["B"], ["C"], [["_", "_"]])
+        assert implies(sigma, phi, schema=bool_schema)
+
+    def test_finite_domain_no_false_positive(self, bool_schema):
+        sigma = [
+            CFD.build(["A"], ["C"], [[True, "c1"], [False, "c2"]]),
+        ]
+        phi = CFD.build(["B"], ["C"], [["_", "_"]])
+        assert not implies(sigma, phi, schema=bool_schema)
+
+
+class TestEquivalence:
+    def test_normalisation_is_an_equivalence(self):
+        cfd = CFD.build(["A"], ["B", "C"], [["a", "b", "_"], ["_", "_", "_"]])
+        assert equivalent([cfd], cfd.normalize())
+
+    def test_different_sets_not_equivalent(self):
+        left = [CFD.build(["A"], ["B"], [["_", "_"]])]
+        right = [CFD.build(["B"], ["A"], [["_", "_"]])]
+        assert not equivalent(left, right)
+
+    def test_redundant_member_preserves_equivalence(self):
+        ab = CFD.build(["A"], ["B"], [["_", "_"]])
+        bc = CFD.build(["B"], ["C"], [["_", "_"]])
+        ac = CFD.build(["A"], ["C"], [["_", "_"]])
+        assert equivalent([ab, bc], [ab, bc, ac])

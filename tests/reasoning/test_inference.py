@@ -1,0 +1,248 @@
+"""Tests for the inference system I (Figure 3): rule preconditions and soundness.
+
+Soundness of every rule is checked against the chase-based implication test:
+whatever a rule derives from its premises must be implied by those premises
+(together with Σ for FD7/FD8).
+"""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.errors import ReasoningError
+from repro.reasoning.implication import implies
+from repro.reasoning.inference import Derivation, InferenceRules
+from repro.relation.attribute import bool_attribute
+from repro.relation.schema import Schema
+
+
+@pytest.fixture
+def bool_schema():
+    return Schema("r", [bool_attribute("F"), "X", "A", "B"])
+
+
+class TestFD1:
+    def test_reflexivity(self):
+        conclusion = InferenceRules.fd1(["A", "B"], "A")
+        assert conclusion.lhs == ("A", "B")
+        assert conclusion.rhs == ("A",)
+        assert conclusion.single_pattern().rhs_cell("A").is_wildcard
+        assert implies([], conclusion)
+
+    def test_target_must_be_in_lhs(self):
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd1(["A", "B"], "C")
+
+
+class TestFD2:
+    def test_augmentation_adds_wildcard_cell(self):
+        premise = CFD.build(["A"], ["C"], [["a", "c"]])
+        conclusion = InferenceRules.fd2(premise, "B")
+        assert conclusion.lhs == ("A", "B")
+        assert conclusion.single_pattern().lhs_cell("B").is_wildcard
+        assert conclusion.single_pattern().lhs_cell("A").value == "a"
+        assert implies([premise], conclusion)
+
+    def test_existing_attribute_rejected(self):
+        premise = CFD.build(["A"], ["C"], [["a", "c"]])
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd2(premise, "A")
+
+    def test_requires_normal_form(self):
+        premise = CFD.build(["A"], ["C"], [["a", "c"], ["_", "_"]])
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd2(premise, "B")
+
+
+class TestFD3:
+    def test_transitivity_with_patterns(self):
+        """The FD3 application inside Example 3.2."""
+        psi1 = CFD.build(["A"], ["B"], [["_", "b"]])
+        psi2 = CFD.build(["B"], ["C"], [["_", "c"]])
+        conclusion = InferenceRules.fd3([psi1], psi2)
+        assert conclusion.lhs == ("A",)
+        assert conclusion.rhs == ("C",)
+        assert conclusion.single_pattern().rhs_cell("C").value == "c"
+        assert implies([psi1, psi2], conclusion)
+
+    def test_scope_condition_enforced(self):
+        """(t1[A1], ..., tk[Ak]) must be ⪯ tp[A1..Ak]."""
+        psi1 = CFD.build(["A"], ["B"], [["_", "b1"]])
+        psi2 = CFD.build(["B"], ["C"], [["b2", "c"]])  # requires B = b2, premise yields b1
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd3([psi1], psi2)
+
+    def test_wildcard_premise_not_in_scope_of_constant(self):
+        psi1 = CFD.build(["A"], ["B"], [["_", "_"]])
+        psi2 = CFD.build(["B"], ["C"], [["b", "c"]])
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd3([psi1], psi2)
+
+    def test_multiple_premises(self):
+        p1 = CFD.build(["X"], ["A"], [["x", "a"]])
+        p2 = CFD.build(["X"], ["B"], [["x", "b"]])
+        final = CFD.build(["A", "B"], ["C"], [["a", "_", "c"]])
+        conclusion = InferenceRules.fd3([p1, p2], final)
+        assert conclusion.lhs == ("X",)
+        assert conclusion.single_pattern().rhs_cell("C").value == "c"
+        assert implies([p1, p2, final], conclusion)
+
+    def test_premises_must_share_lhs(self):
+        p1 = CFD.build(["X"], ["A"], [["x", "a"]])
+        p2 = CFD.build(["Y"], ["B"], [["y", "b"]])
+        final = CFD.build(["A", "B"], ["C"], [["_", "_", "c"]])
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd3([p1, p2], final)
+
+    def test_premises_must_agree_on_lhs_pattern(self):
+        p1 = CFD.build(["X"], ["A"], [["x1", "a"]])
+        p2 = CFD.build(["X"], ["B"], [["x2", "b"]])
+        final = CFD.build(["A", "B"], ["C"], [["_", "_", "c"]])
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd3([p1, p2], final)
+
+    def test_needs_at_least_one_premise(self):
+        final = CFD.build(["A"], ["C"], [["_", "c"]])
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd3([], final)
+
+    def test_final_lhs_must_match_premise_rhs(self):
+        p1 = CFD.build(["X"], ["A"], [["x", "a"]])
+        final = CFD.build(["Z"], ["C"], [["_", "c"]])
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd3([p1], final)
+
+
+class TestFD4:
+    def test_drops_wildcard_lhs_attribute_when_rhs_constant(self):
+        premise = CFD.build(["B", "X"], ["A"], [["_", "x", "a"]])
+        conclusion = InferenceRules.fd4(premise, "B")
+        assert conclusion.lhs == ("X",)
+        assert conclusion.single_pattern().rhs_cell("A").value == "a"
+        assert implies([premise], conclusion)
+
+    def test_requires_wildcard_cell(self):
+        premise = CFD.build(["B", "X"], ["A"], [["b", "x", "a"]])
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd4(premise, "B")
+
+    def test_requires_constant_rhs(self):
+        premise = CFD.build(["B", "X"], ["A"], [["_", "x", "_"]])
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd4(premise, "B")
+
+    def test_attribute_must_be_in_lhs(self):
+        premise = CFD.build(["B", "X"], ["A"], [["_", "x", "a"]])
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd4(premise, "Z")
+
+
+class TestFD5:
+    def test_substitutes_constant_for_wildcard(self):
+        premise = CFD.build(["B", "X"], ["A"], [["_", "x", "_"]])
+        conclusion = InferenceRules.fd5(premise, "B", "b7")
+        assert conclusion.single_pattern().lhs_cell("B").value == "b7"
+        assert implies([premise], conclusion)
+
+    def test_requires_wildcard_cell(self):
+        premise = CFD.build(["B", "X"], ["A"], [["b", "x", "_"]])
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd5(premise, "B", "b7")
+
+    def test_attribute_must_be_in_lhs(self):
+        premise = CFD.build(["B"], ["A"], [["_", "_"]])
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd5(premise, "A", "x")
+
+
+class TestFD6:
+    def test_upgrades_constant_rhs_to_wildcard(self):
+        premise = CFD.build(["X"], ["A"], [["x", "a"]])
+        conclusion = InferenceRules.fd6(premise)
+        assert conclusion.single_pattern().rhs_cell("A").is_wildcard
+        assert implies([premise], conclusion)
+
+    def test_requires_constant_rhs(self):
+        premise = CFD.build(["X"], ["A"], [["x", "_"]])
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd6(premise)
+
+
+class TestFD7:
+    def test_upgrades_covered_finite_attribute_to_wildcard(self, bool_schema):
+        sigma = []
+        premise_true = CFD.build(["X", "F"], ["A"], [["x", True, "a"]])
+        premise_false = CFD.build(["X", "F"], ["A"], [["x", False, "a"]])
+        conclusion = InferenceRules.fd7(
+            sigma + [premise_true, premise_false],
+            [premise_true, premise_false],
+            "F",
+            bool_schema,
+        )
+        assert conclusion.single_pattern().lhs_cell("F").is_wildcard
+        assert implies([premise_true, premise_false], conclusion, schema=bool_schema)
+
+    def test_uncovered_consistent_value_rejected(self, bool_schema):
+        premise_true = CFD.build(["X", "F"], ["A"], [["x", True, "a"]])
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd7([premise_true], [premise_true], "F", bool_schema)
+
+    def test_partial_cover_allowed_when_other_value_inconsistent(self, bool_schema):
+        block_false = CFD.build(["F"], ["F"], [["_", True]])
+        premise_true = CFD.build(["X", "F"], ["A"], [["x", True, "a"]])
+        sigma = [block_false, premise_true]
+        conclusion = InferenceRules.fd7(sigma, [premise_true], "F", bool_schema)
+        assert conclusion.single_pattern().lhs_cell("F").is_wildcard
+        assert implies(sigma, conclusion, schema=bool_schema)
+
+    def test_requires_finite_domain(self):
+        schema = Schema("r", ["F", "X", "A"])
+        premise = CFD.build(["X", "F"], ["A"], [["x", "v", "a"]])
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd7([premise], [premise], "F", schema)
+
+
+class TestFD8:
+    def test_single_consistent_value_becomes_a_cfd(self, bool_schema):
+        sigma = [CFD.build(["F"], ["F"], [["_", True]])]
+        conclusion = InferenceRules.fd8(sigma, "F", bool_schema)
+        assert conclusion.lhs == ("F",)
+        assert conclusion.single_pattern().rhs_cell("F").value is True
+        assert implies(sigma, conclusion, schema=bool_schema)
+
+    def test_two_consistent_values_rejected(self, bool_schema):
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd8([], "F", bool_schema)
+
+    def test_requires_finite_domain(self):
+        schema = Schema("r", ["F"])
+        with pytest.raises(ReasoningError):
+            InferenceRules.fd8([], "F", schema)
+
+
+class TestDerivation:
+    def test_example_32_derivation(self):
+        """Replay the five-step derivation of Example 3.2."""
+        derivation = Derivation()
+        psi1 = derivation.assume(CFD.build(["A"], ["B"], [["_", "b"]]), note="psi1")
+        psi2 = derivation.assume(CFD.build(["B"], ["C"], [["_", "c"]]), note="psi2")
+        step3 = derivation.apply("FD3", InferenceRules.fd3([psi1], psi2), [psi1, psi2])
+        step4 = derivation.apply("FD5", InferenceRules.fd5(step3, "A", "a"), [step3])
+        step5 = derivation.apply("FD6", InferenceRules.fd6(step4), [step4])
+        assert step5.lhs == ("A",)
+        assert step5.single_pattern().lhs_cell("A").value == "a"
+        assert step5.single_pattern().rhs_cell("C").is_wildcard
+        assert len(derivation.steps) == 5
+        # The derived CFD is exactly the paper's φ = (A → C, (a, _)).
+        target = CFD.build(["A"], ["C"], [["a", "_"]])
+        assert derivation.conclusion == target
+        assert implies([psi1, psi2], derivation.conclusion)
+
+    def test_render_lists_steps(self):
+        derivation = Derivation()
+        derivation.assume(CFD.build(["A"], ["B"], [["_", "b"]]), note="psi1")
+        rendered = derivation.render()
+        assert "(1)" in rendered and "premise" in rendered
+
+    def test_empty_derivation_has_no_conclusion(self):
+        with pytest.raises(ReasoningError):
+            Derivation().conclusion

@@ -1,0 +1,100 @@
+"""Tests for algorithm MinCover (Figure 4) and Example 3.3."""
+
+import pytest
+
+from repro.core.cfd import CFD, normalize_all
+from repro.reasoning.implication import equivalent, implies
+from repro.reasoning.mincover import is_minimal, minimal_cover
+
+
+@pytest.fixture
+def example_33_sigma():
+    psi1 = CFD.build(["A"], ["B"], [["_", "b"]])
+    psi2 = CFD.build(["B"], ["C"], [["_", "c"]])
+    phi = CFD.build(["A"], ["C"], [["a", "_"]])
+    return [psi1, psi2, phi]
+
+
+class TestExample33:
+    def test_cover_is_the_paper_result(self, example_33_sigma):
+        """Σ_mc = {(∅ → B, (b)), (∅ → C, (c))}."""
+        cover = minimal_cover(example_33_sigma)
+        shapes = sorted(
+            (cfd.lhs, cfd.rhs, cfd.single_pattern().rhs_cell(cfd.rhs[0]).render())
+            for cfd in cover
+        )
+        assert shapes == [((), ("B",), "b"), ((), ("C",), "c")]
+
+    def test_cover_is_equivalent_to_sigma(self, example_33_sigma):
+        cover = minimal_cover(example_33_sigma)
+        assert equivalent(cover, example_33_sigma)
+
+    def test_cover_is_minimal(self, example_33_sigma):
+        assert is_minimal(minimal_cover(example_33_sigma))
+
+
+class TestGeneralProperties:
+    def test_inconsistent_input_gives_empty_cover(self):
+        sigma = [CFD.build(["A"], ["B"], [["_", "b"], ["_", "c"]])]
+        assert minimal_cover(sigma) == []
+
+    def test_cover_of_plain_fds(self):
+        ab = CFD.build(["A"], ["B"], [["_", "_"]])
+        bc = CFD.build(["B"], ["C"], [["_", "_"]])
+        ac = CFD.build(["A"], ["C"], [["_", "_"]])
+        cover = minimal_cover([ab, bc, ac])
+        assert equivalent(cover, [ab, bc, ac])
+        # The transitive FD is redundant, so only two survive.
+        assert len(cover) == 2
+
+    def test_cover_removes_duplicate_cfds(self):
+        ab = CFD.build(["A"], ["B"], [["_", "_"]])
+        cover = minimal_cover([ab, CFD.build(["A"], ["B"], [["_", "_"]], name="copy")])
+        assert len(cover) == 1
+
+    def test_cover_removes_redundant_lhs_attribute(self):
+        wide = CFD.build(["B", "X"], ["A"], [["_", "x", "a"]])
+        cover = minimal_cover([wide])
+        assert len(cover) == 1
+        assert cover[0].lhs == ("X",)
+        assert equivalent(cover, [wide])
+
+    def test_cover_of_empty_set(self):
+        assert minimal_cover([]) == []
+
+    def test_cover_results_are_normal_form(self, example_33_sigma):
+        assert all(cfd.is_normal_form() for cfd in minimal_cover(example_33_sigma))
+
+    def test_cover_of_multi_rhs_cfd(self):
+        cfd = CFD.build(["A"], ["B", "C"], [["_", "b", "c"]])
+        cover = minimal_cover([cfd])
+        assert equivalent(cover, [cfd])
+        assert all(len(part.rhs) == 1 for part in cover)
+
+    def test_cust_cfds_cover_is_equivalent(self, cust_constraints):
+        cover = minimal_cover(cust_constraints)
+        assert cover, "the cust CFDs are consistent so the cover must be non-empty"
+        assert equivalent(cover, normalize_all(cust_constraints))
+
+    def test_cover_never_larger_than_normalised_input(self, cust_constraints):
+        cover = minimal_cover(cust_constraints)
+        assert len(cover) <= len(normalize_all(cust_constraints))
+
+
+class TestIsMinimal:
+    def test_redundant_set_is_not_minimal(self):
+        ab = CFD.build(["A"], ["B"], [["_", "_"]])
+        duplicate = CFD.build(["A"], ["B"], [["_", "_"]], name="dup")
+        assert not is_minimal([ab, duplicate])
+
+    def test_reducible_lhs_is_not_minimal(self):
+        wide = CFD.build(["B", "X"], ["A"], [["_", "x", "a"]])
+        assert not is_minimal([wide])
+
+    def test_non_normal_form_is_not_minimal(self):
+        cfd = CFD.build(["A"], ["B", "C"], [["_", "_", "_"]])
+        assert not is_minimal([cfd])
+
+    def test_single_irreducible_cfd_is_minimal(self):
+        cfd = CFD.build(["A"], ["B"], [["a", "b"]])
+        assert is_minimal([cfd])

@@ -1,0 +1,102 @@
+"""Property-based tests for the reasoning layer.
+
+The key invariants:
+
+* **Consistency soundness**: when the chase declares a CFD set consistent it
+  also produces a witness tuple, and that witness genuinely satisfies the set.
+* **Consistency vs satisfiable data**: any CFD set that a non-empty concrete
+  relation satisfies must be declared consistent.
+* **Implication soundness**: if ``Σ |= φ`` according to the chase, then every
+  (small, randomly generated) relation satisfying ``Σ`` also satisfies ``φ``.
+* **Implication reflexivity/monotonicity**: every member of Σ is implied by Σ,
+  and implication survives adding more CFDs to Σ.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cfd import CFD
+from repro.core.satisfaction import satisfies, satisfies_all
+from repro.reasoning.consistency import consistency_witness, is_consistent
+from repro.reasoning.implication import implies
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+ATTRIBUTES = ("A", "B", "C")
+VALUES = ("v0", "v1")
+
+cell = st.one_of(st.sampled_from(VALUES), st.just("_"))
+row = st.tuples(*(st.sampled_from(VALUES) for _ in ATTRIBUTES))
+
+
+@st.composite
+def normal_form_cfds(draw):
+    rhs_attr = draw(st.sampled_from(ATTRIBUTES))
+    lhs_size = draw(st.integers(min_value=0, max_value=2))
+    lhs_attrs = [attr for attr in ATTRIBUTES if attr != rhs_attr][:lhs_size]
+    pattern = {attr: draw(cell) for attr in lhs_attrs}
+    pattern[rhs_attr] = draw(cell)
+    return CFD.build(lhs_attrs, [rhs_attr], [pattern])
+
+
+cfd_sets = st.lists(normal_form_cfds(), min_size=0, max_size=4)
+
+
+@st.composite
+def relations(draw, min_rows=0, max_rows=4):
+    rows = draw(st.lists(row, min_size=min_rows, max_size=max_rows))
+    return Relation(Schema("r", ATTRIBUTES), rows)
+
+
+class TestConsistencyProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(cfd_sets)
+    def test_witness_satisfies_sigma(self, sigma):
+        witness = consistency_witness(sigma)
+        if witness is None:
+            return
+        attributes = sorted(witness) or ["A"]
+        schema = Schema("w", attributes)
+        relation = Relation(schema, [tuple(witness.get(name) for name in attributes)])
+        checkable = [cfd for cfd in sigma if set(cfd.attributes) <= set(attributes)]
+        assert satisfies_all(relation, checkable)
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations(min_rows=1), cfd_sets)
+    def test_satisfiable_by_data_implies_consistent(self, relation, sigma):
+        if satisfies_all(relation, sigma):
+            assert is_consistent(sigma)
+
+    @settings(max_examples=40, deadline=None)
+    @given(cfd_sets, normal_form_cfds())
+    def test_consistency_is_antitone_in_sigma(self, sigma, extra):
+        """Adding a CFD can only make a set inconsistent, never repair it."""
+        if not is_consistent(sigma):
+            assert not is_consistent(sigma + [extra])
+
+
+class TestImplicationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(cfd_sets)
+    def test_every_member_is_implied(self, sigma):
+        for phi in sigma:
+            assert implies(sigma, phi)
+
+    @settings(max_examples=40, deadline=None)
+    @given(cfd_sets, normal_form_cfds(), normal_form_cfds())
+    def test_implication_is_monotone_in_sigma(self, sigma, phi, extra):
+        if implies(sigma, phi):
+            assert implies(sigma + [extra], phi)
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations(min_rows=1, max_rows=4), cfd_sets, normal_form_cfds())
+    def test_implication_soundness_on_data(self, relation, sigma, phi):
+        """Σ |= φ and I |= Σ together force I |= φ."""
+        if implies(sigma, phi) and satisfies_all(relation, sigma):
+            assert satisfies(relation, phi)
+
+    @settings(max_examples=40, deadline=None)
+    @given(normal_form_cfds())
+    def test_self_implication(self, phi):
+        assert implies([phi], phi)

@@ -1,0 +1,96 @@
+"""Tests for repro.relation.attribute."""
+
+import pytest
+
+from repro.errors import DomainError, SchemaError
+from repro.relation.attribute import Attribute, bool_attribute, enum_attribute
+
+
+class TestAttributeConstruction:
+    def test_plain_attribute_has_no_finite_domain(self):
+        attribute = Attribute("CC")
+        assert not attribute.has_finite_domain
+        assert attribute.domain is None
+
+    def test_finite_domain_is_frozen(self):
+        attribute = Attribute("MR", domain={"single", "married"})
+        assert attribute.has_finite_domain
+        assert attribute.domain == frozenset({"single", "married"})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute(123)  # type: ignore[arg-type]
+
+    def test_empty_finite_domain_rejected(self):
+        with pytest.raises(DomainError):
+            Attribute("A", domain=set())
+
+    def test_str_is_the_name(self):
+        assert str(Attribute("ZIP")) == "ZIP"
+
+
+class TestAttributeDomainChecks:
+    def test_unbounded_domain_admits_anything(self):
+        attribute = Attribute("NM")
+        assert attribute.admits("Mike")
+        assert attribute.admits(42)
+
+    def test_finite_domain_admits_members_only(self):
+        attribute = Attribute("CH", domain={"yes", "no"})
+        assert attribute.admits("yes")
+        assert not attribute.admits("maybe")
+
+    def test_check_raises_on_out_of_domain_value(self):
+        attribute = Attribute("CH", domain={"yes", "no"})
+        with pytest.raises(DomainError):
+            attribute.check("maybe")
+
+    def test_check_returns_value_unchanged(self):
+        attribute = Attribute("CH", domain={"yes", "no"})
+        assert attribute.check("yes") == "yes"
+
+
+class TestAttributeParsing:
+    def test_parse_string_is_identity(self):
+        assert Attribute("NM").parse("Mike") == "Mike"
+
+    def test_parse_int(self):
+        assert Attribute("SA", dtype=int).parse("42000") == 42000
+
+    def test_parse_float(self):
+        assert Attribute("TX", dtype=float).parse("5.25") == pytest.approx(5.25)
+
+    def test_parse_bool_truthy_and_falsy(self):
+        attribute = Attribute("FLAG", dtype=bool)
+        assert attribute.parse("true") is True
+        assert attribute.parse("0") is False
+
+    def test_parse_bool_garbage_raises(self):
+        with pytest.raises(DomainError):
+            Attribute("FLAG", dtype=bool).parse("banana")
+
+    def test_parse_int_garbage_raises(self):
+        with pytest.raises(DomainError):
+            Attribute("SA", dtype=int).parse("abc")
+
+
+class TestConvenienceConstructors:
+    def test_bool_attribute(self):
+        attribute = bool_attribute("FLAG")
+        assert attribute.domain == frozenset({True, False})
+        assert attribute.parse("yes") is True
+
+    def test_enum_attribute(self):
+        attribute = enum_attribute("MR", ["single", "married"])
+        assert attribute.has_finite_domain
+        assert attribute.admits("single")
+        assert not attribute.admits("divorced")
+
+    def test_attributes_are_hashable_and_comparable(self):
+        assert Attribute("A") == Attribute("A")
+        assert Attribute("A") != Attribute("B")
+        assert len({Attribute("A"), Attribute("A"), Attribute("B")}) == 2

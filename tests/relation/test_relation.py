@@ -1,0 +1,164 @@
+"""Tests for repro.relation.relation."""
+
+import pytest
+
+from repro.errors import DomainError, SchemaError
+from repro.relation.attribute import Attribute
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema("r", ["A", "B", "C"])
+
+
+@pytest.fixture
+def relation(schema):
+    return Relation(schema, [("a1", "b1", "c1"), ("a1", "b2", "c2"), ("a2", "b1", "c1")])
+
+
+class TestInsertion:
+    def test_insert_positional_returns_index(self, schema):
+        relation = Relation(schema)
+        assert relation.insert(("a", "b", "c")) == 0
+        assert relation.insert(("d", "e", "f")) == 1
+
+    def test_insert_mapping(self, schema):
+        relation = Relation(schema)
+        relation.insert({"A": 1, "B": 2, "C": 3})
+        assert relation[0] == (1, 2, 3)
+
+    def test_insert_mapping_missing_attribute_raises(self, schema):
+        with pytest.raises(SchemaError):
+            Relation(schema).insert({"A": 1, "B": 2})
+
+    def test_insert_mapping_extra_attribute_raises(self, schema):
+        with pytest.raises(SchemaError):
+            Relation(schema).insert({"A": 1, "B": 2, "C": 3, "D": 4})
+
+    def test_insert_wrong_arity_raises(self, schema):
+        with pytest.raises(SchemaError):
+            Relation(schema).insert(("a", "b"))
+
+    def test_insert_respects_finite_domains(self):
+        schema = Schema("r", [Attribute("A", domain={"x", "y"}), "B"])
+        relation = Relation(schema)
+        relation.insert(("x", 1))
+        with pytest.raises(DomainError):
+            relation.insert(("z", 2))
+
+    def test_extend_and_len(self, schema):
+        relation = Relation(schema)
+        relation.extend([("a", "b", "c"), ("d", "e", "f")])
+        assert len(relation) == 2
+
+    def test_constructor_rows(self, relation):
+        assert len(relation) == 3
+
+
+class TestAccess:
+    def test_value_by_name(self, relation):
+        assert relation.value(1, "B") == "b2"
+
+    def test_row_dict(self, relation):
+        assert relation.row_dict(0) == {"A": "a1", "B": "b1", "C": "c1"}
+
+    def test_project_row(self, relation):
+        assert relation.project_row(2, ["C", "A"]) == ("c1", "a2")
+
+    def test_iter_dicts(self, relation):
+        dicts = list(relation.iter_dicts())
+        assert len(dicts) == 3
+        assert dicts[1]["B"] == "b2"
+
+    def test_rows_snapshot_is_immutable_copy(self, relation):
+        snapshot = relation.rows
+        relation.insert(("x", "y", "z"))
+        assert len(snapshot) == 3
+
+    def test_equality(self, schema, relation):
+        clone = Relation(schema, relation.rows)
+        assert clone == relation
+
+
+class TestMutation:
+    def test_update_changes_single_cell(self, relation):
+        relation.update(0, "B", "new")
+        assert relation.value(0, "B") == "new"
+        assert relation.value(0, "A") == "a1"
+
+    def test_update_respects_domain(self):
+        schema = Schema("r", [Attribute("A", domain={"x", "y"})])
+        relation = Relation(schema, [("x",)])
+        with pytest.raises(DomainError):
+            relation.update(0, "A", "z")
+
+    def test_delete_returns_row(self, relation):
+        row = relation.delete(1)
+        assert row == ("a1", "b2", "c2")
+        assert len(relation) == 2
+
+    def test_copy_is_independent(self, relation):
+        clone = relation.copy()
+        clone.update(0, "A", "changed")
+        assert relation.value(0, "A") == "a1"
+
+
+class TestAlgebra:
+    def test_select(self, relation):
+        selected = relation.select(lambda row: row["B"] == "b1")
+        assert len(selected) == 2
+
+    def test_project_keeps_duplicates_by_default(self, relation):
+        projected = relation.project(["B"])
+        assert len(projected) == 3
+
+    def test_project_distinct(self, relation):
+        projected = relation.project(["B"], distinct=True)
+        assert sorted(row[0] for row in projected) == ["b1", "b2"]
+
+    def test_group_by(self, relation):
+        groups = relation.group_by(["B"])
+        assert groups[("b1",)] == [0, 2]
+        assert groups[("b2",)] == [1]
+
+    def test_active_domain_sorted(self, relation):
+        assert relation.active_domain("A") == ("a1", "a2")
+
+    def test_active_domain_mixed_types(self, schema):
+        relation = Relation(schema, [(1, "b", "c"), ("x", "b", "c")])
+        # Must not raise even though int and str are not mutually orderable.
+        assert set(relation.active_domain("A")) == {1, "x"}
+
+
+class TestCSVRoundTrip:
+    def test_round_trip(self, tmp_path, relation):
+        path = tmp_path / "r.csv"
+        relation.to_csv(path)
+        loaded = Relation.from_csv(relation.schema, path)
+        assert loaded == relation
+
+    def test_round_trip_with_typed_attributes(self, tmp_path):
+        schema = Schema("r", [Attribute("A"), Attribute("N", dtype=int)])
+        relation = Relation(schema, [("a", 1), ("b", 2)])
+        path = tmp_path / "typed.csv"
+        relation.to_csv(path)
+        loaded = Relation.from_csv(schema, path)
+        assert loaded.rows == (("a", 1), ("b", 2))
+
+    def test_header_mismatch_raises(self, tmp_path, relation):
+        path = tmp_path / "r.csv"
+        relation.to_csv(path)
+        other_schema = Schema("r", ["X", "Y", "Z"])
+        with pytest.raises(SchemaError):
+            Relation.from_csv(other_schema, path)
+
+    def test_empty_file_loads_empty_relation(self, tmp_path, schema):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert len(Relation.from_csv(schema, path)) == 0
+
+    def test_from_dicts(self, schema):
+        relation = Relation.from_dicts(schema, [{"A": 1, "B": 2, "C": 3}])
+        assert relation[0] == (1, 2, 3)

@@ -1,0 +1,96 @@
+"""Tests for repro.relation.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relation.attribute import Attribute
+from repro.relation.schema import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema("cust", ["CC", "AC", "PN", "NM"])
+
+
+class TestSchemaConstruction:
+    def test_names_preserve_order(self, schema):
+        assert schema.names == ("CC", "AC", "PN", "NM")
+
+    def test_strings_become_attributes(self, schema):
+        assert all(isinstance(attribute, Attribute) for attribute in schema.attributes)
+
+    def test_mixed_attribute_and_string_inputs(self):
+        schema = Schema("r", [Attribute("A", domain={"x"}), "B"])
+        assert schema["A"].has_finite_domain
+        assert not schema["B"].has_finite_domain
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("r", ["A", "A"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("r", [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("", ["A"])
+
+    def test_invalid_attribute_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("r", [42])  # type: ignore[list-item]
+
+
+class TestSchemaAccess:
+    def test_len_and_iteration(self, schema):
+        assert len(schema) == 4
+        assert [attribute.name for attribute in schema] == list(schema.names)
+
+    def test_contains(self, schema):
+        assert "CC" in schema
+        assert "ZIP" not in schema
+
+    def test_getitem_unknown_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema["ZIP"]
+
+    def test_position_and_positions(self, schema):
+        assert schema.position("AC") == 1
+        assert schema.positions(["NM", "CC"]) == (3, 0)
+
+    def test_position_unknown_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.position("ZIP")
+
+    def test_validate_attributes_passes_through(self, schema):
+        assert schema.validate_attributes(["CC", "PN"]) == ("CC", "PN")
+
+    def test_validate_attributes_unknown_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_attributes(["CC", "ZIP"])
+
+
+class TestSchemaDerived:
+    def test_project_keeps_requested_order(self, schema):
+        projected = schema.project(["NM", "CC"])
+        assert projected.names == ("NM", "CC")
+        assert projected.name == "cust"
+
+    def test_project_unknown_attribute_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.project(["ZIP"])
+
+    def test_finite_domain_attributes(self):
+        schema = Schema("r", [Attribute("A", domain={"x", "y"}), "B"])
+        assert [attribute.name for attribute in schema.finite_domain_attributes()] == ["A"]
+
+    def test_equality_and_hash(self, schema):
+        same = Schema("cust", ["CC", "AC", "PN", "NM"])
+        other = Schema("cust", ["CC", "AC", "PN"])
+        assert schema == same
+        assert schema != other
+        assert hash(schema) == hash(same)
+
+    def test_repr_mentions_name_and_attributes(self, schema):
+        assert "cust" in repr(schema)
+        assert "CC" in repr(schema)

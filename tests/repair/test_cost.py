@@ -1,0 +1,68 @@
+"""Tests for the repair cost model."""
+
+import pytest
+
+from repro.repair.cost import CostModel, levenshtein, normalized_distance
+
+
+class TestLevenshtein:
+    def test_identical_strings(self):
+        assert levenshtein("NYC", "NYC") == 0
+
+    def test_empty_strings(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+        assert levenshtein("", "") == 0
+
+    def test_single_substitution(self):
+        assert levenshtein("NYC", "NYD") == 1
+
+    def test_insertion_and_deletion(self):
+        assert levenshtein("MH", "MHT") == 1
+        assert levenshtein("MHT", "MH") == 1
+
+    def test_symmetric(self):
+        assert levenshtein("Chicago", "Boston") == levenshtein("Boston", "Chicago")
+
+    def test_known_distance(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_triangle_inequality_sample(self):
+        a, b, c = "Edinburgh", "Edimburg", "Hamburg"
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestNormalizedDistance:
+    def test_equal_values(self):
+        assert normalized_distance("x", "x") == 0.0
+        assert normalized_distance(5, 5) == 0.0
+
+    def test_string_distance_bounded(self):
+        assert 0.0 < normalized_distance("NYC", "MH") <= 1.0
+
+    def test_completely_different_strings(self):
+        assert normalized_distance("abc", "xyz") == 1.0
+
+    def test_non_string_values_use_unit_distance(self):
+        assert normalized_distance(1, 2) == 1.0
+        assert normalized_distance(1, "1") == 1.0
+
+
+class TestCostModel:
+    def test_default_weight(self):
+        model = CostModel()
+        assert model.weight(17) == 1.0
+
+    def test_tuple_weights_override_default(self):
+        model = CostModel(tuple_weights={3: 5.0}, default_weight=2.0)
+        assert model.weight(3) == 5.0
+        assert model.weight(4) == 2.0
+
+    def test_modification_cost_scales_with_weight(self):
+        model = CostModel(tuple_weights={0: 10.0})
+        cheap = CostModel().modification_cost(0, "abc", "abd")
+        expensive = model.modification_cost(0, "abc", "abd")
+        assert expensive == pytest.approx(10 * cheap)
+
+    def test_no_change_costs_nothing(self):
+        assert CostModel().modification_cost(0, "same", "same") == 0.0

@@ -1,0 +1,62 @@
+"""The Section 6 scenario: some CFD violations can only be repaired on the LHS.
+
+The paper's example: attr(R) = (A, B, C), I = {(a1, b1, c1), (a1, b2, c2)} and
+Σ = { (A → B, (_, _)), (C → B, {(c1, b1), (c2, b2)}) }.  The instance violates
+Σ and — unlike with plain FDs — no sequence of RHS-only modifications can fix
+it, because the two tuples' B values are pinned to different constants by the
+second CFD while the first demands they be equal.
+"""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.satisfaction import find_all_violations, satisfies_all
+from repro.reasoning.consistency import is_consistent
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+from repro.repair.heuristic import repair
+
+
+@pytest.fixture
+def section6_instance():
+    schema = Schema("r", ["A", "B", "C"])
+    return Relation(schema, [("a1", "b1", "c1"), ("a1", "b2", "c2")])
+
+
+@pytest.fixture
+def section6_sigma():
+    return [
+        CFD.build(["A"], ["B"], [["_", "_"]], name="a_to_b"),
+        CFD.build(["C"], ["B"], [["c1", "b1"], ["c2", "b2"]], name="c_pins_b"),
+    ]
+
+
+class TestSection6Example:
+    def test_sigma_is_consistent(self, section6_sigma):
+        assert is_consistent(section6_sigma)
+
+    def test_instance_violates_sigma(self, section6_instance, section6_sigma):
+        assert not find_all_violations(section6_instance, section6_sigma).is_clean()
+
+    def test_rhs_only_modification_cannot_work(self, section6_instance, section6_sigma):
+        """Changing only B values can never satisfy both CFDs simultaneously."""
+        candidates = ["b1", "b2", "b3"]
+        for left in candidates:
+            for right in candidates:
+                attempt = section6_instance.copy()
+                attempt.update(0, "B", left)
+                attempt.update(1, "B", right)
+                assert not satisfies_all(attempt, section6_sigma)
+
+    def test_heuristic_repairs_via_lhs_modification(self, section6_instance, section6_sigma):
+        result = repair(section6_instance, section6_sigma)
+        assert result.clean
+        assert satisfies_all(result.relation, section6_sigma)
+        touched_attributes = {change.attribute for change in result.changes}
+        assert touched_attributes & {"A", "C"}, (
+            "a correct repair must modify an LHS attribute of the embedded FDs"
+        )
+
+    def test_repair_reports_the_lhs_fallback(self, section6_instance, section6_sigma):
+        result = repair(section6_instance, section6_sigma)
+        assert any("LHS" in change.reason for change in result.changes)

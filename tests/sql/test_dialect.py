@@ -1,0 +1,80 @@
+"""Tests for the SQL dialect helpers."""
+
+import pytest
+
+from repro.core.pattern import DONTCARE, WILDCARD, PatternValue
+from repro.errors import SQLGenerationError
+from repro.sql.dialect import DEFAULT_DIALECT, SQLDialect
+
+
+class TestIdentifiers:
+    def test_simple_identifier_quoted(self):
+        assert DEFAULT_DIALECT.quote_identifier("ZIP") == '"ZIP"'
+
+    def test_identifier_with_double_quote_rejected(self):
+        with pytest.raises(SQLGenerationError):
+            DEFAULT_DIALECT.quote_identifier('bad"name')
+
+    def test_column_rendering(self):
+        assert DEFAULT_DIALECT.column("t", "CC") == 't."CC"'
+
+
+class TestLiterals:
+    def test_string_literal_escaped(self):
+        assert DEFAULT_DIALECT.literal("O'Hare") == "'O''Hare'"
+
+    def test_numeric_literals(self):
+        assert DEFAULT_DIALECT.literal(42) == "42"
+        assert DEFAULT_DIALECT.literal(2.5) == "2.5"
+
+    def test_bool_literals(self):
+        assert DEFAULT_DIALECT.literal(True) == "1"
+        assert DEFAULT_DIALECT.literal(False) == "0"
+
+    def test_none_literal(self):
+        assert DEFAULT_DIALECT.literal(None) == "NULL"
+
+
+class TestCellEncoding:
+    def test_wildcard_and_dontcare_markers(self):
+        assert DEFAULT_DIALECT.encode_cell(WILDCARD) == "_"
+        assert DEFAULT_DIALECT.encode_cell(DONTCARE) == "@"
+
+    def test_constant_passthrough(self):
+        assert DEFAULT_DIALECT.encode_cell(PatternValue.constant("NYC")) == "NYC"
+
+    def test_custom_markers(self):
+        dialect = SQLDialect(wildcard_marker="<ANY>", dontcare_marker="<SKIP>")
+        assert dialect.encode_cell(WILDCARD) == "<ANY>"
+        assert dialect.encode_cell(DONTCARE) == "<SKIP>"
+
+    def test_column_name_prefixes(self):
+        assert DEFAULT_DIALECT.lhs_column("CC") == "x_CC"
+        assert DEFAULT_DIALECT.rhs_column("CT") == "y_CT"
+
+
+class TestPredicates:
+    def test_match_predicate_cnf_shape(self):
+        predicate = DEFAULT_DIALECT.match_predicate('t."CC"', 'tp."x_CC"')
+        assert 't."CC" = tp."x_CC"' in predicate
+        assert "OR" in predicate and "'_'" in predicate
+        assert "'@'" not in predicate
+
+    def test_match_predicate_with_dontcare(self):
+        predicate = DEFAULT_DIALECT.match_predicate('t."CC"', 'tp."x_CC"', with_dontcare=True)
+        assert "'@'" in predicate
+
+    def test_mismatch_predicate_shape(self):
+        predicate = DEFAULT_DIALECT.mismatch_predicate('t."CT"', 'tp."y_CT"')
+        assert "<>" in predicate and "AND" in predicate
+
+    def test_concat_single_column(self):
+        assert DEFAULT_DIALECT.concat(['t."CT"']) == 't."CT"'
+
+    def test_concat_multiple_columns_uses_separator(self):
+        rendered = DEFAULT_DIALECT.concat(['t."A"', 't."B"'])
+        assert "||" in rendered
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(SQLGenerationError):
+            DEFAULT_DIALECT.concat([])

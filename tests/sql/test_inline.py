@@ -1,0 +1,71 @@
+"""Tests for the inlined-constants ablation query builder."""
+
+import sqlite3
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.satisfaction import find_violations
+from repro.datagen.cust import cust_relation, phi2, phi3
+from repro.sql.inline import InlineCFDQueryBuilder
+from repro.sql.loader import load_relation
+from repro.sql.single import SingleCFDQueryBuilder
+
+
+@pytest.fixture
+def connection():
+    conn = sqlite3.connect(":memory:")
+    load_relation(conn, cust_relation())
+    yield conn
+    conn.close()
+
+
+class TestInlineQueries:
+    def test_qc_agrees_with_oracle_on_cust(self, connection):
+        builder = InlineCFDQueryBuilder(phi2(), "cust")
+        rows = connection.execute(builder.qc_sql()).fetchall()
+        oracle = find_violations(cust_relation(), phi2())
+        assert {row[0] for row in rows} == {v.tuple_index for v in oracle.constant_violations()}
+
+    def test_qv_agrees_with_oracle_on_cust(self, connection):
+        builder = InlineCFDQueryBuilder(phi2(), "cust")
+        rows = connection.execute(builder.qv_sql()).fetchall()
+        assert ("01", "212", "2222222") in {tuple(row) for row in rows}
+
+    def test_clean_cfd_returns_nothing(self, connection):
+        builder = InlineCFDQueryBuilder(phi3(), "cust")
+        assert connection.execute(builder.qc_sql()).fetchall() == []
+        assert connection.execute(builder.qv_sql()).fetchall() == []
+
+    def test_no_constant_rhs_qc_is_empty(self, connection):
+        fd_like = CFD.build(["CC", "AC"], ["CT"], [["_", "_", "_"]], name="fd")
+        builder = InlineCFDQueryBuilder(fd_like, "cust")
+        assert connection.execute(builder.qc_sql()).fetchall() == []
+
+    def test_query_size_grows_with_tableau(self):
+        small = CFD.build(["ZIP"], ["ST"], [[f"z{i}", f"s{i}"] for i in range(5)], name="small")
+        large = CFD.build(["ZIP"], ["ST"], [[f"z{i}", f"s{i}"] for i in range(500)], name="large")
+        small_size = InlineCFDQueryBuilder(small, "taxrecords").query_text_size()
+        large_size = InlineCFDQueryBuilder(large, "taxrecords").query_text_size()
+        assert large_size > 50 * small_size
+
+    def test_join_form_size_is_constant_in_tableau(self):
+        small = CFD.build(["ZIP"], ["ST"], [[f"z{i}", f"s{i}"] for i in range(5)], name="x")
+        large = CFD.build(["ZIP"], ["ST"], [[f"z{i}", f"s{i}"] for i in range(500)], name="x")
+        small_sql = SingleCFDQueryBuilder(small, "taxrecords", "tab_x").qc_sql("dnf")
+        large_sql = SingleCFDQueryBuilder(large, "taxrecords", "tab_x").qc_sql("dnf")
+        assert small_sql == large_sql
+
+    def test_agreement_on_generated_data(self, small_tax_workload):
+        from repro.datagen.cfd_catalog import zip_state_cfd
+
+        cfd = zip_state_cfd(tabsz=200, seed=3)
+        relation = small_tax_workload.relation
+        connection = sqlite3.connect(":memory:")
+        table = load_relation(connection, relation)
+        inline_rows = connection.execute(InlineCFDQueryBuilder(cfd, table).qc_sql()).fetchall()
+        oracle = find_violations(relation, cfd)
+        assert {row[0] for row in inline_rows} == {
+            v.tuple_index for v in oracle.constant_violations()
+        }
+        connection.close()

@@ -1,0 +1,100 @@
+"""Tests for tableau merging (Section 4.2.1, Figures 6 and 7)."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.satisfaction import find_all_violations
+from repro.datagen.cust import cust_relation, phi2, phi3, phi5
+from repro.errors import SQLGenerationError
+from repro.sql.merge import merge_cfds
+
+
+class TestFigure6:
+    """Merging ϕ2 and ϕ3 into the union-compatible ϕ4."""
+
+    def test_attribute_union(self):
+        merged = merge_cfds([phi2(), phi3()])
+        assert set(merged.lhs_attributes) == {"CC", "AC", "PN"}
+        assert set(merged.rhs_attributes) == {"STR", "CT", "ZIP"}
+
+    def test_row_count_is_total_pattern_count(self):
+        merged = merge_cfds([phi2(), phi3()])
+        assert len(merged) == len(phi2().tableau) + len(phi3().tableau)
+
+    def test_missing_attributes_become_dontcare(self):
+        merged = merge_cfds([phi2(), phi3()])
+        phi3_rows = [row for row in merged if row.source_cfd == "phi3"]
+        for row in phi3_rows:
+            assert row.lhs_cell("PN").is_dontcare
+            assert row.rhs_cell("STR").is_dontcare
+            assert row.rhs_cell("ZIP").is_dontcare
+            assert not row.rhs_cell("CT").is_dontcare
+
+    def test_provenance_recorded(self):
+        merged = merge_cfds([phi2(), phi3()])
+        assert {row.source_cfd for row in merged} == {"phi2", "phi3"}
+        assert [row.pattern_id for row in merged] == list(range(len(merged)))
+
+
+class TestFigure7:
+    """Merging ϕ3 and ϕ5 splits into T^X and T^Y with CT and AC on both sides."""
+
+    def test_attribute_appears_on_both_sides(self):
+        merged = merge_cfds([phi3(), phi5()])
+        assert "CT" in merged.lhs_attributes and "CT" in merged.rhs_attributes
+        assert "AC" in merged.lhs_attributes and "AC" in merged.rhs_attributes
+
+    def test_x_and_y_views_are_aligned_by_pattern_id(self):
+        merged = merge_cfds([phi3(), phi5()])
+        x_ids = [pattern_id for pattern_id, _ in merged.x_rows()]
+        y_ids = [pattern_id for pattern_id, _ in merged.y_rows()]
+        assert x_ids == y_ids
+
+    def test_phi5_row_masks_cc_and_ac_on_the_lhs(self):
+        merged = merge_cfds([phi3(), phi5()])
+        phi5_row = next(row for row in merged if row.source_cfd == "phi5")
+        assert phi5_row.lhs_cell("CC").is_dontcare
+        assert phi5_row.lhs_cell("AC").is_dontcare
+        assert phi5_row.lhs_cell("CT").is_wildcard
+        assert phi5_row.rhs_cell("AC").is_wildcard
+        assert phi5_row.rhs_cell("CT").is_dontcare
+
+    def test_ymask_reflects_free_rhs_attributes(self):
+        merged = merge_cfds([phi3(), phi5()])
+        phi3_row = next(row for row in merged if row.source_cfd == "phi3")
+        phi5_row = next(row for row in merged if row.source_cfd == "phi5")
+        assert phi3_row.ymask() != phi5_row.ymask()
+
+    def test_render_shows_both_halves(self):
+        merged = merge_cfds([phi3(), phi5()])
+        rendered = merged.render()
+        assert "T^X_Sigma" in rendered and "T^Y_Sigma" in rendered
+
+
+class TestMergedSemantics:
+    def test_merged_cfd_equivalent_to_separate_cfds_on_cust(self):
+        """The merged '@' CFD flags exactly the tuples the individual CFDs flag."""
+        relation = cust_relation()
+        cfds = [phi2(), phi3()]
+        merged_cfd = merge_cfds(cfds).to_cfd()
+        separate = find_all_violations(relation, cfds)
+        combined = find_all_violations(relation, [merged_cfd])
+        assert separate.violating_indices() == combined.violating_indices()
+
+    def test_single_cfd_merge_is_lossless(self):
+        merged = merge_cfds([phi3()])
+        assert set(merged.lhs_attributes) == set(phi3().lhs)
+        assert len(merged) == len(phi3().tableau)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SQLGenerationError):
+            merge_cfds([])
+
+    def test_merge_of_non_overlapping_schemas(self):
+        left = CFD.build(["A"], ["B"], [["a", "b"]], name="left")
+        right = CFD.build(["C"], ["D"], [["c", "d"]], name="right")
+        merged = merge_cfds([left, right])
+        assert set(merged.lhs_attributes) == {"A", "C"}
+        assert set(merged.rhs_attributes) == {"B", "D"}
+        left_row = next(row for row in merged if row.source_cfd == "left")
+        assert left_row.lhs_cell("C").is_dontcare

@@ -1,0 +1,126 @@
+"""Tests for the merged detection queries (Section 4.2.2, Figure 8)."""
+
+import sqlite3
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.satisfaction import find_all_violations
+from repro.datagen.cust import cust_relation, phi2, phi3, phi5
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+from repro.sql.loader import load_merged_tableau, load_relation
+from repro.sql.merge import merge_cfds
+from repro.sql.multi import MergedQueryBuilder
+
+
+def _build(connection, relation, cfds):
+    data_table = load_relation(connection, relation)
+    merged = merge_cfds(cfds)
+    tables = load_merged_tableau(connection, merged)
+    builder = MergedQueryBuilder(merged, data_table, tables["x"], tables["y"])
+    return merged, builder
+
+
+@pytest.fixture
+def cust_setup():
+    connection = sqlite3.connect(":memory:")
+    relation = cust_relation()
+    merged, builder = _build(connection, relation, [phi2(), phi3()])
+    yield connection, relation, merged, builder
+    connection.close()
+
+
+class TestQueryText:
+    def test_qc_joins_three_tables_on_pattern_id(self, cust_setup):
+        _, _, _, builder = cust_setup
+        sql = builder.qc_sql()
+        assert "tx" in sql and "ty" in sql
+        assert 'tx."pid" = ty."pid"' in sql
+
+    def test_qc_handles_dontcare_in_predicates(self, cust_setup):
+        _, _, _, builder = cust_setup
+        sql = builder.qc_sql()
+        assert "'@'" in sql
+
+    def test_macro_uses_case_masking(self, cust_setup):
+        _, _, _, builder = cust_setup
+        sql = builder.macro_sql()
+        assert "CASE" in sql and "WHEN '@' THEN '@'" in sql
+
+    def test_qv_groups_over_the_macro(self, cust_setup):
+        _, _, _, builder = cust_setup
+        sql = builder.qv_sql()
+        assert "GROUP BY" in sql and "HAVING COUNT(DISTINCT" in sql
+        assert "CASE" in sql
+
+    def test_query_size_independent_of_pattern_count(self):
+        connection = sqlite3.connect(":memory:")
+        relation = cust_relation()
+        small_cfd = CFD.build(["CC"], ["CT"], [["01", "NYC"]], name="x")
+        large_cfd = CFD.build(["CC"], ["CT"], [[f"{i}", "NYC"] for i in range(300)], name="x")
+        _, small_builder = _build(connection, relation, [small_cfd])
+        _, large_builder = _build(connection, relation, [large_cfd])
+        assert small_builder.qc_sql() == large_builder.qc_sql()
+        assert small_builder.qv_sql() == large_builder.qv_sql()
+        connection.close()
+
+
+class TestExecutionOnCust:
+    def test_qc_finds_t1_t2(self, cust_setup):
+        connection, _, _, builder = cust_setup
+        rows = connection.execute(builder.qc_sql()).fetchall()
+        assert {row[0] for row in rows} == {0, 1}
+
+    def test_qc_reports_source_pattern(self, cust_setup):
+        connection, _, merged, builder = cust_setup
+        rows = connection.execute(builder.qc_sql()).fetchall()
+        by_id = {row.pattern_id: row for row in merged.rows}
+        assert all(by_id[pattern_id].source_cfd == "phi2" for _, pattern_id in rows)
+
+    def test_qv_finds_the_212_group(self, cust_setup):
+        connection, _, _, builder = cust_setup
+        rows = connection.execute(builder.qv_sql()).fetchall()
+        assert rows, "the t3/t4 disagreement must surface through the merged query"
+
+    def test_expansion_recovers_t3_t4(self, cust_setup):
+        connection, _, _, builder = cust_setup
+        rows = connection.execute(builder.qv_expansion_sql()).fetchall()
+        assert {row[-1] for row in rows} == {2, 3}
+
+    def test_agreement_with_in_memory_union(self, cust_setup):
+        connection, relation, _, builder = cust_setup
+        oracle = find_all_violations(relation, [phi2(), phi3()])
+        qc = {row[0] for row in connection.execute(builder.qc_sql())}
+        qv = {row[-1] for row in connection.execute(builder.qv_expansion_sql())}
+        assert qc | qv == set(oracle.violating_indices())
+
+
+class TestFigure7Scenario:
+    """Merging ϕ3 and ϕ5, whose X/Y attribute sets overlap crosswise."""
+
+    def test_detects_phi5_violations_via_masked_group_by(self):
+        connection = sqlite3.connect(":memory:")
+        relation = cust_relation()
+        merged, builder = _build(connection, relation, [phi3(), phi5()])
+        oracle = find_all_violations(relation, [phi3(), phi5()])
+        qc = {row[0] for row in connection.execute(builder.qc_sql())}
+        qv = {row[-1] for row in connection.execute(builder.qv_expansion_sql())}
+        assert qc | qv == set(oracle.violating_indices())
+        connection.close()
+
+    def test_same_lhs_different_rhs_cfds_do_not_interfere(self):
+        """Two CFDs with identical LHS but different RHS attributes must not
+        produce spurious violations when merged (the _ymask refinement)."""
+        schema = Schema("r", ["A", "B", "C"])
+        relation = Relation(schema, [("a1", "b1", "c1"), ("a2", "b2", "c2")])
+        cfd_b = CFD.build(["A"], ["B"], [["_", "_"]], name="ab")
+        cfd_c = CFD.build(["A"], ["C"], [["_", "_"]], name="ac")
+        connection = sqlite3.connect(":memory:")
+        merged, builder = _build(connection, relation, [cfd_b, cfd_c])
+        oracle = find_all_violations(relation, [cfd_b, cfd_c])
+        assert oracle.is_clean()
+        qc = connection.execute(builder.qc_sql()).fetchall()
+        qv = connection.execute(builder.qv_sql()).fetchall()
+        assert not qc and not qv
+        connection.close()

@@ -1,0 +1,133 @@
+"""Tests for the single-CFD detection queries (Section 4.1, Figure 5)."""
+
+import sqlite3
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.satisfaction import find_violations
+from repro.datagen.cust import cust_relation, phi2
+from repro.errors import SQLGenerationError
+from repro.sql.loader import create_indexes, load_relation, load_single_tableau
+from repro.sql.single import SingleCFDQueryBuilder
+
+
+@pytest.fixture
+def builder():
+    return SingleCFDQueryBuilder(phi2(), "cust", "tab_phi2")
+
+
+@pytest.fixture
+def loaded_cust():
+    connection = sqlite3.connect(":memory:")
+    relation = cust_relation()
+    data_table = load_relation(connection, relation)
+    cfd = phi2()
+    tableau_table = load_single_tableau(connection, cfd)
+    yield connection, relation, cfd, data_table, tableau_table
+    connection.close()
+
+
+class TestQueryText:
+    def test_qc_cnf_mirrors_figure_5(self, builder):
+        sql = builder.qc_sql("cnf")
+        assert 'FROM "cust" t, "tab_phi2" tp' in sql
+        # every X attribute appears in a match predicate
+        for attribute in ("CC", "AC", "PN"):
+            assert f't."{attribute}" = tp."x_{attribute}"' in sql
+        # Y attributes appear in the mismatch disjunction
+        for attribute in ("STR", "CT", "ZIP"):
+            assert f't."{attribute}" <> tp."y_{attribute}"' in sql
+
+    def test_qv_cnf_groups_by_x_and_counts_distinct_y(self, builder):
+        sql = builder.qv_sql("cnf")
+        assert "GROUP BY" in sql
+        assert "HAVING COUNT(DISTINCT" in sql
+        assert 't."CC"' in sql and 't."PN"' in sql
+
+    def test_dnf_form_is_a_union_of_conjunctive_queries(self, builder):
+        sql = builder.qc_sql("dnf")
+        assert "UNION ALL" in sql
+        assert " OR " not in sql  # each branch is purely conjunctive
+        # |Y| * 2^|X| branches
+        assert sql.count("SELECT") == 3 * 2 ** 3
+
+    def test_qv_dnf_wraps_union_in_group_by(self, builder):
+        sql = builder.qv_sql("dnf")
+        assert "UNION ALL" in sql
+        assert "GROUP BY" in sql
+        assert sql.index("UNION ALL") < sql.index("GROUP BY")
+
+    def test_query_size_independent_of_tableau_size(self):
+        small = CFD.build(["A"], ["B"], [["a", "b"]], name="x")
+        large = CFD.build(["A"], ["B"], [[f"a{i}", f"b{i}"] for i in range(500)], name="x")
+        small_sql = SingleCFDQueryBuilder(small, "r", "tab_x").qc_sql("cnf")
+        large_sql = SingleCFDQueryBuilder(large, "r", "tab_x").qc_sql("cnf")
+        assert small_sql == large_sql
+
+    def test_unknown_form_rejected(self, builder):
+        with pytest.raises(SQLGenerationError):
+            builder.qc_sql("nonsense")
+        with pytest.raises(SQLGenerationError):
+            builder.qv_sql("nonsense")
+
+    def test_expansion_query_has_one_placeholder_per_lhs_attribute(self, builder):
+        sql = builder.qv_expansion_sql()
+        assert sql.count("?") == 3
+
+
+class TestQueryExecution:
+    """Example 4.1: Q^C returns t1, t2 and Q^V returns t3, t4 on Figure 1."""
+
+    def _run(self, connection, sql, parameters=()):
+        return connection.execute(sql, parameters).fetchall()
+
+    @pytest.mark.parametrize("form", ["cnf", "dnf"])
+    def test_qc_returns_t1_t2(self, loaded_cust, form):
+        connection, _, cfd, data_table, tableau_table = loaded_cust
+        builder = SingleCFDQueryBuilder(cfd, data_table, tableau_table)
+        rows = self._run(connection, builder.qc_sql(form))
+        assert {row[0] for row in rows} == {0, 1}
+
+    @pytest.mark.parametrize("form", ["cnf", "dnf"])
+    def test_qv_returns_the_212_group(self, loaded_cust, form):
+        connection, _, cfd, data_table, tableau_table = loaded_cust
+        builder = SingleCFDQueryBuilder(cfd, data_table, tableau_table)
+        rows = self._run(connection, builder.qv_sql(form))
+        assert ("01", "212", "2222222") in {tuple(row) for row in rows}
+        assert len(rows) == 1
+
+    def test_expansion_recovers_t3_t4(self, loaded_cust):
+        connection, _, cfd, data_table, tableau_table = loaded_cust
+        builder = SingleCFDQueryBuilder(cfd, data_table, tableau_table)
+        rows = self._run(connection, builder.qv_expansion_sql(), ("01", "212", "2222222"))
+        assert {row[0] for row in rows} == {2, 3}
+
+    @pytest.mark.parametrize("form", ["cnf", "dnf"])
+    def test_agrees_with_in_memory_detector(self, loaded_cust, form):
+        connection, relation, cfd, data_table, tableau_table = loaded_cust
+        builder = SingleCFDQueryBuilder(cfd, data_table, tableau_table)
+        qc_indices = {row[0] for row in self._run(connection, builder.qc_sql(form))}
+        oracle = find_violations(relation, cfd)
+        assert qc_indices == {v.tuple_index for v in oracle.constant_violations()}
+
+    def test_indexes_do_not_change_results(self, loaded_cust):
+        connection, _, cfd, data_table, tableau_table = loaded_cust
+        create_indexes(connection, data_table, [cfd])
+        builder = SingleCFDQueryBuilder(cfd, data_table, tableau_table)
+        rows = self._run(connection, builder.qc_sql("dnf"))
+        assert {row[0] for row in rows} == {0, 1}
+
+    def test_empty_lhs_cfd_queries_run(self):
+        connection = sqlite3.connect(":memory:")
+        from repro.relation.relation import Relation
+        from repro.relation.schema import Schema
+
+        relation = Relation(Schema("r", ["A", "B"]), [("x", "b"), ("y", "c")])
+        cfd = CFD.build([], ["B"], [["b"]], name="const_b")
+        data_table = load_relation(connection, relation)
+        tableau_table = load_single_tableau(connection, cfd)
+        builder = SingleCFDQueryBuilder(cfd, data_table, tableau_table)
+        qc = connection.execute(builder.qc_sql("cnf")).fetchall()
+        assert {row[0] for row in qc} == {1}
+        connection.close()

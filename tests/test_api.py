@@ -1,0 +1,39 @@
+"""The top-level public API: everything advertised in ``repro.__all__`` works."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} is missing"
+
+    def test_module_docstring_quickstart_holds(self):
+        report = repro.detect_violations(repro.cust_relation(), repro.cust_cfds())
+        assert sorted(report.violating_indices()) == [0, 1, 2, 3]
+
+    def test_core_types_are_the_same_objects_as_submodules(self):
+        from repro.core.cfd import CFD
+        from repro.relation.relation import Relation
+
+        assert repro.CFD is CFD
+        assert repro.Relation is Relation
+
+    def test_reasoning_shortcuts(self):
+        psi1 = repro.CFD.build(["A"], ["B"], [["_", "b"]])
+        psi2 = repro.CFD.build(["B"], ["C"], [["_", "c"]])
+        assert repro.is_consistent([psi1, psi2])
+        assert repro.implies([psi1, psi2], repro.CFD.build(["A"], ["C"], [["a", "_"]]))
+        assert len(repro.minimal_cover([psi1, psi2])) == 2
+
+    def test_repair_shortcut(self):
+        result = repro.repair(repro.cust_relation(), repro.cust_cfds())
+        assert result.clean
+
+    def test_sql_detector_export(self):
+        with repro.SQLDetector(repro.cust_relation()) as detector:
+            run = detector.detect(repro.cust_cfds())
+        assert not run.report.is_clean()

@@ -12,7 +12,8 @@ evaluation depends on:
   and minimal covers.
 * ``repro.sql`` — SQL generation for violation detection (single CFD and
   merged multi-CFD schemes) plus a SQLite execution engine.
-* ``repro.detection`` — a single façade over the in-memory and SQL detectors.
+* ``repro.detection`` — a single façade over the in-memory, SQL and
+  partition-indexed detectors, plus three-way cross-checking.
 * ``repro.repair`` — cost-based heuristic repair (the paper's Section 6).
 * ``repro.discovery`` — FD / constant-CFD discovery (the paper's future work).
 * ``repro.datagen`` — the ``cust`` running example and the tax-records
@@ -37,7 +38,8 @@ from repro.core.violations import (
     ViolationReport,
 )
 from repro.datagen.cust import cust_cfds, cust_relation
-from repro.detection.engine import detect_violations
+from repro.detection.engine import cross_check, detect_violations
+from repro.detection.indexed import IndexedDetector
 from repro.reasoning.consistency import is_consistent
 from repro.reasoning.implication import implies
 from repro.reasoning.mincover import minimal_cover
@@ -55,6 +57,7 @@ __all__ = [
     "ConstantViolation",
     "DONTCARE",
     "FD",
+    "IndexedDetector",
     "PatternTableau",
     "PatternTuple",
     "PatternValue",
@@ -65,6 +68,7 @@ __all__ = [
     "Violation",
     "ViolationReport",
     "WILDCARD",
+    "cross_check",
     "cust_cfds",
     "cust_relation",
     "detect_violations",

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.bench.config import BenchConfig, default_config
-from repro.bench.harness import build_workload, time_detection, time_query_split
+from repro.bench.harness import build_workload, time_backend, time_detection, time_query_split
 from repro.bench.reporting import format_table
 
 
@@ -208,6 +208,57 @@ def merged_vs_separate(
     return _emit(rows, "Merging CFDs: merged vs per-CFD detection", verbose)
 
 
+
+# ---------------------------------------------------------------------------
+# Ablation (beyond the paper): detection backends
+# ---------------------------------------------------------------------------
+def backend_ablation(
+    config: Optional[BenchConfig] = None,
+    tabsz: int = 100,
+    verbose: bool = False,
+) -> List[Dict[str, Any]]:
+    """Indexed vs in-memory vs SQL detection over the SZ sweep.
+
+    The paper only measures the SQL queries; this ablation adds the two
+    in-process backends to quantify what the partition index buys.  The
+    per-pattern oracle is quadratic in practice (one relation scan per
+    pattern tuple), so ``tabsz`` defaults to a deliberately modest 100 to
+    keep the slowest series tolerable; the indexed backend's advantage only
+    grows with the tableau.
+    """
+    config = config or default_config()
+    rows: List[Dict[str, Any]] = []
+    for size in config.sz_sweep():
+        workload = build_workload(
+            size=size,
+            noise=config.default_noise,
+            seed=config.seed,
+            num_attrs=3,
+            tabsz=tabsz,
+            num_consts=0.5,
+        )
+        indexed_seconds, indexed_report = time_backend(workload, "indexed")
+        inmemory_seconds, inmemory_report = time_backend(workload, "inmemory")
+        sql_seconds, _ = time_backend(workload, "sql")
+        if indexed_report.violating_indices() != inmemory_report.violating_indices():
+            raise AssertionError(
+                f"indexed and in-memory backends disagree on SZ={size}: "
+                f"{indexed_report.summary()} vs {inmemory_report.summary()}"
+            )
+        rows.append(
+            {
+                "SZ": size,
+                "indexed_seconds": indexed_seconds,
+                "inmemory_seconds": inmemory_seconds,
+                "sql_seconds": sql_seconds,
+                "indexed_speedup": (
+                    inmemory_seconds / indexed_seconds if indexed_seconds else float("inf")
+                ),
+            }
+        )
+    return _emit(rows, "Ablation: indexed vs in-memory vs SQL detection", verbose)
+
+
 #: Map of experiment name -> driver, used by ``python -m repro.bench``.
 ALL_EXPERIMENTS = {
     "fig9a": fig9a_cnf_vs_dnf_constants,
@@ -217,4 +268,5 @@ ALL_EXPERIMENTS = {
     "fig9e": fig9e_numconsts_scaling,
     "fig9f": fig9f_noise_scaling,
     "merged": merged_vs_separate,
+    "backends": backend_ablation,
 }

@@ -5,13 +5,20 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.cfd import CFD
+from repro.core.satisfaction import find_all_violations
+from repro.core.violations import ViolationReport
 from repro.datagen.cfd_catalog import experiment_cfd, experiment_cfd_set
 from repro.datagen.generator import TaxRecordGenerator
+from repro.detection.engine import DETECTION_METHODS
+from repro.detection.indexed import IndexedDetector
+from repro.errors import DetectionError
 from repro.relation.relation import Relation
 from repro.sql.engine import DetectionRun, SQLDetector
+
+_T = TypeVar("_T")
 
 
 @dataclass
@@ -52,6 +59,19 @@ def build_workload(
     return DetectionWorkload(relation=relation, cfds=cfds, label=label)
 
 
+def _median_timed(fn: Callable[[], _T], repeats: int) -> Tuple[float, _T]:
+    """Median wall-clock of ``repeats`` calls to ``fn``, plus the last result."""
+    durations: List[float] = []
+    last: Optional[_T] = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        last = fn()
+        durations.append(time.perf_counter() - start)
+    durations.sort()
+    assert last is not None
+    return durations[len(durations) // 2], last
+
+
 def time_detection(
     workload: DetectionWorkload,
     strategy: str = "per_cfd",
@@ -67,23 +87,53 @@ def time_detection(
     """
     detector = SQLDetector(workload.relation, build_indexes=build_indexes)
     try:
-        durations: List[float] = []
-        last_run: Optional[DetectionRun] = None
-        for _ in range(max(1, repeats)):
-            start = time.perf_counter()
-            last_run = detector.detect(
+        return _median_timed(
+            lambda: detector.detect(
                 workload.cfds,
                 strategy=strategy,
                 form=form,
                 expand_variable_violations=False,
-            )
-            durations.append(time.perf_counter() - start)
-        durations.sort()
-        median = durations[len(durations) // 2]
-        assert last_run is not None
-        return median, last_run
+            ),
+            repeats,
+        )
     finally:
         detector.close()
+
+
+def time_backend(
+    workload: DetectionWorkload,
+    method: str,
+    form: str = "dnf",
+    repeats: int = 1,
+) -> Tuple[float, ViolationReport]:
+    """Median wall-clock detection time of one backend, plus the last report.
+
+    ``"sql"`` times only the paper's query pair (loading and indexing are
+    setup, as in :func:`time_detection`).  ``"inmemory"`` and ``"indexed"``
+    have no setup phase: for the indexed backend, building the partition maps
+    *is* the detection work, so each repeat starts from a cold cache.
+
+    .. warning::
+       The ``"sql"`` report is suitable for timing only: group expansion is
+       disabled to time exactly the paper's query pair, so its variable
+       violations carry empty ``tuple_indices`` and its ``violating_indices()``
+       undercounts.  Compare reports between ``"inmemory"`` and ``"indexed"``
+       only (as :func:`repro.bench.experiments.backend_ablation` does), or use
+       :func:`repro.detection.engine.cross_check` for full agreement checks.
+    """
+    if method == "sql":
+        seconds, run = time_detection(workload, form=form, repeats=repeats)
+        return seconds, run.report
+    if method not in DETECTION_METHODS:
+        raise DetectionError(
+            f"unknown benchmark backend {method!r}; expected one of "
+            f"{', '.join(map(repr, DETECTION_METHODS))}"
+        )
+    if method == "inmemory":
+        run_once = lambda: find_all_violations(workload.relation, workload.cfds)
+    else:
+        run_once = lambda: IndexedDetector(workload.relation).detect(workload.cfds)
+    return _median_timed(run_once, repeats)
 
 
 def time_query_split(

@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.cfd import CFD
 from repro.core.violations import ViolationReport
-from repro.detection.engine import detect_violations
+from repro.detection.engine import DETECTION_METHODS, detect_violations
 from repro.discovery.cfd_discovery import discover_constant_cfds
 from repro.errors import ReproError
 from repro.io.json_format import cfds_from_json, cfds_to_json
@@ -203,7 +203,13 @@ def build_parser() -> argparse.ArgumentParser:
     detect = subparsers.add_parser("detect", help="detect CFD violations in a CSV file")
     detect.add_argument("--data", required=True, help="CSV file with a header row")
     detect.add_argument("--cfds", required=True, help=".cfd or .json rule file")
-    detect.add_argument("--method", choices=["inmemory", "sql"], default="sql")
+    detect.add_argument(
+        "--method",
+        choices=list(DETECTION_METHODS),
+        default="sql",
+        help="detection backend: the SQL queries of Section 4 (default), the "
+        "pure-Python oracle, or the partition-index engine",
+    )
     detect.add_argument("--strategy", choices=["per_cfd", "merged"], default="per_cfd")
     detect.add_argument("--form", choices=["cnf", "dnf"], default="dnf")
     detect.add_argument("--output", help="write the full report as JSON to this path")

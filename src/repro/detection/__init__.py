@@ -1,5 +1,23 @@
-"""A single façade over the in-memory and SQL violation detectors."""
+"""A single façade over the in-memory, SQL and partition-indexed detectors."""
 
-from repro.detection.engine import cross_check, detect_violations
+from repro.detection.engine import DETECTION_METHODS, CrossCheckResult, cross_check, detect_violations
+from repro.detection.indexed import (
+    IndexedDetector,
+    detect_stream,
+    find_cfd_violations_indexed,
+    find_violations_indexed,
+)
+from repro.detection.partition_index import PartitionIndex, PartitionIndexCache
 
-__all__ = ["cross_check", "detect_violations"]
+__all__ = [
+    "DETECTION_METHODS",
+    "CrossCheckResult",
+    "IndexedDetector",
+    "PartitionIndex",
+    "PartitionIndexCache",
+    "cross_check",
+    "detect_stream",
+    "detect_violations",
+    "find_cfd_violations_indexed",
+    "find_violations_indexed",
+]

@@ -1,23 +1,28 @@
 """Unified violation detection API.
 
 ``detect_violations`` dispatches between the pure-Python detector
-(:mod:`repro.core.satisfaction`) and the SQL detector
-(:mod:`repro.sql.engine`).  The pure-Python detector serves as the
-correctness oracle; ``cross_check`` compares the two and is used heavily in
-the integration tests.
+(:mod:`repro.core.satisfaction`), the SQL detector
+(:mod:`repro.sql.engine`) and the partition-indexed detector
+(:mod:`repro.detection.indexed`).  The pure-Python detector serves as the
+correctness oracle; ``cross_check`` compares all three pairwise and is used
+heavily in the integration tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Sequence, Union
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple, Union
 
 from repro.core.cfd import CFD
 from repro.core.satisfaction import find_all_violations
 from repro.core.violations import ViolationReport
+from repro.detection.indexed import find_violations_indexed
 from repro.errors import DetectionError
 from repro.relation.relation import Relation
 from repro.sql.engine import SQLDetector
+
+#: Every backend ``detect_violations`` can dispatch to.
+DETECTION_METHODS = ("inmemory", "sql", "indexed")
 
 
 def detect_violations(
@@ -34,7 +39,9 @@ def detect_violations(
     method:
         ``"inmemory"`` (default) uses the pure-Python detector;
         ``"sql"`` loads the data into SQLite and runs the paper's detection
-        queries.
+        queries; ``"indexed"`` uses the partition-index backend, which
+        groups tuples once per distinct LHS attribute set instead of
+        re-scanning the relation per pattern.
     strategy, form:
         Passed to :meth:`repro.sql.engine.SQLDetector.detect` when
         ``method="sql"``; ignored otherwise.
@@ -52,19 +59,36 @@ def detect_violations(
     if method == "sql":
         with SQLDetector(relation) as detector:
             return detector.detect(cfds, strategy=strategy, form=form).report
-    raise DetectionError(f"unknown detection method {method!r}; expected 'inmemory' or 'sql'")
+    if method == "indexed":
+        return find_violations_indexed(relation, cfds)
+    raise DetectionError(
+        f"unknown detection method {method!r}; expected one of {', '.join(map(repr, DETECTION_METHODS))}"
+    )
 
 
 @dataclass(frozen=True)
 class CrossCheckResult:
-    """Outcome of comparing the in-memory and SQL detectors on the same input."""
+    """Outcome of comparing the detection backends on the same input.
+
+    ``indexed_indices`` is ``None`` when the indexed backend was not run
+    (two-way comparisons remain supported for backward compatibility).
+    """
 
     inmemory_indices: FrozenSet[int]
     sql_indices: FrozenSet[int]
+    indexed_indices: Optional[FrozenSet[int]] = None
+
+    def _index_sets(self) -> Dict[str, FrozenSet[int]]:
+        sets = {"inmemory": self.inmemory_indices, "sql": self.sql_indices}
+        if self.indexed_indices is not None:
+            sets["indexed"] = self.indexed_indices
+        return sets
 
     @property
     def agree(self) -> bool:
-        return self.inmemory_indices == self.sql_indices
+        """Whether every backend that ran reported the same violating tuples."""
+        sets = list(self._index_sets().values())
+        return all(current == sets[0] for current in sets[1:])
 
     @property
     def only_inmemory(self) -> FrozenSet[int]:
@@ -74,21 +98,50 @@ class CrossCheckResult:
     def only_sql(self) -> FrozenSet[int]:
         return self.sql_indices - self.inmemory_indices
 
+    @property
+    def only_indexed(self) -> FrozenSet[int]:
+        """Indices the indexed backend reports but the oracle does not."""
+        if self.indexed_indices is None:
+            return frozenset()
+        return self.indexed_indices - self.inmemory_indices
+
+    def disagreements(self) -> Dict[Tuple[str, str], FrozenSet[int]]:
+        """Pairwise symmetric differences between backends, empty pairs omitted."""
+        sets = self._index_sets()
+        names = list(sets)
+        result: Dict[Tuple[str, str], FrozenSet[int]] = {}
+        for position, first in enumerate(names):
+            for second in names[position + 1:]:
+                difference = sets[first] ^ sets[second]
+                if difference:
+                    result[(first, second)] = frozenset(difference)
+        return result
+
 
 def cross_check(
     relation: Relation,
     cfds: Union[CFD, Sequence[CFD]],
     strategy: str = "per_cfd",
     form: str = "dnf",
+    include_indexed: bool = True,
 ) -> CrossCheckResult:
-    """Run both detectors and compare the sets of violating tuple indices."""
+    """Run all detection backends and compare the sets of violating tuple indices.
+
+    By default the in-memory oracle, the SQL detector and the partition-index
+    backend are all run and verified pairwise; pass ``include_indexed=False``
+    for the historical two-way comparison.
+    """
     if isinstance(cfds, CFD):
         cfds = [cfds]
     cfds = list(cfds)
     inmemory = find_all_violations(relation, cfds)
     with SQLDetector(relation) as detector:
         sql_report = detector.detect(cfds, strategy=strategy, form=form).report
+    indexed_indices: Optional[FrozenSet[int]] = None
+    if include_indexed:
+        indexed_indices = find_violations_indexed(relation, cfds).violating_indices()
     return CrossCheckResult(
         inmemory_indices=inmemory.violating_indices(),
         sql_indices=sql_report.violating_indices(),
+        indexed_indices=indexed_indices,
     )

@@ -1,0 +1,269 @@
+"""Partition-indexed CFD violation detection (the ``method="indexed"`` backend).
+
+Implements exactly the satisfaction semantics of the in-memory oracle
+(:mod:`repro.core.satisfaction`) but replaces its per-pattern relation scans
+with lookups against a shared :class:`~repro.detection.partition_index.PartitionIndex`:
+
+* the relation is partitioned **once** per distinct ``@``-free LHS attribute
+  tuple, not once per pattern — a CFD with a 1K-row tableau (or 1K constant
+  CFDs over the same LHS) triggers a single grouping pass;
+* a constant pattern (``Q^C`` semantics) resolves to the partitions matching
+  its LHS constants — a dictionary lookup when the pattern is all-constant;
+* a variable pattern (``Q^V`` semantics) inspects only the matching
+  partitions with more than one tuple.
+
+The reports produced here are violation-for-violation identical to the
+oracle's, so ``cross_check`` and the Hypothesis property tests can compare
+all three backends directly.  See ``docs/detection.md`` for the complexity
+analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.cfd import CFD
+from repro.core.tableau import PatternTuple
+from repro.core.violations import (
+    ConstantViolation,
+    VariableViolation,
+    Violation,
+    ViolationReport,
+)
+from repro.detection.partition_index import (
+    DEFAULT_CHUNK_SIZE,
+    PartitionIndex,
+    PartitionIndexCache,
+)
+from repro.errors import DetectionError
+from repro.relation.relation import Relation, Row
+from repro.relation.schema import Schema
+
+
+# ---------------------------------------------------------------------------
+# one-shot functions
+# ---------------------------------------------------------------------------
+def find_violations_indexed(
+    relation: Relation,
+    cfds: Union[CFD, Iterable[CFD]],
+    cache: Optional[PartitionIndexCache] = None,
+) -> ViolationReport:
+    """All violations of ``cfds`` in ``relation``, via partition indexes.
+
+    Semantically identical to
+    :func:`repro.core.satisfaction.find_all_violations`; pass a
+    :class:`PartitionIndexCache` built for the *same* relation to share
+    partition maps across calls.
+
+    >>> from repro.datagen.cust import cust_relation, cust_cfds
+    >>> sorted(find_violations_indexed(cust_relation(), cust_cfds()).violating_indices())
+    [0, 1, 2, 3]
+    """
+    if isinstance(cfds, CFD):
+        cfds = [cfds]
+    if cache is None:
+        cache = PartitionIndexCache(relation)
+    elif cache.relation is not relation:
+        raise DetectionError(
+            "cache was built for a different relation; its tuple indices would "
+            "not line up with the relation being checked"
+        )
+    report = ViolationReport()
+    for cfd in cfds:
+        report.extend(_cfd_violations(relation, cfd, cache))
+    return report
+
+
+def find_cfd_violations_indexed(
+    relation: Relation,
+    cfd: CFD,
+    cache: Optional[PartitionIndexCache] = None,
+) -> ViolationReport:
+    """All violations of a single CFD (indexed counterpart of ``find_violations``)."""
+    return find_violations_indexed(relation, [cfd], cache=cache)
+
+
+# ---------------------------------------------------------------------------
+# detector facade
+# ---------------------------------------------------------------------------
+class IndexedDetector:
+    """Stateful facade mirroring :class:`~repro.sql.engine.SQLDetector`.
+
+    Holds one :class:`PartitionIndexCache` for its relation, so successive
+    :meth:`detect` calls — e.g. an interactive session checking CFD batches
+    one at a time — reuse the partition maps already built.
+
+    >>> from repro.datagen.cust import cust_relation, cust_cfds
+    >>> detector = IndexedDetector(cust_relation())
+    >>> sorted(detector.detect(cust_cfds()).violating_indices())
+    [0, 1, 2, 3]
+    >>> detector.cache_stats()["misses"] >= 1
+    True
+    """
+
+    def __init__(self, relation: Relation, cache_size: int = 32) -> None:
+        self._relation = relation
+        self._cache = PartitionIndexCache(relation, maxsize=cache_size)
+
+    @property
+    def relation(self) -> Relation:
+        return self._relation
+
+    @property
+    def cache(self) -> PartitionIndexCache:
+        return self._cache
+
+    def detect(self, cfds: Union[CFD, Sequence[CFD]]) -> ViolationReport:
+        """Find every violation of ``cfds``, reusing cached partition maps."""
+        return find_violations_indexed(self._relation, cfds, cache=self._cache)
+
+    def invalidate(self) -> None:
+        """Drop cached indexes after the underlying relation was mutated."""
+        self._cache.clear()
+
+    def cache_stats(self) -> Dict[str, int]:
+        return self._cache.stats()
+
+    def __repr__(self) -> str:
+        return f"IndexedDetector({self._relation!r}, cache={self._cache!r})"
+
+
+# ---------------------------------------------------------------------------
+# streaming ingestion
+# ---------------------------------------------------------------------------
+def detect_stream(
+    schema: Schema,
+    rows: Iterable[Union[Row, Sequence[Any], Mapping[str, Any]]],
+    cfds: Union[CFD, Sequence[CFD]],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> ViolationReport:
+    """Detect violations over a row *stream* without materialising full rows.
+
+    Rows (positional tuples in ``schema`` order, or mappings by attribute
+    name) are consumed in batches of ``chunk_size``.  Only the projection
+    onto the attributes the CFDs actually mention is retained, and every
+    partition index is grown incrementally via
+    :meth:`PartitionIndex.add_tuples` as batches arrive — so peak memory is
+    ``O(N x |attrs(cfds)|)`` rather than ``O(N x |schema|)``, and the source
+    (a CSV reader, a DB cursor) is read exactly once.
+
+    Reported tuple indices refer to positions in the input stream.
+    """
+    if isinstance(cfds, CFD):
+        cfds = [cfds]
+    cfds = list(cfds)
+    if not cfds:
+        return ViolationReport()
+    if chunk_size <= 0:
+        raise DetectionError(f"chunk_size must be positive, got {chunk_size}")
+
+    # Projection: keep only the attributes some CFD constrains.
+    needed = [name for name in schema.names if any(name in cfd.attributes for cfd in cfds)]
+    for cfd in cfds:
+        schema.validate_attributes(cfd.attributes)
+    slim_schema = schema.project(needed)
+    positions = schema.positions(needed)
+    slim = Relation(slim_schema)
+
+    # One index per distinct @-free LHS attribute tuple across all patterns,
+    # grown batch-by-batch alongside the projected relation.
+    indexes: Dict[Tuple[str, ...], PartitionIndex] = {}
+    for cfd in cfds:
+        for pattern in cfd.tableau:
+            lhs_free = _lhs_free(cfd, pattern)
+            if lhs_free not in indexes:
+                indexes[lhs_free] = PartitionIndex(slim_schema, lhs_free)
+
+    batch: List[Row] = []
+
+    def flush() -> None:
+        slim.extend(batch)
+        for index in indexes.values():
+            index.add_tuples(batch)
+        batch.clear()
+
+    for row in rows:
+        if isinstance(row, Mapping):
+            projected = tuple(row[name] for name in needed)
+        else:
+            projected = tuple(row[position] for position in positions)
+        batch.append(projected)
+        if len(batch) >= chunk_size:
+            flush()
+    if batch:
+        flush()
+
+    cache = PartitionIndexCache(slim, maxsize=max(32, len(indexes)))
+    for index in indexes.values():
+        cache.seed(index)
+    return find_violations_indexed(slim, cfds, cache=cache)
+
+
+# ---------------------------------------------------------------------------
+# per-pattern detection against an index
+# ---------------------------------------------------------------------------
+def _lhs_free(cfd: CFD, pattern: PatternTuple) -> Tuple[str, ...]:
+    """The ``@``-free LHS attributes in LHS order (the partition attributes)."""
+    return tuple(attr for attr in cfd.lhs if not pattern.lhs_cell(attr).is_dontcare)
+
+
+def _cfd_violations(
+    relation: Relation, cfd: CFD, cache: PartitionIndexCache
+) -> Iterator[Violation]:
+    for pattern_index, pattern in enumerate(cfd.tableau):
+        yield from _pattern_violations(relation, cfd, pattern_index, pattern, cache)
+
+
+def _pattern_violations(
+    relation: Relation,
+    cfd: CFD,
+    pattern_index: int,
+    pattern: PatternTuple,
+    cache: PartitionIndexCache,
+) -> Iterator[Violation]:
+    """Violations of one pattern tuple, in the oracle's grouping semantics.
+
+    Don't-care (``@``) LHS cells are excluded from the partition attributes —
+    matching the oracle, which groups by ``X_free`` only — so wildcard cells
+    remain part of the grouping key and constants filter partitions.
+    """
+    lhs_free = _lhs_free(cfd, pattern)
+    index = cache.get(lhs_free)
+    cells = [pattern.lhs_cell(attr) for attr in lhs_free]
+
+    constant_rhs = [
+        (attr, relation.schema.position(attr), pattern.rhs_cell(attr))
+        for attr in cfd.rhs
+        if pattern.rhs_cell(attr).is_constant
+    ]
+    rhs_free = tuple(attr for attr in cfd.rhs if not pattern.rhs_cell(attr).is_dontcare)
+    rhs_positions = relation.schema.positions(rhs_free) if rhs_free else ()
+
+    for key, indices in index.matching(cells):
+        # Q^C semantics: each matching tuple must honour the constant RHS cells.
+        for tuple_index in indices if constant_rhs else ():
+            row = relation[tuple_index]
+            for attr, position, cell in constant_rhs:
+                if row[position] != cell.value:
+                    yield ConstantViolation(
+                        cfd_name=cfd.name,
+                        pattern_index=pattern_index,
+                        tuple_indices=(tuple_index,),
+                        attribute=attr,
+                        expected=cell.value,
+                        actual=row[position],
+                    )
+        # Q^V semantics: a matching partition must agree on the free RHS.
+        if rhs_free and len(indices) > 1:
+            rhs_values = {
+                tuple(relation[tuple_index][position] for position in rhs_positions)
+                for tuple_index in indices
+            }
+            if len(rhs_values) > 1:
+                yield VariableViolation(
+                    cfd_name=cfd.name,
+                    pattern_index=pattern_index,
+                    tuple_indices=tuple(indices),
+                    attributes=lhs_free,
+                    group_key=tuple(key),
+                )

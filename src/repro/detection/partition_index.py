@@ -1,0 +1,281 @@
+"""Partition indexes: one grouping pass shared by every CFD over the same LHS.
+
+The in-memory oracle (:mod:`repro.core.satisfaction`) re-scans the whole
+relation once per pattern tuple, so a CFD with a 1K-row tableau costs 1K
+passes.  But every pattern of a CFD — and every CFD sharing the same
+``@``-free LHS attribute set — asks the same structural question: *which
+tuples agree on these attributes?*  A :class:`PartitionIndex` answers it once:
+it groups tuple indices by their projection onto a fixed attribute tuple in a
+single pass, after which
+
+* a **constant-pattern lookup** (all LHS cells constant) is a dictionary
+  ``get`` — ``O(1)``;
+* a **mixed pattern** (constants plus wildcards) filters partition *keys*
+  rather than tuples — ``O(#partitions)`` instead of ``O(#tuples)``;
+* a **variable-CFD check** inspects each candidate partition's distinct RHS
+  projections — ``O(partition size)`` per partition, linear overall.
+
+:class:`PartitionIndexCache` keeps the most recently used indexes (LRU) so a
+batch of CFDs sharing LHS attribute sets builds each partition map exactly
+once.  Ingestion is chunked (:meth:`PartitionIndex.add_tuples`), so an index
+can be grown batch-by-batch while streaming a relation that is never fully
+materialised (see :func:`repro.detection.indexed.detect_stream`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.pattern import PatternValue
+from repro.errors import DetectionError
+from repro.relation.relation import Relation, Row
+from repro.relation.schema import Schema
+
+#: Default batch size for chunked ingestion.
+DEFAULT_CHUNK_SIZE = 8_192
+
+
+class PartitionIndex:
+    """Tuple indices grouped by their projection onto a fixed attribute tuple.
+
+    The grouping key of a tuple is its projection onto ``attributes`` (in the
+    given order).  Within each partition, indices are kept in ingestion order,
+    which for a relation fed front-to-back is ascending tuple-index order —
+    the same order the in-memory oracle reports.
+
+    >>> from repro.relation.schema import Schema
+    >>> from repro.relation.relation import Relation
+    >>> rel = Relation(Schema("r", ["A", "B"]), [(1, "x"), (2, "y"), (1, "z")])
+    >>> index = PartitionIndex.from_relation(rel, ("A",))
+    >>> index.get((1,))
+    (0, 2)
+    >>> len(index)
+    2
+    """
+
+    __slots__ = ("_attributes", "_positions", "_groups", "_next_index", "_tuple_count")
+
+    def __init__(self, schema: Schema, attributes: Sequence[str]) -> None:
+        self._attributes: Tuple[str, ...] = tuple(attributes)
+        self._positions: Tuple[int, ...] = schema.positions(self._attributes)
+        self._groups: Dict[Row, List[int]] = {}
+        self._next_index = 0
+        self._tuple_count = 0
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_relation(cls, relation: Relation, attributes: Sequence[str]) -> "PartitionIndex":
+        """Build an index over ``relation`` in one pass.
+
+        Batch-by-batch construction (for sources not materialised as a
+        :class:`Relation`) goes through :meth:`add_tuples` directly, as
+        :func:`repro.detection.indexed.detect_stream` does.
+        """
+        index = cls(relation.schema, attributes)
+        index.add_tuples(relation)
+        return index
+
+    def add_tuples(self, rows: Iterable[Row], start_index: Optional[int] = None) -> int:
+        """Ingest a batch of positional rows; return the next free index.
+
+        Tuple indices are assigned sequentially, continuing from the previous
+        batch unless ``start_index`` pins them explicitly (useful when only a
+        slice of a larger relation flows through this index).  ``start_index``
+        must not overlap indices already ingested — rewinding would silently
+        duplicate entries inside partitions.
+        """
+        if start_index is not None and start_index < self._next_index:
+            raise DetectionError(
+                f"start_index {start_index} overlaps already-ingested indices "
+                f"(next free index is {self._next_index})"
+            )
+        index = self._next_index if start_index is None else start_index
+        positions = self._positions
+        groups = self._groups
+        for row in rows:
+            key = tuple(row[position] for position in positions)
+            group = groups.get(key)
+            if group is None:
+                groups[key] = [index]
+            else:
+                group.append(index)
+            index += 1
+            self._tuple_count += 1
+        self._next_index = index
+        return index
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """The attribute tuple this index partitions by."""
+        return self._attributes
+
+    @property
+    def tuple_count(self) -> int:
+        """How many tuples have been ingested."""
+        return self._tuple_count
+
+    def __len__(self) -> int:
+        """The number of distinct partitions."""
+        return len(self._groups)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._groups
+
+    def get(self, key: Sequence[Any]) -> Tuple[int, ...]:
+        """The indices in the partition of ``key`` (empty tuple when absent)."""
+        group = self._groups.get(tuple(key))
+        return tuple(group) if group is not None else ()
+
+    def partitions(self) -> Iterator[Tuple[Row, List[int]]]:
+        """Iterate over ``(key, indices)`` pairs in first-occurrence order.
+
+        The yielded lists are the index's internal groups (copying every
+        group would cost a full pass per query, defeating the index); treat
+        them as read-only — mutating one corrupts the partition map.
+        """
+        return iter(self._groups.items())
+
+    def keys(self) -> Iterator[Row]:
+        return iter(self._groups)
+
+    # ------------------------------------------------------------------ queries
+    def matching(self, cells: Sequence[PatternValue]) -> Iterator[Tuple[Row, List[int]]]:
+        """Partitions whose key matches the pattern ``cells``.
+
+        ``cells`` is aligned with :attr:`attributes`; constants pin their
+        position, wildcard / don't-care cells leave it free.  When every cell
+        is a constant this is a single dictionary lookup; otherwise the scan
+        touches partition keys, never tuples.  As with :meth:`partitions`,
+        the yielded index lists are internal read-only views.
+        """
+        if len(cells) != len(self._attributes):
+            raise DetectionError(
+                f"pattern has {len(cells)} cells but index partitions by "
+                f"{len(self._attributes)} attributes {self._attributes}"
+            )
+        if all(cell.is_constant for cell in cells):
+            key = tuple(cell.value for cell in cells)
+            group = self._groups.get(key)
+            if group is not None:
+                yield key, group
+            return
+        constants = [
+            (position, cell.value)
+            for position, cell in enumerate(cells)
+            if cell.is_constant
+        ]
+        if not constants:
+            yield from self._groups.items()
+            return
+        for key, group in self._groups.items():
+            if all(key[position] == value for position, value in constants):
+                yield key, group
+
+    def multi_tuple_partitions(self) -> Iterator[Tuple[Row, List[int]]]:
+        """Partitions holding at least two tuples — the variable-CFD candidates."""
+        for key, group in self._groups.items():
+            if len(group) > 1:
+                yield key, group
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionIndex({list(self._attributes)}, "
+            f"{len(self._groups)} partitions over {self._tuple_count} tuples)"
+        )
+
+
+class PartitionIndexCache:
+    """An LRU cache of :class:`PartitionIndex` objects for one relation.
+
+    Detection over a CFD batch requests one index per distinct ``@``-free LHS
+    attribute tuple; the cache builds each on first use and serves repeats —
+    including across separate :meth:`~repro.detection.indexed.IndexedDetector.detect`
+    calls — from memory.  The cache assumes the relation does not change while
+    it is alive; call :meth:`clear` after mutating the relation.
+    """
+
+    def __init__(self, relation: Relation, maxsize: int = 32) -> None:
+        if maxsize <= 0:
+            raise DetectionError(f"cache maxsize must be positive, got {maxsize}")
+        self._relation = relation
+        self._maxsize = maxsize
+        self._indexes: "OrderedDict[Tuple[str, ...], PartitionIndex]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ access
+    def get(self, attributes: Sequence[str]) -> PartitionIndex:
+        """The index over ``attributes``, building (and caching) it on a miss."""
+        key = tuple(attributes)
+        index = self._indexes.get(key)
+        if index is not None:
+            self._hits += 1
+            self._indexes.move_to_end(key)
+            return index
+        self._misses += 1
+        index = PartitionIndex.from_relation(self._relation, key)
+        self.seed(index)
+        return index
+
+    def seed(self, index: PartitionIndex) -> None:
+        """Insert a pre-built index (used by the streaming ingestion path).
+
+        The index must cover the cache's relation in full: a partial or
+        foreign index would serve tuple indices that do not line up with
+        the relation later passed to detection.
+        """
+        if index.tuple_count != len(self._relation):
+            raise DetectionError(
+                f"cannot seed an index covering {index.tuple_count} tuples into a "
+                f"cache for a {len(self._relation)}-tuple relation"
+            )
+        self._indexes[index.attributes] = index
+        self._indexes.move_to_end(index.attributes)
+        while len(self._indexes) > self._maxsize:
+            self._indexes.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached index (required after mutating the relation)."""
+        self._indexes.clear()
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def relation(self) -> Relation:
+        return self._relation
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __contains__(self, attributes: object) -> bool:
+        return attributes in self._indexes
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus the current size, for tests and reporting."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._indexes),
+            "maxsize": self._maxsize,
+        }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"PartitionIndexCache({stats['size']}/{stats['maxsize']} indexes, "
+            f"{stats['hits']} hits, {stats['misses']} misses)"
+        )

@@ -10,6 +10,7 @@ import pytest
 from repro.bench.config import quick_config
 from repro.bench.experiments import (
     ALL_EXPERIMENTS,
+    backend_ablation,
     fig9a_cnf_vs_dnf_constants,
     fig9b_cnf_vs_dnf_mixed,
     fig9c_qc_vs_qv,
@@ -58,9 +59,17 @@ class TestDrivers:
         rows = merged_vs_separate(config, num_cfds=2)
         assert set(rows[0]) == {"SZ", "num_cfds", "separate_seconds", "merged_seconds"}
 
+    def test_backend_ablation_columns_and_speedup_sanity(self, config):
+        rows = backend_ablation(config, tabsz=50)
+        assert len(rows) == len(config.sz_sweep())
+        assert set(rows[0]) == {
+            "SZ", "indexed_seconds", "inmemory_seconds", "sql_seconds", "indexed_speedup",
+        }
+        assert all(row["indexed_seconds"] > 0 for row in rows)
+
     def test_registry_contains_every_figure(self):
         assert set(ALL_EXPERIMENTS) == {
-            "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "merged",
+            "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "merged", "backends",
         }
 
     def test_verbose_mode_prints_a_table(self, config, capsys):

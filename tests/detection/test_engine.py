@@ -24,9 +24,23 @@ class TestDetectViolations:
         report = detect_violations(cust, cfd_phi2)
         assert not report.is_clean()
 
+    def test_indexed_method(self, cust, cust_constraints):
+        report = detect_violations(cust, cust_constraints, method="indexed")
+        assert report.violating_indices() == frozenset({0, 1, 2, 3})
+
+    def test_indexed_single_cfd(self, cust, cfd_phi2):
+        assert not detect_violations(cust, cfd_phi2, method="indexed").is_clean()
+
     def test_unknown_method_rejected(self, cust, cust_constraints):
-        with pytest.raises(DetectionError):
+        with pytest.raises(DetectionError) as excinfo:
             detect_violations(cust, cust_constraints, method="psychic")
+        # The error should name every valid backend.
+        for method in ("inmemory", "sql", "indexed"):
+            assert method in str(excinfo.value)
+
+    def test_unknown_sql_strategy_rejected(self, cust, cust_constraints):
+        with pytest.raises(DetectionError):
+            detect_violations(cust, cust_constraints, method="sql", strategy="telepathy")
 
     def test_clean_input_gives_clean_report(self, cust, cfd_phi1, cfd_phi3):
         assert detect_violations(cust, [cfd_phi1, cfd_phi3]).is_clean()
@@ -41,6 +55,18 @@ class TestCrossCheck:
         assert result.agree
         assert result.only_inmemory == frozenset()
         assert result.only_sql == frozenset()
+
+    def test_three_way_check_includes_indexed(self, cust, cust_constraints):
+        result = cross_check(cust, cust_constraints)
+        assert result.indexed_indices == result.inmemory_indices
+        assert result.only_indexed == frozenset()
+        assert result.disagreements() == {}
+
+    def test_two_way_check_still_available(self, cust, cust_constraints):
+        result = cross_check(cust, cust_constraints, include_indexed=False)
+        assert result.indexed_indices is None
+        assert result.agree
+        assert result.only_indexed == frozenset()
 
     def test_agreement_on_generated_data(self, small_tax_workload):
         from repro.datagen.cfd_catalog import zip_city_state_cfd
@@ -62,3 +88,16 @@ class TestCrossCheck:
         assert not result.agree
         assert result.only_inmemory == frozenset({1})
         assert result.only_sql == frozenset({3})
+
+    def test_three_way_disagreement_is_pairwise(self):
+        result = CrossCheckResult(
+            inmemory_indices=frozenset({1, 2}),
+            sql_indices=frozenset({1, 2}),
+            indexed_indices=frozenset({2, 3}),
+        )
+        assert not result.agree
+        assert result.only_indexed == frozenset({3})
+        assert result.disagreements() == {
+            ("inmemory", "indexed"): frozenset({1, 3}),
+            ("sql", "indexed"): frozenset({1, 3}),
+        }

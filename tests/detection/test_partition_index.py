@@ -1,0 +1,149 @@
+"""Tests for the partition index and its LRU cache."""
+
+import pytest
+
+from repro.core.pattern import DONTCARE, WILDCARD, PatternValue
+from repro.detection.partition_index import PartitionIndex, PartitionIndexCache
+from repro.errors import DetectionError
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+
+
+@pytest.fixture
+def rel():
+    return Relation(
+        Schema("r", ["A", "B", "C"]),
+        [
+            ("a1", "b1", "c1"),
+            ("a1", "b2", "c2"),
+            ("a2", "b1", "c1"),
+            ("a1", "b1", "c3"),
+        ],
+    )
+
+
+class TestPartitionIndex:
+    def test_groups_match_relation_group_by(self, rel):
+        index = PartitionIndex.from_relation(rel, ("A", "B"))
+        assert dict(index.partitions()) == rel.group_by(["A", "B"])
+
+    def test_get_and_contains(self, rel):
+        index = PartitionIndex.from_relation(rel, ("A",))
+        assert index.get(("a1",)) == (0, 1, 3)
+        assert index.get(("zzz",)) == ()
+        assert ("a2",) in index
+        assert ("zzz",) not in index
+
+    def test_len_and_tuple_count(self, rel):
+        index = PartitionIndex.from_relation(rel, ("B",))
+        assert len(index) == 2
+        assert index.tuple_count == len(rel)
+
+    def test_batched_add_tuples_equals_one_shot(self, rel):
+        one_shot = PartitionIndex.from_relation(rel, ("A", "B"))
+        for batch_size in (1, 2, 3, 100):
+            batched = PartitionIndex(rel.schema, ("A", "B"))
+            for start in range(0, len(rel), batch_size):
+                batched.add_tuples(rel.rows[start:start + batch_size])
+            assert dict(batched.partitions()) == dict(one_shot.partitions())
+            assert batched.tuple_count == one_shot.tuple_count
+
+    def test_add_tuples_continues_indices_across_batches(self, rel):
+        index = PartitionIndex(rel.schema, ("A",))
+        next_index = index.add_tuples(rel.rows[:2])
+        assert next_index == 2
+        assert index.add_tuples(rel.rows[2:]) == 4
+        assert index.get(("a1",)) == (0, 1, 3)
+
+    def test_add_tuples_start_index_override(self, rel):
+        index = PartitionIndex(rel.schema, ("A",))
+        index.add_tuples(rel.rows[2:], start_index=2)
+        assert index.get(("a1",)) == (3,)
+        assert index.get(("a2",)) == (2,)
+
+    def test_add_tuples_rejects_overlapping_start_index(self, rel):
+        index = PartitionIndex(rel.schema, ("A",))
+        index.add_tuples(rel.rows[:2])
+        with pytest.raises(DetectionError):
+            index.add_tuples(rel.rows[:2], start_index=0)
+
+    def test_empty_attribute_tuple_gives_single_partition(self, rel):
+        index = PartitionIndex.from_relation(rel, ())
+        assert index.get(()) == (0, 1, 2, 3)
+        assert len(index) == 1
+
+    def test_matching_all_constant_is_a_lookup(self, rel):
+        index = PartitionIndex.from_relation(rel, ("A", "B"))
+        cells = [PatternValue.constant("a1"), PatternValue.constant("b1")]
+        assert [(key, group) for key, group in index.matching(cells)] == [
+            (("a1", "b1"), [0, 3])
+        ]
+        missing = [PatternValue.constant("zz"), PatternValue.constant("b1")]
+        assert list(index.matching(missing)) == []
+
+    def test_matching_mixed_constants_and_wildcards(self, rel):
+        index = PartitionIndex.from_relation(rel, ("A", "B"))
+        cells = [PatternValue.constant("a1"), WILDCARD]
+        assert {key for key, _ in index.matching(cells)} == {("a1", "b1"), ("a1", "b2")}
+
+    def test_matching_all_free_yields_every_partition(self, rel):
+        index = PartitionIndex.from_relation(rel, ("A",))
+        assert {key for key, _ in index.matching([WILDCARD])} == {("a1",), ("a2",)}
+        assert {key for key, _ in index.matching([DONTCARE])} == {("a1",), ("a2",)}
+
+    def test_matching_rejects_misaligned_cells(self, rel):
+        index = PartitionIndex.from_relation(rel, ("A", "B"))
+        with pytest.raises(DetectionError):
+            list(index.matching([WILDCARD]))
+
+    def test_multi_tuple_partitions(self, rel):
+        index = PartitionIndex.from_relation(rel, ("A", "B"))
+        assert dict(index.multi_tuple_partitions()) == {("a1", "b1"): [0, 3]}
+
+
+class TestPartitionIndexCache:
+    def test_miss_then_hit(self, rel):
+        cache = PartitionIndexCache(rel)
+        first = cache.get(("A",))
+        second = cache.get(("A",))
+        assert first is second
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_distinct_attribute_tuples_get_distinct_indexes(self, rel):
+        cache = PartitionIndexCache(rel)
+        assert cache.get(("A",)) is not cache.get(("A", "B"))
+        assert len(cache) == 2
+
+    def test_lru_eviction(self, rel):
+        cache = PartitionIndexCache(rel, maxsize=2)
+        cache.get(("A",))
+        cache.get(("B",))
+        cache.get(("A",))        # refresh A: B is now least recently used
+        cache.get(("C",))        # evicts B
+        assert ("A",) in cache and ("C",) in cache
+        assert ("B",) not in cache
+
+    def test_seed_prebuilt_index(self, rel):
+        cache = PartitionIndexCache(rel)
+        prebuilt = PartitionIndex.from_relation(rel, ("C",))
+        cache.seed(prebuilt)
+        assert cache.get(("C",)) is prebuilt
+        assert cache.stats()["misses"] == 0
+
+    def test_seed_rejects_index_not_covering_the_relation(self, rel):
+        cache = PartitionIndexCache(rel)
+        partial = PartitionIndex(rel.schema, ("C",))
+        partial.add_tuples(rel.rows[:2])
+        with pytest.raises(DetectionError):
+            cache.seed(partial)
+
+    def test_clear(self, rel):
+        cache = PartitionIndexCache(rel)
+        cache.get(("A",))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_nonpositive_maxsize(self, rel):
+        with pytest.raises(DetectionError):
+            PartitionIndexCache(rel, maxsize=0)

@@ -14,6 +14,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.cfd import CFD
 from repro.core.satisfaction import find_all_violations
+from repro.detection.indexed import detect_stream, find_violations_indexed
 from repro.relation.relation import Relation
 from repro.relation.schema import Schema
 from repro.sql.engine import SQLDetector
@@ -51,13 +52,32 @@ def relations(draw):
 @given(relations(), st.lists(cfds(), min_size=1, max_size=3))
 def test_all_detection_paths_agree(relation, cfd_list):
     oracle = find_all_violations(relation, cfd_list).violating_indices()
+    indexed = find_violations_indexed(relation, cfd_list).violating_indices()
     with SQLDetector(relation, build_indexes=False) as detector:
         cnf = detector.detect(cfd_list, strategy="per_cfd", form="cnf").report.violating_indices()
         dnf = detector.detect(cfd_list, strategy="per_cfd", form="dnf").report.violating_indices()
         merged = detector.detect(cfd_list, strategy="merged").report.violating_indices()
+    assert indexed == oracle
     assert cnf == oracle
     assert dnf == oracle
     assert merged == oracle
+
+
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(relations(), st.lists(cfds(), min_size=1, max_size=3))
+def test_indexed_backend_reports_identical_violations(relation, cfd_list):
+    """Stronger than index-set agreement: every violation object must match."""
+    oracle = find_all_violations(relation, cfd_list)
+    indexed = find_violations_indexed(relation, cfd_list)
+    assert set(indexed.violations) == set(oracle.violations)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(relations(), st.lists(cfds(), min_size=1, max_size=2), st.integers(min_value=1, max_value=4))
+def test_streaming_detection_agrees_with_oracle(relation, cfd_list, chunk_size):
+    oracle = find_all_violations(relation, cfd_list).violating_indices()
+    streamed = detect_stream(relation.schema, iter(relation.rows), cfd_list, chunk_size=chunk_size)
+    assert streamed.violating_indices() == oracle
 
 
 @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])

@@ -65,6 +65,16 @@ class TestDetectCommand:
         ])
         assert code == 1
 
+    def test_detect_indexed_method(self, workspace, tmp_path):
+        report_path = tmp_path / "indexed.json"
+        code = main([
+            "detect", "--data", workspace["data"], "--cfds", workspace["rules"],
+            "--method", "indexed", "--output", str(report_path), "--quiet",
+        ])
+        assert code == 1
+        payload = json.loads(report_path.read_text())
+        assert sorted(payload["violating_tuples"]) == [0, 1, 2, 3]
+
     def test_detect_clean_data_returns_0(self, workspace, tmp_path, capsys):
         clean_rules = tmp_path / "clean.cfd"
         clean_rules.write_text("cfd phi1 on cust: [CC = 44, ZIP] -> [STR]\n")

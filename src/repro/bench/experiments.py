@@ -12,7 +12,13 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.bench.config import BenchConfig, default_config
-from repro.bench.harness import build_workload, time_backend, time_detection, time_query_split
+from repro.bench.harness import (
+    build_workload,
+    time_backend,
+    time_detection,
+    time_query_split,
+    time_repair,
+)
 from repro.bench.reporting import format_table
 
 
@@ -259,6 +265,66 @@ def backend_ablation(
     return _emit(rows, "Ablation: indexed vs in-memory vs SQL detection", verbose)
 
 
+# ---------------------------------------------------------------------------
+# Ablation (beyond the paper): repair engines
+# ---------------------------------------------------------------------------
+def repair_ablation(
+    config: Optional[BenchConfig] = None,
+    tabsz: int = 200,
+    verbose: bool = False,
+) -> List[Dict[str, Any]]:
+    """Incremental vs indexed vs scan-driven repair over the SZ sweep.
+
+    Section 6 makes repair the expensive half of the pipeline; this ablation
+    quantifies what delta-maintained violation state buys the repair loop
+    against full re-detection per pass (both the scan oracle — the seed
+    behaviour — and a from-scratch partition-index rebuild).  The workload is
+    the ``[ZIP] → [ST]`` constraint of the NOISE experiment (Figure 9(f))
+    with a ``tabsz``-pattern sample so the scan series stays tolerable.
+    Every method must reach the identical repaired relation — checked
+    outright, the same way ``backend_ablation`` cross-checks detection.
+    """
+    config = config or default_config()
+    rows: List[Dict[str, Any]] = []
+    for size in config.sz_sweep():
+        workload = build_workload(
+            size=size,
+            noise=config.default_noise,
+            seed=config.seed,
+            num_attrs=2,
+            tabsz=tabsz,
+            num_consts=1.0,
+        )
+        incremental_seconds, incremental_result = time_repair(workload, "incremental")
+        indexed_seconds, indexed_result = time_repair(workload, "indexed")
+        scan_seconds, scan_result = time_repair(workload, "scan")
+        if not (
+            incremental_result.relation == scan_result.relation
+            and indexed_result.relation == scan_result.relation
+        ):
+            raise AssertionError(
+                f"repair engines disagree on SZ={size}: "
+                f"{incremental_result.summary()} vs {indexed_result.summary()} "
+                f"vs {scan_result.summary()}"
+            )
+        rows.append(
+            {
+                "SZ": size,
+                "incremental_seconds": incremental_seconds,
+                "indexed_seconds": indexed_seconds,
+                "scan_seconds": scan_seconds,
+                "changes": len(incremental_result.changes),
+                "passes": incremental_result.passes,
+                "incremental_speedup": (
+                    scan_seconds / incremental_seconds
+                    if incremental_seconds
+                    else float("inf")
+                ),
+            }
+        )
+    return _emit(rows, "Ablation: incremental vs indexed vs scan repair", verbose)
+
+
 #: Map of experiment name -> driver, used by ``python -m repro.bench``.
 ALL_EXPERIMENTS = {
     "fig9a": fig9a_cnf_vs_dnf_constants,
@@ -269,4 +335,5 @@ ALL_EXPERIMENTS = {
     "fig9f": fig9f_noise_scaling,
     "merged": merged_vs_separate,
     "backends": backend_ablation,
+    "repair": repair_ablation,
 }

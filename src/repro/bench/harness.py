@@ -16,6 +16,7 @@ from repro.detection.engine import DETECTION_METHODS
 from repro.detection.indexed import IndexedDetector
 from repro.errors import DetectionError
 from repro.relation.relation import Relation
+from repro.repair.heuristic import RepairResult, repair
 from repro.sql.engine import DetectionRun, SQLDetector
 
 _T = TypeVar("_T")
@@ -134,6 +135,33 @@ def time_backend(
     else:
         run_once = lambda: IndexedDetector(workload.relation).detect(workload.cfds)
     return _median_timed(run_once, repeats)
+
+
+def time_repair(
+    workload: DetectionWorkload,
+    method: str,
+    max_passes: int = 25,
+    repeats: int = 1,
+) -> Tuple[float, RepairResult]:
+    """Median wall-clock of a full repair run with the given detection engine.
+
+    Times the whole fixpoint loop — initial detection, every pass's fixes and
+    re-checks — since the point of the incremental engine is precisely to
+    collapse the re-check cost across passes.  ``repair`` copies the relation
+    internally, so repeats are independent (and it validates ``method``
+    itself); consistency checking is skipped because it is identical setup
+    work for every method.
+    """
+    return _median_timed(
+        lambda: repair(
+            workload.relation,
+            workload.cfds,
+            max_passes=max_passes,
+            check_consistency=False,
+            method=method,
+        ),
+        repeats,
+    )
 
 
 def time_query_split(

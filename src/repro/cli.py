@@ -33,7 +33,7 @@ from repro.reasoning.consistency import is_consistent
 from repro.reasoning.mincover import minimal_cover
 from repro.relation.relation import Relation
 from repro.relation.schema import Schema
-from repro.repair.heuristic import repair
+from repro.repair.heuristic import REPAIR_METHODS, repair
 
 
 # ---------------------------------------------------------------------------
@@ -129,7 +129,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
 def cmd_repair(args: argparse.Namespace) -> int:
     relation = load_relation_csv(args.data)
     cfds = load_cfds(args.cfds)
-    result = repair(relation, cfds, max_passes=args.max_passes)
+    result = repair(relation, cfds, max_passes=args.max_passes, method=args.method)
     result.relation.to_csv(args.output)
     print(
         f"Repaired {args.data}: {len(result.changes)} cell changes "
@@ -222,6 +222,14 @@ def build_parser() -> argparse.ArgumentParser:
     repair_cmd.add_argument("--cfds", required=True)
     repair_cmd.add_argument("--output", required=True, help="path of the repaired CSV")
     repair_cmd.add_argument("--max-passes", type=int, default=25)
+    repair_cmd.add_argument(
+        "--method",
+        choices=list(REPAIR_METHODS),
+        default="incremental",
+        help="detection engine driving the repair passes: the delta-maintained "
+        "incremental state (default), full re-detection over partition "
+        "indexes, or the pure-Python scan oracle; all produce the same repair",
+    )
     repair_cmd.add_argument("--changes", action="store_true", help="print every cell change")
     repair_cmd.set_defaults(handler=cmd_repair)
 

@@ -50,8 +50,11 @@ def find_violations(relation: Relation, cfd: CFD) -> ViolationReport:
     """
     report = ViolationReport()
     for pattern_index, pattern in enumerate(cfd.tableau):
-        report.extend(_constant_violations(relation, cfd, pattern_index, pattern))
-        report.extend(_variable_violations(relation, cfd, pattern_index, pattern))
+        # Both query shapes range over the same matching tuples; scan for
+        # them once per pattern rather than once per query.
+        matching = _matching_indices(relation, cfd.lhs, pattern)
+        report.extend(_constant_violations(relation, cfd, pattern_index, pattern, matching))
+        report.extend(_variable_violations(relation, cfd, pattern_index, pattern, matching))
     return report
 
 
@@ -85,9 +88,17 @@ def _matching_indices(
 
 
 def _constant_violations(
-    relation: Relation, cfd: CFD, pattern_index: int, pattern: PatternTuple
+    relation: Relation,
+    cfd: CFD,
+    pattern_index: int,
+    pattern: PatternTuple,
+    matching: Sequence[int],
 ) -> List[Violation]:
-    """Single-tuple violations of one pattern tuple (the ``Q^C`` semantics)."""
+    """Single-tuple violations of one pattern tuple (the ``Q^C`` semantics).
+
+    ``matching`` holds the indices of the tuples matching the pattern's LHS,
+    as computed once per pattern by :func:`find_violations`.
+    """
     violations: List[Violation] = []
     constant_rhs = [
         (attr, pattern.rhs_cell(attr))
@@ -96,7 +107,7 @@ def _constant_violations(
     ]
     if not constant_rhs:
         return violations
-    for index in _matching_indices(relation, cfd.lhs, pattern):
+    for index in matching:
         row = relation.row_dict(index)
         for attr, cell in constant_rhs:
             if row[attr] != cell.value:
@@ -114,15 +125,22 @@ def _constant_violations(
 
 
 def _variable_violations(
-    relation: Relation, cfd: CFD, pattern_index: int, pattern: PatternTuple
+    relation: Relation,
+    cfd: CFD,
+    pattern_index: int,
+    pattern: PatternTuple,
+    matching: Sequence[int],
 ) -> List[Violation]:
-    """Multi-tuple violations of one pattern tuple (the ``Q^V`` semantics)."""
+    """Multi-tuple violations of one pattern tuple (the ``Q^V`` semantics).
+
+    ``matching`` is the shared per-pattern match list (see
+    :func:`_constant_violations`).
+    """
     violations: List[Violation] = []
     lhs_free = [attr for attr in cfd.lhs if not pattern.lhs_cell(attr).is_dontcare]
     rhs_free = [attr for attr in cfd.rhs if not pattern.rhs_cell(attr).is_dontcare]
     if not rhs_free:
         return violations
-    matching = _matching_indices(relation, cfd.lhs, pattern)
     groups: Dict[Tuple[Any, ...], List[int]] = {}
     for index in matching:
         key = relation.project_row(index, lhs_free) if lhs_free else ()

@@ -24,6 +24,7 @@ materialised (see :func:`repro.detection.indexed.detect_stream`).
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import OrderedDict
 from typing import (
     Any,
@@ -114,6 +115,41 @@ class PartitionIndex:
         self._next_index = index
         return index
 
+    def reindex_tuple(self, tuple_index: int, old_row: Row, new_row: Row) -> bool:
+        """Move one tuple between partitions after a cell change (in place).
+
+        ``old_row`` is the tuple's full positional row *before* the change and
+        ``new_row`` the row after it.  When the change does not touch this
+        index's attributes the call is a no-op (returns ``False``); otherwise
+        the tuple's index is removed from its old equivalence class (dropping
+        the class when it empties) and inserted into the new one, keeping each
+        class sorted in ascending tuple-index order — the order ingestion
+        produces and detection reports.  This is the hook that lets the repair
+        engine maintain indexes across cell modifications instead of
+        rebuilding them (:mod:`repro.repair.incremental`).
+        """
+        positions = self._positions
+        old_key = tuple(old_row[position] for position in positions)
+        new_key = tuple(new_row[position] for position in positions)
+        if old_key == new_key:
+            return False
+        group = self._groups.get(old_key)
+        slot = bisect_left(group, tuple_index) if group is not None else 0
+        if group is None or slot >= len(group) or group[slot] != tuple_index:
+            raise DetectionError(
+                f"tuple {tuple_index} is not in the partition of {old_key!r}; "
+                "reindex_tuple must be given the row exactly as it was ingested"
+            )
+        group.pop(slot)
+        if not group:
+            del self._groups[old_key]
+        target = self._groups.get(new_key)
+        if target is None:
+            self._groups[new_key] = [tuple_index]
+        else:
+            insort(target, tuple_index)
+        return True
+
     # ------------------------------------------------------------------ basics
     @property
     def attributes(self) -> Tuple[str, ...]:
@@ -202,7 +238,9 @@ class PartitionIndexCache:
     attribute tuple; the cache builds each on first use and serves repeats —
     including across separate :meth:`~repro.detection.indexed.IndexedDetector.detect`
     calls — from memory.  The cache assumes the relation does not change while
-    it is alive; call :meth:`clear` after mutating the relation.
+    it is alive; after mutating the relation either call :meth:`clear` (drop
+    everything) or :meth:`apply_update` (delta-maintain the cached indexes in
+    place, the repair engine's path).
     """
 
     def __init__(self, relation: Relation, maxsize: int = 32) -> None:
@@ -248,6 +286,24 @@ class PartitionIndexCache:
     def clear(self) -> None:
         """Drop every cached index (required after mutating the relation)."""
         self._indexes.clear()
+
+    def apply_update(self, tuple_index: int, attribute: str, old_row: Row) -> int:
+        """Delta-maintain the cached indexes after one cell of the relation changed.
+
+        Call *after* ``relation.update(tuple_index, attribute, ...)``, passing
+        the row as it was *before* the change.  Only the indexes whose
+        attribute tuple mentions ``attribute`` are touched (the others cannot
+        be affected by the change); each moves the tuple between its
+        equivalence classes via :meth:`PartitionIndex.reindex_tuple` instead
+        of being rebuilt.  Returns the number of indexes updated.
+        """
+        new_row = self._relation[tuple_index]
+        updated = 0
+        for attributes, index in self._indexes.items():
+            if attribute in attributes:
+                index.reindex_tuple(tuple_index, old_row, new_row)
+                updated += 1
+        return updated
 
     # ------------------------------------------------------------------ introspection
     @property

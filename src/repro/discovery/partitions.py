@@ -16,6 +16,17 @@ from repro.relation.relation import Relation
 Partition = List[Tuple[int, ...]]
 
 
+def _grouped(relation: Relation, attributes: Sequence[str]) -> Dict[Tuple, List[int]]:
+    """Row indices grouped by their projection onto ``attributes`` — the one
+    grouping pass every public helper in this module derives its answer from."""
+    groups: Dict[Tuple, List[int]] = {}
+    positions = relation.schema.positions(attributes)
+    for index, row in enumerate(relation):
+        key = tuple(row[position] for position in positions)
+        groups.setdefault(key, []).append(index)
+    return groups
+
+
 def partition(relation: Relation, attributes: Sequence[str]) -> Partition:
     """The partition of row indices induced by equality on ``attributes``.
 
@@ -23,32 +34,34 @@ def partition(relation: Relation, attributes: Sequence[str]) -> Partition:
     """
     if not attributes:
         return [tuple(range(len(relation)))] if len(relation) else []
-    groups: Dict[Tuple, List[int]] = {}
-    positions = relation.schema.positions(attributes)
-    for index, row in enumerate(relation):
-        key = tuple(row[position] for position in positions)
-        groups.setdefault(key, []).append(index)
-    return [tuple(indices) for indices in groups.values()]
+    return [tuple(indices) for indices in _grouped(relation, attributes).values()]
 
 
 def partition_with_keys(
     relation: Relation, attributes: Sequence[str]
 ) -> Dict[Tuple, Tuple[int, ...]]:
     """Like :func:`partition` but keyed by the attribute values of each class."""
-    groups: Dict[Tuple, List[int]] = {}
-    positions = relation.schema.positions(attributes)
-    for index, row in enumerate(relation):
-        key = tuple(row[position] for position in positions)
-        groups.setdefault(key, []).append(index)
-    return {key: tuple(indices) for key, indices in groups.items()}
+    return {
+        key: tuple(indices) for key, indices in _grouped(relation, attributes).items()
+    }
 
 
 def refines(relation: Relation, lhs: Sequence[str], rhs: Sequence[str]) -> bool:
-    """Whether the FD ``lhs → rhs`` holds on ``relation`` (partition refinement test)."""
-    lhs_classes = len(partition(relation, lhs))
-    combined = list(dict.fromkeys(tuple(lhs) + tuple(rhs)))
-    combined_classes = len(partition(relation, combined))
-    return lhs_classes == combined_classes
+    """Whether the FD ``lhs → rhs`` holds on ``relation`` (partition refinement test).
+
+    A single grouping pass over ``lhs ∪ rhs`` suffices: each combined key
+    starts with the (de-duplicated) ``lhs`` projection, so the number of LHS
+    classes is the number of distinct key prefixes — no second pass over the
+    relation for the LHS-only partition.
+    """
+    lhs_unique = list(dict.fromkeys(lhs))
+    combined = lhs_unique + [attr for attr in rhs if attr not in lhs_unique]
+    combined_groups = _grouped(relation, combined)
+    if lhs_unique:
+        lhs_classes = len({key[: len(lhs_unique)] for key in combined_groups})
+    else:
+        lhs_classes = 1 if len(relation) else 0
+    return lhs_classes == len(combined_groups)
 
 
 def error_rate(relation: Relation, lhs: Sequence[str], rhs: Sequence[str]) -> float:

@@ -1,6 +1,15 @@
 """Cost-based heuristic repair of CFD violations (Section 6 of the paper)."""
 
 from repro.repair.cost import CostModel, levenshtein
-from repro.repair.heuristic import RepairResult, repair
+from repro.repair.heuristic import REPAIR_METHODS, RepairResult, repair
+from repro.repair.incremental import RepairState, canonical_order
 
-__all__ = ["CostModel", "RepairResult", "levenshtein", "repair"]
+__all__ = [
+    "REPAIR_METHODS",
+    "CostModel",
+    "RepairResult",
+    "RepairState",
+    "canonical_order",
+    "levenshtein",
+    "repair",
+]

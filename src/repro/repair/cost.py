@@ -11,13 +11,30 @@ other values fall back to a 0/1 distance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Dict, Optional
+
+#: Size of the memo for repeated string comparisons.  Plurality voting in the
+#: repair heuristic compares the same few candidate values against every group
+#: member, pass after pass, so the working set is tiny compared to this bound.
+_DISTANCE_CACHE_SIZE = 65_536
 
 
 def levenshtein(left: str, right: str) -> int:
     """The classic edit distance between two strings (insert/delete/substitute)."""
     if left == right:
         return 0
+    # A shared prefix or suffix contributes nothing to the distance; stripping
+    # it shrinks (often collapses) the DP table for near-identical values.
+    start = 0
+    shortest = min(len(left), len(right))
+    while start < shortest and left[start] == right[start]:
+        start += 1
+    end_left, end_right = len(left), len(right)
+    while end_left > start and end_right > start and left[end_left - 1] == right[end_right - 1]:
+        end_left -= 1
+        end_right -= 1
+    left, right = left[start:end_left], right[start:end_right]
     if not left:
         return len(right)
     if not right:
@@ -34,15 +51,32 @@ def levenshtein(left: str, right: str) -> int:
     return previous[-1]
 
 
+@lru_cache(maxsize=_DISTANCE_CACHE_SIZE)
+def _string_distance(left: str, right: str) -> float:
+    """Memoised normalised Levenshtein; callers order the pair for symmetry."""
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 0.0
+    if longest - min(len(left), len(right)) == longest:
+        # Length-difference lower bound meets the upper bound: one string is
+        # empty, so the distance is exactly ``longest`` — skip the DP.
+        return 1.0
+    return levenshtein(left, right) / longest
+
+
 def normalized_distance(old: Any, new: Any) -> float:
-    """A distance in ``[0, 1]``: normalised Levenshtein for strings, 0/1 otherwise."""
+    """A distance in ``[0, 1]``: normalised Levenshtein for strings, 0/1 otherwise.
+
+    String comparisons are served from an LRU memo keyed on the (unordered)
+    value pair: plurality voting in the repair heuristic prices the same
+    candidate values against each other over and over, so repeats are ``O(1)``.
+    """
     if old == new:
         return 0.0
     if isinstance(old, str) and isinstance(new, str):
-        longest = max(len(old), len(new))
-        if longest == 0:
-            return 0.0
-        return levenshtein(old, new) / longest
+        # The distance is symmetric; order the pair so both directions share
+        # one memo entry.
+        return _string_distance(old, new) if old <= new else _string_distance(new, old)
     return 1.0
 
 

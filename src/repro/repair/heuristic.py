@@ -17,11 +17,26 @@ cites:
    modifying an LHS attribute of the cheapest tuple to a fresh value, which
    breaks the pattern match.
 
-The algorithm re-detects violations after every pass and stops when the
-relation is clean or a pass budget is exhausted.  It is a heuristic: it does
-not guarantee minimum cost (that is the NP-complete part) but it does
-guarantee termination and, on consistent CFD sets, the tests verify it
-reaches a clean instance on all exercised workloads.
+The algorithm re-checks satisfaction after every pass and stops when the
+relation is clean or a pass budget is exhausted.  *How* satisfaction is
+re-checked is pluggable (``method``):
+
+* ``"incremental"`` (default) maintains the violation state under each cell
+  change via :class:`repro.repair.incremental.RepairState` — the relation is
+  ingested once into partition indexes and every pass reads the maintained
+  report, so a pass costs work proportional to the cells it changed;
+* ``"indexed"`` re-runs the partition-indexed detector from scratch on every
+  check (full re-detection, but over indexes);
+* ``"scan"`` re-runs the pure-Python scan oracle from scratch on every check —
+  the seed behaviour, kept as the correctness baseline.
+
+All three methods feed the greedy policy the same violations in the same
+canonical order (:func:`repro.repair.incremental.canonical_order`), so they
+produce *identical* repairs; ``benchmarks/test_ablation_repair_incremental.py``
+asserts both the agreement and the speedup.  The heuristic does not guarantee
+minimum cost (that is the NP-complete part) but it does guarantee termination
+and, on consistent CFD sets, the tests verify it reaches a clean instance on
+all exercised workloads.
 """
 
 from __future__ import annotations
@@ -32,11 +47,16 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cfd import CFD
 from repro.core.satisfaction import find_all_violations
-from repro.core.violations import ConstantViolation, VariableViolation
+from repro.core.violations import ConstantViolation, VariableViolation, ViolationReport
+from repro.detection.indexed import find_violations_indexed
 from repro.errors import InconsistentCFDsError, RepairError
 from repro.reasoning.consistency import is_consistent
 from repro.relation.relation import Relation
 from repro.repair.cost import CostModel
+from repro.repair.incremental import RepairState, canonical_order
+
+#: Detection engines the repair loop can be driven by.
+REPAIR_METHODS = ("scan", "indexed", "incremental")
 
 
 @dataclass(frozen=True)
@@ -79,16 +99,79 @@ class RepairResult:
 _FRESH_PREFIX = "__repaired"
 
 
+# ---------------------------------------------------------------------------
+# detection engines driving the repair loop
+# ---------------------------------------------------------------------------
+class _ScanEngine:
+    """Full re-detection through the pure-Python oracle (the seed behaviour)."""
+
+    def __init__(self, relation: Relation, cfds: Sequence[CFD]) -> None:
+        self.relation = relation
+        self._cfds = cfds
+
+    def report(self) -> ViolationReport:
+        report = find_all_violations(self.relation, self._cfds)
+        return ViolationReport(canonical_order(report, self._cfds))
+
+    def update(self, tuple_index: int, attribute: str, new_value: Any) -> None:
+        self.relation.update(tuple_index, attribute, new_value)
+
+
+class _IndexedEngine:
+    """Full re-detection through the partition-index backend, rebuilt per check."""
+
+    def __init__(self, relation: Relation, cfds: Sequence[CFD]) -> None:
+        self.relation = relation
+        self._cfds = cfds
+
+    def report(self) -> ViolationReport:
+        # The relation mutates between checks, so each detection starts from
+        # a fresh cache — that full rebuild is exactly what the incremental
+        # engine avoids.
+        report = find_violations_indexed(self.relation, self._cfds)
+        return ViolationReport(canonical_order(report, self._cfds))
+
+    def update(self, tuple_index: int, attribute: str, new_value: Any) -> None:
+        self.relation.update(tuple_index, attribute, new_value)
+
+
+class _IncrementalEngine:
+    """Delta-maintained violation state (:class:`RepairState`)."""
+
+    def __init__(self, relation: Relation, cfds: Sequence[CFD]) -> None:
+        self.relation = relation
+        self._state = RepairState(relation, cfds)
+
+    def report(self) -> ViolationReport:
+        return self._state.report()
+
+    def update(self, tuple_index: int, attribute: str, new_value: Any) -> None:
+        self._state.apply_change(tuple_index, attribute, new_value)
+
+
+_ENGINES = {
+    "scan": _ScanEngine,
+    "indexed": _IndexedEngine,
+    "incremental": _IncrementalEngine,
+}
+
+
+# ---------------------------------------------------------------------------
+# the repair loop
+# ---------------------------------------------------------------------------
 def repair(
     relation: Relation,
     cfds: Sequence[CFD],
     cost_model: Optional[CostModel] = None,
     max_passes: int = 25,
     check_consistency: bool = True,
+    method: str = "incremental",
 ) -> RepairResult:
     """Produce a repaired copy of ``relation`` satisfying ``cfds``.
 
-    The input relation is not modified.  Raises
+    The input relation is not modified.  ``method`` selects the detection
+    engine driving the passes (see :data:`REPAIR_METHODS`); every method
+    yields the same repaired relation, differing only in speed.  Raises
     :class:`~repro.errors.InconsistentCFDsError` when the CFD set has no
     satisfying instance at all (no repair can exist then).
 
@@ -98,38 +181,44 @@ def repair(
     True
     """
     cfds = list(cfds)
+    if method not in _ENGINES:
+        raise RepairError(
+            f"unknown repair method {method!r}; expected one of "
+            f"{', '.join(map(repr, REPAIR_METHODS))}"
+        )
     if check_consistency and cfds and not is_consistent(cfds):
         raise InconsistentCFDsError("the CFD set is inconsistent; no repair exists")
     cost_model = cost_model or CostModel()
     work = relation.copy()
+    engine = _ENGINES[method](work, cfds)
     result = RepairResult(relation=work)
     modification_counts: Dict[Tuple[int, str], int] = defaultdict(int)
 
     for pass_number in range(1, max_passes + 1):
         result.passes = pass_number
-        report = find_all_violations(work, cfds)
+        report = engine.report()
         if report.is_clean():
             result.clean = True
             return result
         progressed = False
         for violation in report.constant_violations():
             progressed |= _fix_constant_violation(
-                work, violation, cost_model, result, modification_counts
+                engine, violation, cost_model, result, modification_counts
             )
-        # Re-detect after the forced constant fixes: they may already resolve
+        # Re-check after the forced constant fixes: they may already resolve
         # (or change the shape of) the variable violations.
-        report = find_all_violations(work, cfds)
+        report = engine.report()
         if report.is_clean():
             result.clean = True
             return result
         for violation in report.variable_violations():
             progressed |= _fix_variable_violation(
-                work, violation, cfds, cost_model, result, modification_counts
+                engine, violation, cfds, cost_model, result, modification_counts
             )
         if not progressed:
             raise RepairError("repair made no progress; giving up to avoid looping")
 
-    result.clean = find_all_violations(work, cfds).is_clean()
+    result.clean = engine.report().is_clean()
     return result
 
 
@@ -141,7 +230,7 @@ def _fresh_value(old_value: Any, counter: int) -> str:
 
 
 def _record_change(
-    work: Relation,
+    engine,
     result: RepairResult,
     counts: Dict[Tuple[int, str], int],
     tuple_index: int,
@@ -150,10 +239,10 @@ def _record_change(
     cost_model: CostModel,
     reason: str,
 ) -> bool:
-    old_value = work.value(tuple_index, attribute)
+    old_value = engine.relation.value(tuple_index, attribute)
     if old_value == new_value:
         return False
-    work.update(tuple_index, attribute, new_value)
+    engine.update(tuple_index, attribute, new_value)
     counts[(tuple_index, attribute)] += 1
     result.changes.append(
         CellChange(
@@ -169,7 +258,7 @@ def _record_change(
 
 
 def _fix_constant_violation(
-    work: Relation,
+    engine,
     violation: ConstantViolation,
     cost_model: CostModel,
     result: RepairResult,
@@ -181,9 +270,9 @@ def _fix_constant_violation(
         # The RHS keeps being pushed back and forth: break the pattern match
         # by moving an LHS value out of the way instead (Section 6's point
         # that CFD repairs sometimes must touch the LHS).
-        return _break_lhs_match(work, tuple_index, violation.cfd_name, cost_model, result, counts)
+        return _break_lhs_match(engine, tuple_index, violation.cfd_name, cost_model, result, counts)
     return _record_change(
-        work,
+        engine,
         result,
         counts,
         tuple_index,
@@ -194,15 +283,49 @@ def _fix_constant_violation(
     )
 
 
+def _resolve_variable_cfd(violation: VariableViolation, cfds: Sequence[CFD]) -> Optional[CFD]:
+    """The CFD a variable violation came from.
+
+    Violations carry only the CFD's *name*, and auto-derived names collide
+    for CFDs over the same embedded FD — so a bare name match can resolve to
+    the wrong CFD (whose same-index pattern may not even be able to produce a
+    variable violation, wedging the repair).  Require everything the source
+    pattern must satisfy: it exists, its ``@``-free LHS equals the violation's
+    grouping attributes, its LHS cells match the group key, and it constrains
+    at least one RHS attribute (else no variable violation could arise).
+    """
+    for candidate in cfds:
+        if candidate.name != violation.cfd_name:
+            continue
+        if violation.pattern_index >= len(candidate.tableau):
+            continue
+        pattern = candidate.tableau[violation.pattern_index]
+        lhs_free = tuple(
+            attr for attr in candidate.lhs if not pattern.lhs_cell(attr).is_dontcare
+        )
+        if lhs_free != violation.attributes:
+            continue
+        if not all(
+            pattern.lhs_cell(attr).matches(value)
+            for attr, value in zip(lhs_free, violation.group_key)
+        ):
+            continue
+        if not any(not pattern.rhs_cell(attr).is_dontcare for attr in candidate.rhs):
+            continue
+        return candidate
+    return None
+
+
 def _fix_variable_violation(
-    work: Relation,
+    engine,
     violation: VariableViolation,
     cfds: Sequence[CFD],
     cost_model: CostModel,
     result: RepairResult,
     counts: Dict[Tuple[int, str], int],
 ) -> bool:
-    cfd = next((candidate for candidate in cfds if candidate.name == violation.cfd_name), None)
+    work = engine.relation
+    cfd = _resolve_variable_cfd(violation, cfds)
     if cfd is None:
         raise RepairError(f"violation refers to unknown CFD {violation.cfd_name!r}")
     pattern = cfd.tableau[violation.pattern_index]
@@ -234,11 +357,11 @@ def _fix_variable_violation(
         if projections[index] == best_value:
             continue
         if any(counts[(index, attribute)] >= 3 for attribute in rhs_free):
-            progressed |= _break_lhs_match(work, index, cfd.name, cost_model, result, counts, cfd=cfd)
+            progressed |= _break_lhs_match(engine, index, cfd.name, cost_model, result, counts, cfd=cfd)
             continue
         for attribute, new_value in zip(rhs_free, best_value):
             progressed |= _record_change(
-                work,
+                engine,
                 result,
                 counts,
                 index,
@@ -251,7 +374,7 @@ def _fix_variable_violation(
 
 
 def _break_lhs_match(
-    work: Relation,
+    engine,
     tuple_index: int,
     cfd_name: str,
     cost_model: CostModel,
@@ -265,11 +388,11 @@ def _break_lhs_match(
         attributes = cfd.lhs
     else:
         # Fall back to any attribute of the tuple that has been modified least.
-        attributes = tuple(work.schema.names)
+        attributes = tuple(engine.relation.schema.names)
     attribute = min(attributes, key=lambda attr: counts[(tuple_index, attr)])
-    fresh = _fresh_value(work.value(tuple_index, attribute), len(result.changes))
+    fresh = _fresh_value(engine.relation.value(tuple_index, attribute), len(result.changes))
     return _record_change(
-        work,
+        engine,
         result,
         counts,
         tuple_index,

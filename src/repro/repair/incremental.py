@@ -1,0 +1,320 @@
+"""Delta-maintained violation state for the repair loop.
+
+The repair heuristic (Section 6) is an iterative fixpoint: detect violations,
+fix some cells, detect again.  Re-running full detection on every pass costs
+``O(passes x |Σ| x |I| x TABSZ)`` with the scan oracle — and even the
+partition-indexed backend rebuilds its partition maps from scratch each time.
+But a repair pass changes a handful of *cells*, and a single cell change can
+only affect
+
+* the patterns whose ``@``-free LHS or non-``@`` RHS mentions the changed
+  attribute, and
+* within such a pattern, the tuples of the changed tuple's *old* and *new*
+  equivalence classes under the pattern's LHS partition.
+
+:class:`RepairState` exploits exactly that: it ingests the relation once into
+the :class:`~repro.detection.partition_index.PartitionIndex` maps of PR 1,
+computes the initial :class:`~repro.core.violations.ViolationReport` the way
+the indexed backend does, and then keeps the report correct under
+:meth:`RepairState.apply_change` by
+
+1. moving the changed tuple between equivalence classes in the affected
+   partition indexes (:meth:`PartitionIndex.reindex_tuple` — in place, no
+   rebuild), and
+2. re-evaluating only the affected patterns over only the old and new
+   classes of the changed tuple (a dirty-set delta, not a rescan).
+
+Reports are emitted in the *canonical order* — the order the scan oracle
+produces — so the greedy repair heuristic makes identical decisions no
+matter which detection engine feeds it.  See ``docs/repair.md`` for the
+complexity analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.cfd import CFD
+from repro.core.pattern import PatternValue
+from repro.core.violations import (
+    ConstantViolation,
+    VariableViolation,
+    Violation,
+    ViolationReport,
+)
+from repro.detection.partition_index import PartitionIndexCache
+from repro.relation.relation import Relation
+
+
+# ---------------------------------------------------------------------------
+# canonical violation order
+# ---------------------------------------------------------------------------
+def canonical_order(violations: Iterable[Violation], cfds: Sequence[CFD]) -> List[Violation]:
+    """Sort ``violations`` into the order the scan oracle reports them.
+
+    The oracle (:func:`repro.core.satisfaction.find_all_violations`) emits,
+    per CFD in input order and per pattern tuple in tableau order, first the
+    constant violations (ascending tuple index, RHS attributes in CFD order)
+    and then the variable violations (ascending smallest member index).  Every
+    backend finds the same violation *set*; sorting by this key makes the
+    *sequence* identical too, which is what lets the greedy repair heuristic
+    reach the same repaired relation regardless of the detection engine
+    driving it.  The sort is stable, so a report already in oracle order is
+    returned unchanged.
+    """
+    cfd_position: Dict[str, int] = {}
+    rhs_position: Dict[str, Dict[str, int]] = {}
+    for position, cfd in enumerate(cfds):
+        if cfd.name not in cfd_position:
+            cfd_position[cfd.name] = position
+            rhs_position[cfd.name] = {attr: i for i, attr in enumerate(cfd.rhs)}
+
+    def key(violation: Violation) -> Tuple[int, int, int, int, int]:
+        cfd_rank = cfd_position.get(violation.cfd_name, len(cfd_position))
+        if isinstance(violation, ConstantViolation):
+            attr_rank = rhs_position.get(violation.cfd_name, {}).get(violation.attribute, 0)
+            return (cfd_rank, violation.pattern_index, 0, violation.tuple_indices[0], attr_rank)
+        return (cfd_rank, violation.pattern_index, 1, min(violation.tuple_indices), 0)
+
+    return sorted(violations, key=key)
+
+
+# ---------------------------------------------------------------------------
+# per-pattern metadata
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _PatternSpec:
+    """Everything needed to evaluate one pattern tuple against one partition."""
+
+    spec_id: int
+    cfd: CFD
+    pattern_index: int
+    #: ``@``-free LHS attributes in LHS order — the partition attributes.
+    lhs_free: Tuple[str, ...]
+    lhs_positions: Tuple[int, ...]
+    #: LHS pattern cells aligned with ``lhs_free``.
+    cells: Tuple[PatternValue, ...]
+    #: ``(attribute, schema position, expected constant)`` per constant RHS cell.
+    constant_rhs: Tuple[Tuple[str, int, Any], ...]
+    #: non-``@`` RHS attributes in RHS order (the ``Q^V`` projection).
+    rhs_free: Tuple[str, ...]
+    rhs_positions: Tuple[int, ...]
+
+    def key_matches(self, key: Tuple[Any, ...]) -> bool:
+        """Whether a partition key matches this pattern's LHS constants."""
+        return all(cell.matches(value) for cell, value in zip(self.cells, key))
+
+
+def _build_specs(relation: Relation, cfds: Sequence[CFD]) -> List[_PatternSpec]:
+    schema = relation.schema
+    specs: List[_PatternSpec] = []
+    for cfd in cfds:
+        for pattern_index, pattern in enumerate(cfd.tableau):
+            lhs_free = tuple(attr for attr in cfd.lhs if not pattern.lhs_cell(attr).is_dontcare)
+            rhs_free = tuple(attr for attr in cfd.rhs if not pattern.rhs_cell(attr).is_dontcare)
+            constant_rhs = tuple(
+                (attr, schema.position(attr), pattern.rhs_cell(attr).value)
+                for attr in cfd.rhs
+                if pattern.rhs_cell(attr).is_constant
+            )
+            specs.append(
+                _PatternSpec(
+                    spec_id=len(specs),
+                    cfd=cfd,
+                    pattern_index=pattern_index,
+                    lhs_free=lhs_free,
+                    lhs_positions=schema.positions(lhs_free),
+                    cells=tuple(pattern.lhs_cell(attr) for attr in lhs_free),
+                    constant_rhs=constant_rhs,
+                    rhs_free=rhs_free,
+                    rhs_positions=schema.positions(rhs_free) if rhs_free else (),
+                )
+            )
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# the incremental engine
+# ---------------------------------------------------------------------------
+class RepairState:
+    """Violation state of ``relation`` against ``cfds``, maintained under cell changes.
+
+    The relation is ingested once (one partition index per distinct ``@``-free
+    LHS attribute tuple, shared across patterns and CFDs); the initial report
+    is computed from those indexes exactly as the ``method="indexed"``
+    detection backend would.  From then on :meth:`apply_change` keeps both the
+    indexes and the per-partition violation store correct in time proportional
+    to the *touched* partitions, not the relation.
+
+    The state owns ``relation`` operationally: every mutation must flow
+    through :meth:`apply_change`, or the maintained report goes stale.
+
+    >>> from repro.datagen.cust import cust_relation, cust_cfds
+    >>> state = RepairState(cust_relation(), cust_cfds())
+    >>> state.is_clean()
+    False
+    >>> sorted(state.report().violating_indices())
+    [0, 1, 2, 3]
+    """
+
+    def __init__(self, relation: Relation, cfds: Sequence[CFD]) -> None:
+        self._relation = relation
+        self._cfds = list(cfds)
+        self._specs = _build_specs(relation, self._cfds)
+
+        # attribute -> specs whose LHS ∪ RHS mention it (the dirty-spec map).
+        self._specs_by_attr: Dict[str, List[_PatternSpec]] = {}
+        for spec in self._specs:
+            for attr in dict.fromkeys(spec.lhs_free + spec.rhs_free):
+                self._specs_by_attr.setdefault(attr, []).append(spec)
+
+        distinct_lhs = {spec.lhs_free for spec in self._specs}
+        self._cache = PartitionIndexCache(relation, maxsize=max(32, len(distinct_lhs)))
+        # Pre-build every index: with maxsize >= the number of distinct LHS
+        # tuples nothing is ever evicted, so apply_update sees them all.
+        for lhs_free in distinct_lhs:
+            self._cache.get(lhs_free)
+
+        # spec_id -> partition key -> violations of that pattern in that class.
+        self._store: List[Dict[Tuple[Any, ...], List[Violation]]] = [
+            {} for _ in self._specs
+        ]
+        for spec in self._specs:
+            store = self._store[spec.spec_id]
+            index = self._cache.get(spec.lhs_free)
+            for key, indices in index.matching(spec.cells):
+                violations = self._evaluate(spec, tuple(key), indices)
+                if violations:
+                    store[tuple(key)] = violations
+
+        self._changes_applied = 0
+        self._patterns_reevaluated = 0
+        self._partitions_reevaluated = 0
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def relation(self) -> Relation:
+        """The relation whose violation state is being maintained."""
+        return self._relation
+
+    @property
+    def cfds(self) -> Tuple[CFD, ...]:
+        return tuple(self._cfds)
+
+    def violation_count(self) -> int:
+        return sum(len(violations) for store in self._store for violations in store.values())
+
+    def is_clean(self) -> bool:
+        """Whether the relation currently satisfies every CFD."""
+        return all(not store for store in self._store)
+
+    def report(self) -> ViolationReport:
+        """The current violations, in the scan oracle's canonical order."""
+        violations = [
+            violation
+            for store in self._store
+            for partition_violations in store.values()
+            for violation in partition_violations
+        ]
+        return ViolationReport(canonical_order(violations, self._cfds))
+
+    def stats(self) -> Dict[str, int]:
+        """Delta-maintenance counters (how little work apply_change did)."""
+        return {
+            "changes_applied": self._changes_applied,
+            "patterns_reevaluated": self._patterns_reevaluated,
+            "partitions_reevaluated": self._partitions_reevaluated,
+            **{f"cache_{name}": value for name, value in self._cache.stats().items()},
+        }
+
+    # ------------------------------------------------------------------ the delta
+    def apply_change(self, tuple_index: int, attribute: str, new_value: Any) -> bool:
+        """Set one cell and repair the violation state by delta.
+
+        Returns ``False`` (and changes nothing) when the cell already holds
+        ``new_value``.  Otherwise the affected partition indexes move the
+        tuple between equivalence classes in place, and only the patterns
+        mentioning ``attribute`` are re-evaluated — over only the tuple's old
+        and new classes.
+        """
+        position = self._relation.schema.position(attribute)
+        old_row = self._relation[tuple_index]
+        if old_row[position] == new_value:
+            return False
+        self._relation.update(tuple_index, attribute, new_value)
+        new_row = self._relation[tuple_index]
+        self._cache.apply_update(tuple_index, attribute, old_row)
+        self._changes_applied += 1
+
+        for spec in self._specs_by_attr.get(attribute, ()):
+            self._patterns_reevaluated += 1
+            old_key = tuple(old_row[p] for p in spec.lhs_positions)
+            new_key = tuple(new_row[p] for p in spec.lhs_positions)
+            # When the change touched an RHS-only attribute the two keys
+            # coincide and a single class is re-checked.
+            self._reevaluate(spec, old_key)
+            if new_key != old_key:
+                self._reevaluate(spec, new_key)
+        return True
+
+    def _reevaluate(self, spec: _PatternSpec, key: Tuple[Any, ...]) -> None:
+        """Recompute one pattern's violations over one equivalence class."""
+        self._partitions_reevaluated += 1
+        store = self._store[spec.spec_id]
+        if not spec.key_matches(key):
+            # The class fell outside the pattern's LHS constants (e.g. the
+            # changed tuple moved into a non-matching class): nothing of this
+            # pattern can be violated there.
+            store.pop(key, None)
+            return
+        indices = self._cache.get(spec.lhs_free).get(key)
+        violations = self._evaluate(spec, key, indices)
+        if violations:
+            store[key] = violations
+        else:
+            store.pop(key, None)
+
+    def _evaluate(
+        self, spec: _PatternSpec, key: Tuple[Any, ...], indices: Sequence[int]
+    ) -> List[Violation]:
+        """One pattern's violations over one equivalence class (assumed matching)."""
+        relation = self._relation
+        violations: List[Violation] = []
+        if spec.constant_rhs:
+            for tuple_index in indices:
+                row = relation[tuple_index]
+                for attr, position, expected in spec.constant_rhs:
+                    if row[position] != expected:
+                        violations.append(
+                            ConstantViolation(
+                                cfd_name=spec.cfd.name,
+                                pattern_index=spec.pattern_index,
+                                tuple_indices=(tuple_index,),
+                                attribute=attr,
+                                expected=expected,
+                                actual=row[position],
+                            )
+                        )
+        if spec.rhs_free and len(indices) > 1:
+            rhs_values = {
+                tuple(relation[tuple_index][position] for position in spec.rhs_positions)
+                for tuple_index in indices
+            }
+            if len(rhs_values) > 1:
+                violations.append(
+                    VariableViolation(
+                        cfd_name=spec.cfd.name,
+                        pattern_index=spec.pattern_index,
+                        tuple_indices=tuple(indices),
+                        attributes=spec.lhs_free,
+                        group_key=key,
+                    )
+                )
+        return violations
+
+    def __repr__(self) -> str:
+        return (
+            f"RepairState({self._relation!r}, {len(self._cfds)} CFDs, "
+            f"{self.violation_count()} violations)"
+        )

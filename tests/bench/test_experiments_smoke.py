@@ -18,6 +18,7 @@ from repro.bench.experiments import (
     fig9e_numconsts_scaling,
     fig9f_noise_scaling,
     merged_vs_separate,
+    repair_ablation,
 )
 from repro.bench.reporting import format_table
 
@@ -67,9 +68,19 @@ class TestDrivers:
         }
         assert all(row["indexed_seconds"] > 0 for row in rows)
 
+    def test_repair_ablation_columns_and_agreement(self, config):
+        rows = repair_ablation(config, tabsz=50)
+        assert len(rows) == len(config.sz_sweep())
+        assert set(rows[0]) == {
+            "SZ", "incremental_seconds", "indexed_seconds", "scan_seconds",
+            "changes", "passes", "incremental_speedup",
+        }
+        assert all(row["incremental_seconds"] > 0 for row in rows)
+
     def test_registry_contains_every_figure(self):
         assert set(ALL_EXPERIMENTS) == {
-            "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "merged", "backends",
+            "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "merged",
+            "backends", "repair",
         }
 
     def test_verbose_mode_prints_a_table(self, config, capsys):

@@ -56,6 +56,22 @@ class TestBasicRepairs:
         result = repair(Relation(schema), cust_constraints)
         assert result.clean
 
+    def test_duplicate_cfd_names_resolve_to_the_right_cfd(self):
+        """Auto-derived names collide; the repair must not wedge on the wrong one.
+
+        Both CFDs are named ``cfd_A__B``.  The first's pattern has a
+        don't-care RHS, so it can never produce a variable violation; a bare
+        name lookup would pick it, return no fix, and raise 'no progress'.
+        """
+        schema = Schema("r", ["A", "B"])
+        relation = Relation(schema, [("1", "x"), ("1", "y")])
+        dontcare_rhs = CFD.build(["A"], ["B"], [["1", "@"]])
+        plain_fd = CFD.build(["A"], ["B"], [["_", "_"]])
+        for method in ("scan", "indexed", "incremental"):
+            result = repair(relation, [dontcare_rhs, plain_fd], method=method)
+            assert result.clean
+            assert len(result.changes) == 1
+
     def test_inconsistent_cfds_rejected(self, cust):
         inconsistent = [
             CFD.build(["CC"], ["CT"], [["_", "x"]]),

@@ -1,0 +1,189 @@
+"""Unit tests for the delta-maintained repair state and the index update hooks."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.satisfaction import find_all_violations
+from repro.detection.partition_index import PartitionIndex, PartitionIndexCache
+from repro.errors import DetectionError
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+from repro.repair.incremental import RepairState, canonical_order
+
+
+def _ab_relation(rows):
+    return Relation(Schema("r", ["A", "B"]), rows)
+
+
+# ---------------------------------------------------------------------------
+# PartitionIndex.reindex_tuple
+# ---------------------------------------------------------------------------
+class TestReindexTuple:
+    def test_moves_tuple_between_existing_classes(self):
+        rel = _ab_relation([("a", "x"), ("b", "y"), ("a", "z")])
+        index = PartitionIndex.from_relation(rel, ("A",))
+        moved = index.reindex_tuple(0, ("a", "x"), ("b", "x"))
+        assert moved
+        assert index.get(("a",)) == (2,)
+        assert index.get(("b",)) == (0, 1)  # ascending order preserved
+
+    def test_creates_fresh_class_and_drops_empty_class(self):
+        rel = _ab_relation([("a", "x"), ("a", "y")])
+        index = PartitionIndex.from_relation(rel, ("A",))
+        index.reindex_tuple(1, ("a", "y"), ("c", "y"))
+        assert index.get(("c",)) == (1,)
+        assert index.get(("a",)) == (0,)
+        index.reindex_tuple(0, ("a", "x"), ("c", "x"))
+        assert ("a",) not in index
+        assert index.get(("c",)) == (0, 1)
+        assert len(index) == 1
+        assert index.tuple_count == 2
+
+    def test_noop_when_key_unchanged(self):
+        rel = _ab_relation([("a", "x")])
+        index = PartitionIndex.from_relation(rel, ("A",))
+        assert not index.reindex_tuple(0, ("a", "x"), ("a", "changed"))
+        assert index.get(("a",)) == (0,)
+
+    def test_unknown_tuple_rejected(self):
+        rel = _ab_relation([("a", "x")])
+        index = PartitionIndex.from_relation(rel, ("A",))
+        with pytest.raises(DetectionError):
+            index.reindex_tuple(5, ("a", "x"), ("b", "x"))
+        with pytest.raises(DetectionError):
+            index.reindex_tuple(0, ("zzz", "x"), ("b", "x"))
+
+
+# ---------------------------------------------------------------------------
+# PartitionIndexCache.apply_update
+# ---------------------------------------------------------------------------
+class TestCacheApplyUpdate:
+    def test_only_indexes_mentioning_the_attribute_are_touched(self):
+        rel = _ab_relation([("a", "x"), ("a", "y")])
+        cache = PartitionIndexCache(rel)
+        index_a = cache.get(("A",))
+        index_b = cache.get(("B",))
+        old_row = rel[0]
+        rel.update(0, "A", "c")
+        assert cache.apply_update(0, "A", old_row) == 1
+        assert index_a.get(("c",)) == (0,)
+        # The B index partitions by an untouched attribute: same groups.
+        assert index_b.get(("x",)) == (0,)
+        assert index_b.get(("y",)) == (1,)
+
+    def test_updated_index_serves_hits_not_rebuilds(self):
+        rel = _ab_relation([("a", "x"), ("a", "y")])
+        cache = PartitionIndexCache(rel)
+        index = cache.get(("A",))
+        old_row = rel[0]
+        rel.update(0, "A", "b")
+        cache.apply_update(0, "A", old_row)
+        assert cache.get(("A",)) is index  # the same object, maintained in place
+        assert cache.stats()["misses"] == 1
+
+
+# ---------------------------------------------------------------------------
+# RepairState
+# ---------------------------------------------------------------------------
+class TestRepairStateInitial:
+    def test_initial_report_matches_oracle(self, cust, cust_constraints):
+        state = RepairState(cust, cust_constraints)
+        oracle = find_all_violations(cust, cust_constraints)
+        assert list(state.report()) == canonical_order(oracle, cust_constraints)
+        assert state.violation_count() == len(oracle)
+
+    def test_clean_relation_is_clean(self):
+        rel = _ab_relation([("a", "x"), ("b", "y")])
+        cfd = CFD.build(["A"], ["B"], [["_", "_"]])
+        state = RepairState(rel, [cfd])
+        assert state.is_clean()
+        assert state.report().is_clean()
+
+
+class TestApplyChange:
+    def test_rhs_change_clears_variable_violation(self):
+        rel = _ab_relation([("a", "x"), ("a", "y")])
+        cfd = CFD.build(["A"], ["B"], [["_", "_"]])
+        state = RepairState(rel, [cfd])
+        assert not state.is_clean()
+        assert state.apply_change(1, "B", "x")
+        assert state.is_clean()
+        assert rel.value(1, "B") == "x"
+
+    def test_lhs_change_moves_tuple_between_classes(self):
+        # Tuples 0,1 conflict in class ('a',); moving tuple 1 into class
+        # ('b',) creates a *new* conflict there and clears the old one.
+        rel = _ab_relation([("a", "x"), ("a", "y"), ("b", "z")])
+        cfd = CFD.build(["A"], ["B"], [["_", "_"]])
+        state = RepairState(rel, [cfd])
+        assert state.apply_change(1, "A", "b")
+        report = state.report()
+        [violation] = report.variable_violations()
+        assert violation.group_key == ("b",)
+        assert violation.tuple_indices == (1, 2)
+
+    def test_lhs_change_to_fresh_value_creates_singleton_class(self):
+        rel = _ab_relation([("a", "x"), ("a", "y")])
+        cfd = CFD.build(["A"], ["B"], [["_", "_"]])
+        state = RepairState(rel, [cfd])
+        assert state.apply_change(0, "A", "__fresh__")
+        assert state.is_clean()
+
+    def test_constant_violation_appears_and_clears(self):
+        rel = _ab_relation([("a", "right")])
+        cfd = CFD.build(["A"], ["B"], [["a", "right"]])
+        state = RepairState(rel, [cfd])
+        assert state.is_clean()
+        state.apply_change(0, "B", "wrong")
+        [violation] = state.report().constant_violations()
+        assert violation.expected == "right" and violation.actual == "wrong"
+        state.apply_change(0, "B", "right")
+        assert state.is_clean()
+
+    def test_noop_change_returns_false_and_costs_nothing(self):
+        rel = _ab_relation([("a", "x")])
+        cfd = CFD.build(["A"], ["B"], [["_", "_"]])
+        state = RepairState(rel, [cfd])
+        assert not state.apply_change(0, "B", "x")
+        assert state.stats()["changes_applied"] == 0
+
+    def test_only_patterns_mentioning_the_attribute_reevaluate(self):
+        schema = Schema("r", ["A", "B", "C"])
+        rel = Relation(schema, [("a", "x", "c1"), ("a", "x", "c2")])
+        ab = CFD.build(["A"], ["B"], [["_", "_"]])
+        ac = CFD.build(["A"], ["C"], [["_", "_"]])
+        state = RepairState(rel, [ab, ac])
+        before = state.stats()["patterns_reevaluated"]
+        state.apply_change(0, "C", "c2")  # only the [A] -> [C] pattern cares
+        assert state.stats()["patterns_reevaluated"] == before + 1
+
+    def test_delta_touches_only_the_two_affected_classes(self):
+        rows = [(f"k{i}", "v") for i in range(50)] + [("k0", "w")]
+        rel = _ab_relation(rows)
+        cfd = CFD.build(["A"], ["B"], [["_", "_"]])
+        state = RepairState(rel, [cfd])
+        before = state.stats()["partitions_reevaluated"]
+        state.apply_change(50, "A", "k1")  # moves between classes k0 and k1
+        assert state.stats()["partitions_reevaluated"] == before + 2
+
+    def test_report_tracks_oracle_through_a_change_sequence(self, cust, cust_constraints):
+        state = RepairState(cust, cust_constraints)
+        changes = [
+            (0, "CT", "MH"),
+            (3, "STR", "Elm Str."),
+            (1, "ZIP", "10012"),
+            (2, "AC", "908"),
+            (0, "CT", "NYC"),
+        ]
+        for tuple_index, attribute, value in changes:
+            state.apply_change(tuple_index, attribute, value)
+            oracle = find_all_violations(cust, cust_constraints)
+            assert list(state.report()) == canonical_order(oracle, cust_constraints)
+
+    def test_mutating_outside_apply_change_is_the_documented_hazard(self):
+        rel = _ab_relation([("a", "x"), ("a", "y")])
+        cfd = CFD.build(["A"], ["B"], [["_", "_"]])
+        state = RepairState(rel, [cfd])
+        rel.update(1, "B", "x")  # bypasses the state: report is now stale
+        assert not state.is_clean()
+        assert not find_all_violations(rel, [cfd])

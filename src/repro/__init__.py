@@ -15,6 +15,10 @@ evaluation depends on:
 * ``repro.detection`` — a single façade over the in-memory, SQL and
   partition-indexed detectors, plus three-way cross-checking.
 * ``repro.repair`` — cost-based heuristic repair (the paper's Section 6).
+* ``repro.pipeline`` — the ``Cleaner`` facade running the full
+  detect → repair → verify loop over any row source.
+* ``repro.registry`` — named, pluggable detection/repair backends
+  (``@register_detector`` / ``@register_repairer``, ``method="auto"``).
 * ``repro.discovery`` — FD / constant-CFD discovery (the paper's future work).
 * ``repro.datagen`` — the ``cust`` running example and the tax-records
   generator used in the experimental study.
@@ -22,12 +26,15 @@ evaluation depends on:
 
 Quickstart
 ----------
->>> from repro import cust_relation, cust_cfds, detect_violations
+>>> from repro import Cleaner, cust_relation, cust_cfds, detect_violations
 >>> report = detect_violations(cust_relation(), cust_cfds())
 >>> sorted(report.violating_indices())
 [0, 1, 2, 3]
+>>> Cleaner().clean(cust_relation(), cust_cfds()).clean
+True
 """
 
+from repro.config import DetectionConfig, RepairConfig
 from repro.core.cfd import CFD, FD
 from repro.core.pattern import DONTCARE, WILDCARD, PatternValue
 from repro.core.tableau import PatternTableau, PatternTuple
@@ -40,34 +47,60 @@ from repro.core.violations import (
 from repro.datagen.cust import cust_cfds, cust_relation
 from repro.detection.engine import cross_check, detect_violations
 from repro.detection.indexed import IndexedDetector
+from repro.io.sources import (
+    CSVSource,
+    IterableSource,
+    RelationSource,
+    RowSource,
+    SQLiteSource,
+    as_source,
+)
+from repro.pipeline import Cleaner, CleaningResult, clean
 from repro.reasoning.consistency import is_consistent
 from repro.reasoning.implication import implies
 from repro.reasoning.mincover import minimal_cover
+from repro.registry import (
+    register_detector,
+    register_repairer,
+    select_detection_method,
+    select_repair_method,
+)
 from repro.relation.attribute import Attribute
 from repro.relation.relation import Relation
 from repro.relation.schema import Schema
 from repro.repair.heuristic import repair
 from repro.sql.engine import SQLDetector
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Attribute",
     "CFD",
+    "Cleaner",
+    "CleaningResult",
     "ConstantViolation",
+    "CSVSource",
+    "DetectionConfig",
     "DONTCARE",
     "FD",
     "IndexedDetector",
+    "IterableSource",
     "PatternTableau",
     "PatternTuple",
     "PatternValue",
     "Relation",
+    "RelationSource",
+    "RepairConfig",
+    "RowSource",
     "Schema",
     "SQLDetector",
+    "SQLiteSource",
     "VariableViolation",
     "Violation",
     "ViolationReport",
     "WILDCARD",
+    "as_source",
+    "clean",
     "cross_check",
     "cust_cfds",
     "cust_relation",
@@ -75,6 +108,10 @@ __all__ = [
     "implies",
     "is_consistent",
     "minimal_cover",
+    "register_detector",
+    "register_repairer",
     "repair",
+    "select_detection_method",
+    "select_repair_method",
     "__version__",
 ]

@@ -15,6 +15,7 @@ from repro.bench.config import BenchConfig, default_config
 from repro.bench.harness import (
     build_workload,
     time_backend,
+    time_clean,
     time_detection,
     time_query_split,
     time_repair,
@@ -325,6 +326,66 @@ def repair_ablation(
     return _emit(rows, "Ablation: incremental vs indexed vs scan repair", verbose)
 
 
+# ---------------------------------------------------------------------------
+# Ablation (beyond the paper): end-to-end cleaning pipeline
+# ---------------------------------------------------------------------------
+def pipeline_throughput(
+    config: Optional[BenchConfig] = None,
+    tabsz: int = 200,
+    verbose: bool = False,
+) -> List[Dict[str, Any]]:
+    """End-to-end ``Cleaner.clean`` throughput over the SZ sweep.
+
+    The per-stage experiments time detection and repair in isolation; this
+    one times what a user of the pipeline API actually pays — ingest, initial
+    detection, the repair fixpoint and the oracle verification together —
+    for the auto-selected backends against the indexed-detect/incremental-repair
+    pairing.  The workload is the ``[ZIP] → [ST]`` constraint of the repair
+    ablation.  Every run must end verified clean — checked outright.
+    """
+    config = config or default_config()
+    rows: List[Dict[str, Any]] = []
+    for size in config.sz_sweep():
+        workload = build_workload(
+            size=size,
+            noise=config.default_noise,
+            seed=config.seed,
+            num_attrs=2,
+            tabsz=tabsz,
+            num_consts=1.0,
+        )
+        auto_seconds, auto_result = time_clean(
+            workload, detect_method="auto", repair_method="auto"
+        )
+        pinned_seconds, pinned_result = time_clean(
+            workload, detect_method="indexed", repair_method="incremental"
+        )
+        if not (auto_result.clean and pinned_result.clean):
+            raise AssertionError(
+                f"pipeline did not reach a clean relation on SZ={size}: "
+                f"auto={auto_result.summary()} pinned={pinned_result.summary()}"
+            )
+        if auto_result.relation != pinned_result.relation:
+            raise AssertionError(
+                f"auto and pinned pipelines disagree on SZ={size}: "
+                f"{auto_result.summary()} vs {pinned_result.summary()}"
+            )
+        rows.append(
+            {
+                "SZ": size,
+                "auto_seconds": auto_seconds,
+                "pinned_seconds": pinned_seconds,
+                "auto_tuples_per_second": size / auto_seconds if auto_seconds else float("inf"),
+                "auto_backends": "+".join(
+                    auto_result.backends[stage] for stage in ("detect", "repair")
+                ),
+                "changes": len(auto_result.changes),
+                "passes": auto_result.passes,
+            }
+        )
+    return _emit(rows, "Ablation: end-to-end cleaning pipeline throughput", verbose)
+
+
 #: Map of experiment name -> driver, used by ``python -m repro.bench``.
 ALL_EXPERIMENTS = {
     "fig9a": fig9a_cnf_vs_dnf_constants,
@@ -336,4 +397,5 @@ ALL_EXPERIMENTS = {
     "merged": merged_vs_separate,
     "backends": backend_ablation,
     "repair": repair_ablation,
+    "pipeline": pipeline_throughput,
 }

@@ -1,12 +1,20 @@
-"""Command-line interface: detect, repair, discover and check CFDs on CSV data.
+"""Command-line interface: a subcommand per stage of the cleaning pipeline.
 
 The CLI turns the library into a small standalone data-cleaning tool::
 
     python -m repro detect   --data customers.csv --cfds rules.cfd
     python -m repro repair   --data customers.csv --cfds rules.cfd --output fixed.csv
+    python -m repro clean    --data customers.csv --cfds rules.cfd --output clean.csv
+    python -m repro generate --dataset tax --size 10000 --output tax.csv --rules tax.cfd
+    python -m repro bench    backends --scale 0.1
     python -m repro discover --data customers.csv --min-support 5 --output mined.cfd
     python -m repro check    --cfds rules.cfd
     python -m repro show     --cfds rules.cfd --json
+
+``detect``/``repair``/``clean`` sit on top of the pipeline API
+(:mod:`repro.pipeline`): backends are resolved through the registry — any
+name from :func:`repro.registry.detector_names` /
+:func:`repro.registry.repairer_names`, or ``auto`` to pick per workload.
 
 CSV files must have a header row; every column is treated as a string
 attribute.  CFD rule files use the text format of
@@ -16,24 +24,29 @@ attribute.  CFD rule files use the text format of
 from __future__ import annotations
 
 import argparse
-import csv
 import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.config import AUTO, DetectionConfig, RepairConfig
 from repro.core.cfd import CFD
 from repro.core.violations import ViolationReport
-from repro.detection.engine import DETECTION_METHODS, detect_violations
+from repro.datagen.cfd_catalog import zip_state_cfd
+from repro.datagen.cust import cust_cfds, cust_relation
+from repro.datagen.generator import TaxRecordGenerator
+from repro.detection.engine import detect_violations
 from repro.discovery.cfd_discovery import discover_constant_cfds
 from repro.errors import ReproError
 from repro.io.json_format import cfds_from_json, cfds_to_json
+from repro.io.sources import CSVSource, RowSource, SQLiteSource
 from repro.io.text_format import format_cfds, read_cfd_file, write_cfd_file
+from repro.pipeline import Cleaner
 from repro.reasoning.consistency import is_consistent
 from repro.reasoning.mincover import minimal_cover
+from repro.registry import detector_names, repairer_names
 from repro.relation.relation import Relation
-from repro.relation.schema import Schema
-from repro.repair.heuristic import REPAIR_METHODS, repair
+from repro.repair.heuristic import repair
 
 
 # ---------------------------------------------------------------------------
@@ -41,21 +54,7 @@ from repro.repair.heuristic import REPAIR_METHODS, repair
 # ---------------------------------------------------------------------------
 def load_relation_csv(path: str, relation_name: Optional[str] = None) -> Relation:
     """Load a CSV file (header row required) as a string-typed relation."""
-    csv_path = Path(path)
-    with open(csv_path, newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle)
-        header = next(reader, None)
-        if not header:
-            raise ReproError(f"{path}: CSV file is empty or has no header row")
-        schema = Schema(relation_name or csv_path.stem, header)
-        relation = Relation(schema)
-        for row in reader:
-            if len(row) != len(header):
-                raise ReproError(
-                    f"{path}: row {len(relation) + 2} has {len(row)} fields, expected {len(header)}"
-                )
-            relation.insert(tuple(row))
-    return relation
+    return CSVSource(path, relation_name=relation_name).to_relation()
 
 
 def load_cfds(path: str) -> List[CFD]:
@@ -63,6 +62,23 @@ def load_cfds(path: str) -> List[CFD]:
     if path.endswith(".json"):
         return cfds_from_json(Path(path).read_text(encoding="utf-8"))
     return read_cfd_file(path)
+
+
+def _data_source(args: argparse.Namespace) -> RowSource:
+    """The row source named by ``--data`` (CSV) or ``--sqlite``/``--table``."""
+    if args.data and args.sqlite:
+        raise ReproError("--data and --sqlite are mutually exclusive; pass one input")
+    if args.sqlite:
+        return SQLiteSource(args.sqlite, args.table)
+    if not args.data:
+        raise ReproError("either --data (CSV) or --sqlite/--table is required")
+    return CSVSource(args.data)
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--data", help="CSV file with a header row")
+    parser.add_argument("--sqlite", help="SQLite database file (alternative to --data)")
+    parser.add_argument("--table", default="data", help="table to read with --sqlite (default: data)")
 
 
 def _report_payload(report: ViolationReport, relation: Relation) -> dict:
@@ -95,11 +111,16 @@ def _report_payload(report: ViolationReport, relation: Relation) -> dict:
 # subcommands
 # ---------------------------------------------------------------------------
 def cmd_detect(args: argparse.Namespace) -> int:
-    relation = load_relation_csv(args.data)
+    relation = _data_source(args).to_relation()
     cfds = load_cfds(args.cfds)
-    report = detect_violations(
-        relation, cfds, method=args.method, strategy=args.strategy, form=args.form
+    # strategy/form are SQL-only; forwarding them for other backends would
+    # (rightly) be rejected by DetectionConfig.
+    config = DetectionConfig(
+        method=args.method,
+        strategy=args.strategy if args.method == "sql" else None,
+        form=args.form if args.method == "sql" else None,
     )
+    report = detect_violations(relation, cfds, config=config)
     payload = _report_payload(report, relation)
     if args.output:
         Path(args.output).write_text(json.dumps(payload, indent=2), encoding="utf-8")
@@ -127,12 +148,13 @@ def cmd_detect(args: argparse.Namespace) -> int:
 
 
 def cmd_repair(args: argparse.Namespace) -> int:
-    relation = load_relation_csv(args.data)
+    relation = _data_source(args).to_relation()
     cfds = load_cfds(args.cfds)
-    result = repair(relation, cfds, max_passes=args.max_passes, method=args.method)
+    config = RepairConfig(method=args.method, max_passes=args.max_passes)
+    result = repair(relation, cfds, config=config)
     result.relation.to_csv(args.output)
     print(
-        f"Repaired {args.data}: {len(result.changes)} cell changes "
+        f"Repaired {args.data or args.sqlite}: {len(result.changes)} cell changes "
         f"(cost {result.total_cost:.2f}) in {result.passes} pass(es); "
         f"clean = {result.clean}. Wrote {args.output}."
     )
@@ -143,6 +165,72 @@ def cmd_repair(args: argparse.Namespace) -> int:
                 f"{change.old_value!r} -> {change.new_value!r} ({change.reason})"
             )
     return 0 if result.clean else 1
+
+
+def cmd_clean(args: argparse.Namespace) -> int:
+    source = _data_source(args)
+    cfds = load_cfds(args.cfds)
+    cleaner = Cleaner(
+        detection=DetectionConfig(method=args.detect_method),
+        repair=RepairConfig(method=args.repair_method, max_passes=args.max_passes),
+        verify_method=args.verify_method,
+    )
+    result = cleaner.clean(source, cfds)
+    if args.output:
+        result.relation.to_csv(args.output)
+    summary = result.summary()
+    if args.audit:
+        audit = dict(summary)
+        audit["cell_changes"] = [
+            {
+                "tuple": change.tuple_index,
+                "attribute": change.attribute,
+                "old": change.old_value,
+                "new": change.new_value,
+                "cost": change.cost,
+                "reason": change.reason,
+            }
+            for change in result.changes
+        ]
+        Path(args.audit).write_text(json.dumps(audit, indent=2), encoding="utf-8")
+    print(
+        f"Cleaned {summary['source']}: {summary['initial_violations']} violations "
+        f"-> {summary['final_violations']} in {result.rounds} round(s) / "
+        f"{result.passes} pass(es); {summary['changes']} cell changes "
+        f"(cost {summary['total_cost']:.2f}); backends "
+        f"detect={result.backends['detect']} repair={result.backends['repair']} "
+        f"verify={result.backends['verify']}."
+        + (f" Wrote {args.output}." if args.output else "")
+    )
+    if not result.clean:
+        print("warning: the relation is still dirty (pass budget exhausted?)", file=sys.stderr)
+    return 0 if result.clean else 1
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "cust":
+        relation = cust_relation()
+        rules = cust_cfds()
+    else:
+        relation = TaxRecordGenerator(
+            size=args.size, noise=args.noise, seed=args.seed
+        ).generate_relation()
+        rules = [zip_state_cfd()]
+    relation.to_csv(args.output)
+    print(f"Wrote {len(relation)} {args.dataset} tuples to {args.output}.")
+    if args.rules:
+        write_cfd_file(args.rules, rules)
+        print(f"Wrote {len(rules)} matching CFDs to {args.rules}.")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    argv = list(args.experiments)
+    if args.scale is not None:
+        argv += ["--scale", str(args.scale)]
+    return bench_main(argv)
 
 
 def cmd_discover(args: argparse.Namespace) -> int:
@@ -199,16 +287,19 @@ def build_parser() -> argparse.ArgumentParser:
         description="Conditional functional dependencies for data cleaning (ICDE 2007 reproduction).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    detect_choices = list(detector_names()) + [AUTO]
+    repair_choices = list(repairer_names()) + [AUTO]
 
-    detect = subparsers.add_parser("detect", help="detect CFD violations in a CSV file")
-    detect.add_argument("--data", required=True, help="CSV file with a header row")
+    detect = subparsers.add_parser("detect", help="detect CFD violations")
+    _add_data_arguments(detect)
     detect.add_argument("--cfds", required=True, help=".cfd or .json rule file")
     detect.add_argument(
         "--method",
-        choices=list(DETECTION_METHODS),
+        choices=detect_choices,
         default="sql",
         help="detection backend: the SQL queries of Section 4 (default), the "
-        "pure-Python oracle, or the partition-index engine",
+        "pure-Python oracle, the partition-index engine, any registered "
+        "backend, or 'auto' to pick per workload",
     )
     detect.add_argument("--strategy", choices=["per_cfd", "merged"], default="per_cfd")
     detect.add_argument("--form", choices=["cnf", "dnf"], default="dnf")
@@ -217,21 +308,60 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--quiet", action="store_true", help="print only the summary line")
     detect.set_defaults(handler=cmd_detect)
 
-    repair_cmd = subparsers.add_parser("repair", help="repair a CSV file so it satisfies the CFDs")
-    repair_cmd.add_argument("--data", required=True)
+    repair_cmd = subparsers.add_parser("repair", help="repair the data so it satisfies the CFDs")
+    _add_data_arguments(repair_cmd)
     repair_cmd.add_argument("--cfds", required=True)
     repair_cmd.add_argument("--output", required=True, help="path of the repaired CSV")
     repair_cmd.add_argument("--max-passes", type=int, default=25)
     repair_cmd.add_argument(
         "--method",
-        choices=list(REPAIR_METHODS),
+        choices=repair_choices,
         default="incremental",
         help="detection engine driving the repair passes: the delta-maintained "
         "incremental state (default), full re-detection over partition "
-        "indexes, or the pure-Python scan oracle; all produce the same repair",
+        "indexes, the pure-Python scan oracle, any registered engine, or "
+        "'auto' to pick per workload; all produce the same repair",
     )
     repair_cmd.add_argument("--changes", action="store_true", help="print every cell change")
     repair_cmd.set_defaults(handler=cmd_repair)
+
+    clean = subparsers.add_parser(
+        "clean", help="run the full detect -> repair -> verify pipeline"
+    )
+    _add_data_arguments(clean)
+    clean.add_argument("--cfds", required=True)
+    clean.add_argument("--output", help="path of the cleaned CSV")
+    clean.add_argument("--audit", help="write the full audit trail as JSON to this path")
+    clean.add_argument("--detect-method", choices=detect_choices, default=AUTO)
+    clean.add_argument("--repair-method", choices=repair_choices, default=AUTO)
+    clean.add_argument(
+        "--verify-method",
+        choices=detect_choices,
+        default="inmemory",
+        help="backend for the final verification (default: the pure-Python oracle)",
+    )
+    clean.add_argument("--max-passes", type=int, default=25)
+    clean.set_defaults(handler=cmd_clean)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic workload CSV")
+    generate.add_argument(
+        "--dataset",
+        choices=["cust", "tax"],
+        default="tax",
+        help="the paper's running example (cust, 6 tuples) or the Section 5 "
+        "tax-records generator",
+    )
+    generate.add_argument("--size", type=int, default=10_000, help="tax tuples to generate")
+    generate.add_argument("--noise", type=float, default=0.05, help="fraction of dirty tuples")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True, help="path of the generated CSV")
+    generate.add_argument("--rules", help="also write the matching CFDs to this rule file")
+    generate.set_defaults(handler=cmd_generate)
+
+    bench = subparsers.add_parser("bench", help="run the Figure 9 experiment drivers")
+    bench.add_argument("experiments", nargs="*", help="experiments to run (default: all)")
+    bench.add_argument("--scale", type=float, default=None, help="workload scale factor")
+    bench.set_defaults(handler=cmd_bench)
 
     discover = subparsers.add_parser("discover", help="mine constant CFDs from a CSV file")
     discover.add_argument("--data", required=True)

@@ -1,4 +1,8 @@
-"""A single façade over the in-memory, SQL and partition-indexed detectors."""
+"""A single façade over the in-memory, SQL and partition-indexed detectors.
+
+Backends are dispatched through :mod:`repro.registry`; importing this
+package registers the built-ins (``inmemory``, ``sql``, ``indexed``).
+"""
 
 from repro.detection.engine import DETECTION_METHODS, CrossCheckResult, cross_check, detect_violations
 from repro.detection.indexed import (

@@ -1,36 +1,74 @@
 """Unified violation detection API.
 
-``detect_violations`` dispatches between the pure-Python detector
+``detect_violations`` dispatches through the backend registry
+(:mod:`repro.registry`) between the pure-Python detector
 (:mod:`repro.core.satisfaction`), the SQL detector
 (:mod:`repro.sql.engine`) and the partition-indexed detector
-(:mod:`repro.detection.indexed`).  The pure-Python detector serves as the
-correctness oracle; ``cross_check`` compares all three pairwise and is used
-heavily in the integration tests.
+(:mod:`repro.detection.indexed`) — plus any backend user code registers.
+The pure-Python detector serves as the correctness oracle; ``cross_check``
+compares all three pairwise and is used heavily in the integration tests.
+
+This module also registers the built-in detection backends, so importing it
+(or anything that imports it, e.g. :mod:`repro`) populates the registry.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Sequence, Tuple, Union
 
+from repro.config import DetectionConfig
 from repro.core.cfd import CFD
 from repro.core.satisfaction import find_all_violations
 from repro.core.violations import ViolationReport
 from repro.detection.indexed import find_violations_indexed
-from repro.errors import DetectionError
+from repro.errors import ConfigError, DetectionError, RegistryError
+from repro.registry import register_detector, resolve_detector
 from repro.relation.relation import Relation
 from repro.sql.engine import SQLDetector
 
-#: Every backend ``detect_violations`` can dispatch to.
+#: The built-in backends (the ``"auto"`` selector is not a backend).  Kept
+#: for backward compatibility; the authoritative list is
+#: ``repro.registry.detector_names()``.
 DETECTION_METHODS = ("inmemory", "sql", "indexed")
 
 
+# ---------------------------------------------------------------------------
+# built-in backends (self-registering)
+# ---------------------------------------------------------------------------
+@register_detector("inmemory")
+def _detect_inmemory(
+    relation: Relation, cfds: Sequence[CFD], config: DetectionConfig
+) -> ViolationReport:
+    return find_all_violations(relation, cfds)
+
+
+@register_detector("indexed")
+def _detect_indexed(
+    relation: Relation, cfds: Sequence[CFD], config: DetectionConfig
+) -> ViolationReport:
+    return find_violations_indexed(relation, cfds)
+
+
+@register_detector("sql")
+def _detect_sql(
+    relation: Relation, cfds: Sequence[CFD], config: DetectionConfig
+) -> ViolationReport:
+    with SQLDetector(relation) as detector:
+        return detector.detect(cfds, config=config).report
+
+
+# ---------------------------------------------------------------------------
+# the facade
+# ---------------------------------------------------------------------------
 def detect_violations(
     relation: Relation,
     cfds: Union[CFD, Sequence[CFD]],
     method: str = "inmemory",
-    strategy: str = "per_cfd",
-    form: str = "dnf",
+    strategy: Optional[str] = None,
+    form: Optional[str] = None,
+    config: Optional[DetectionConfig] = None,
 ) -> ViolationReport:
     """Find every violation of ``cfds`` in ``relation``.
 
@@ -41,10 +79,16 @@ def detect_violations(
         ``"sql"`` loads the data into SQLite and runs the paper's detection
         queries; ``"indexed"`` uses the partition-index backend, which
         groups tuples once per distinct LHS attribute set instead of
-        re-scanning the relation per pattern.
+        re-scanning the relation per pattern; ``"auto"`` picks a backend
+        from the workload shape.  Any name registered via
+        :func:`repro.registry.register_detector` also works.
     strategy, form:
-        Passed to :meth:`repro.sql.engine.SQLDetector.detect` when
-        ``method="sql"``; ignored otherwise.
+        SQL-only knobs.  Passing them with a non-SQL ``method`` used to be
+        silently ignored; it now raises a :class:`DeprecationWarning` (the
+        config API rejects the combination outright).
+    config:
+        A :class:`~repro.config.DetectionConfig` carrying the same options;
+        mutually exclusive with explicit ``method``/``strategy``/``form``.
 
     >>> from repro.datagen.cust import cust_relation, cust_cfds
     >>> report = detect_violations(cust_relation(), cust_cfds())
@@ -54,39 +98,51 @@ def detect_violations(
     if isinstance(cfds, CFD):
         cfds = [cfds]
     cfds = list(cfds)
-    if method == "inmemory":
-        return find_all_violations(relation, cfds)
-    if method == "sql":
-        with SQLDetector(relation) as detector:
-            return detector.detect(cfds, strategy=strategy, form=form).report
-    if method == "indexed":
-        return find_violations_indexed(relation, cfds)
-    raise DetectionError(
-        f"unknown detection method {method!r}; expected one of {', '.join(map(repr, DETECTION_METHODS))}"
-    )
+    if config is not None:
+        if method != "inmemory" or strategy is not None or form is not None:
+            raise DetectionError(
+                "pass either a DetectionConfig or explicit method/strategy/form "
+                "keywords, not both"
+            )
+    else:
+        if method != "sql" and (strategy is not None or form is not None):
+            warnings.warn(
+                f"strategy/form only apply to the SQL backend and are ignored for "
+                f"method={method!r}; this will become an error "
+                f"(DetectionConfig already rejects the combination)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            strategy = form = None
+        try:
+            config = DetectionConfig(method=method, strategy=strategy, form=form)
+        except ConfigError as error:
+            raise DetectionError(str(error)) from None
+    try:
+        name, backend = resolve_detector(config.method, relation, cfds)
+    except RegistryError as error:
+        raise DetectionError(str(error)) from None
+    return backend(relation, cfds, config.with_method(name))
 
 
 @dataclass(frozen=True)
 class CrossCheckResult:
-    """Outcome of comparing the detection backends on the same input.
-
-    ``indexed_indices`` is ``None`` when the indexed backend was not run
-    (two-way comparisons remain supported for backward compatibility).
-    """
+    """Outcome of comparing the three detection backends on the same input."""
 
     inmemory_indices: FrozenSet[int]
     sql_indices: FrozenSet[int]
-    indexed_indices: Optional[FrozenSet[int]] = None
+    indexed_indices: FrozenSet[int]
 
     def _index_sets(self) -> Dict[str, FrozenSet[int]]:
-        sets = {"inmemory": self.inmemory_indices, "sql": self.sql_indices}
-        if self.indexed_indices is not None:
-            sets["indexed"] = self.indexed_indices
-        return sets
+        return {
+            "inmemory": self.inmemory_indices,
+            "sql": self.sql_indices,
+            "indexed": self.indexed_indices,
+        }
 
     @property
     def agree(self) -> bool:
-        """Whether every backend that ran reported the same violating tuples."""
+        """Whether every backend reported the same violating tuples."""
         sets = list(self._index_sets().values())
         return all(current == sets[0] for current in sets[1:])
 
@@ -101,8 +157,6 @@ class CrossCheckResult:
     @property
     def only_indexed(self) -> FrozenSet[int]:
         """Indices the indexed backend reports but the oracle does not."""
-        if self.indexed_indices is None:
-            return frozenset()
         return self.indexed_indices - self.inmemory_indices
 
     def disagreements(self) -> Dict[Tuple[str, str], FrozenSet[int]]:
@@ -123,13 +177,12 @@ def cross_check(
     cfds: Union[CFD, Sequence[CFD]],
     strategy: str = "per_cfd",
     form: str = "dnf",
-    include_indexed: bool = True,
 ) -> CrossCheckResult:
-    """Run all detection backends and compare the sets of violating tuple indices.
+    """Run all three detection backends and compare the violating tuple indices.
 
-    By default the in-memory oracle, the SQL detector and the partition-index
-    backend are all run and verified pairwise; pass ``include_indexed=False``
-    for the historical two-way comparison.
+    The in-memory oracle, the SQL detector and the partition-index backend
+    are always all run and verified pairwise (the two-way
+    ``include_indexed=False`` shape of PR 1 is gone).
     """
     if isinstance(cfds, CFD):
         cfds = [cfds]
@@ -137,11 +190,9 @@ def cross_check(
     inmemory = find_all_violations(relation, cfds)
     with SQLDetector(relation) as detector:
         sql_report = detector.detect(cfds, strategy=strategy, form=form).report
-    indexed_indices: Optional[FrozenSet[int]] = None
-    if include_indexed:
-        indexed_indices = find_violations_indexed(relation, cfds).violating_indices()
+    indexed = find_violations_indexed(relation, cfds)
     return CrossCheckResult(
         inmemory_indices=inmemory.violating_indices(),
         sql_indices=sql_report.violating_indices(),
-        indexed_indices=indexed_indices,
+        indexed_indices=indexed.violating_indices(),
     )

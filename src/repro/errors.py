@@ -29,6 +29,14 @@ class ReasoningError(ReproError):
     """An inference rule was applied to premises that do not satisfy its preconditions."""
 
 
+class ConfigError(ReproError):
+    """A pipeline configuration object combines options that cannot go together."""
+
+
+class RegistryError(ReproError):
+    """A backend name does not resolve, or a registration clashes with an existing one."""
+
+
 class DetectionError(ReproError):
     """Violation detection failed (bad method name, backend failure, ...)."""
 

@@ -4,9 +4,21 @@ The text format mirrors how the paper writes CFDs —
 ``[CC = 01, AC = 908, PN] -> [STR, CT = MH, ZIP]`` — and supports multi-row
 pattern tableaux; the JSON format is a faithful structural dump.  Both round
 trip through :class:`repro.core.cfd.CFD`.
+
+Data ingestion lives in :mod:`repro.io.sources`: the :class:`RowSource`
+adapters (in-memory relation, CSV, SQLite, row iterables) the cleaning
+pipeline reads from.
 """
 
 from repro.io.json_format import cfd_to_dict, cfds_from_json, cfds_to_json, dict_to_cfd
+from repro.io.sources import (
+    CSVSource,
+    IterableSource,
+    RelationSource,
+    RowSource,
+    SQLiteSource,
+    as_source,
+)
 from repro.io.text_format import (
     format_cfd,
     format_cfds,
@@ -17,6 +29,12 @@ from repro.io.text_format import (
 )
 
 __all__ = [
+    "CSVSource",
+    "IterableSource",
+    "RelationSource",
+    "RowSource",
+    "SQLiteSource",
+    "as_source",
     "cfd_to_dict",
     "cfds_from_json",
     "cfds_to_json",

@@ -45,17 +45,21 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.config import RepairConfig
 from repro.core.cfd import CFD
 from repro.core.satisfaction import find_all_violations
 from repro.core.violations import ConstantViolation, VariableViolation, ViolationReport
 from repro.detection.indexed import find_violations_indexed
-from repro.errors import InconsistentCFDsError, RepairError
+from repro.errors import ConfigError, InconsistentCFDsError, RegistryError, RepairError
 from repro.reasoning.consistency import is_consistent
+from repro.registry import register_repairer, resolve_repairer
 from repro.relation.relation import Relation
 from repro.repair.cost import CostModel
 from repro.repair.incremental import RepairState, canonical_order
 
-#: Detection engines the repair loop can be driven by.
+#: The built-in engines (the ``"auto"`` selector is not an engine).  Kept
+#: for backward compatibility; the authoritative list is
+#: ``repro.registry.repairer_names()``.
 REPAIR_METHODS = ("scan", "indexed", "incremental")
 
 
@@ -79,6 +83,10 @@ class RepairResult:
     changes: List[CellChange] = field(default_factory=list)
     clean: bool = False
     passes: int = 0
+    #: Violations outstanding at the *start* of each pass (the pipeline's
+    #: per-pass audit trail; monotonicity is not guaranteed pass-to-pass,
+    #: reaching zero is what terminates the loop).
+    pass_violation_counts: List[int] = field(default_factory=list)
 
     @property
     def total_cost(self) -> float:
@@ -100,12 +108,12 @@ _FRESH_PREFIX = "__repaired"
 
 
 # ---------------------------------------------------------------------------
-# detection engines driving the repair loop
+# detection engines driving the repair loop (self-registering backends)
 # ---------------------------------------------------------------------------
 class _ScanEngine:
     """Full re-detection through the pure-Python oracle (the seed behaviour)."""
 
-    def __init__(self, relation: Relation, cfds: Sequence[CFD]) -> None:
+    def __init__(self, relation: Relation, cfds: Sequence[CFD], config: RepairConfig) -> None:
         self.relation = relation
         self._cfds = cfds
 
@@ -120,7 +128,7 @@ class _ScanEngine:
 class _IndexedEngine:
     """Full re-detection through the partition-index backend, rebuilt per check."""
 
-    def __init__(self, relation: Relation, cfds: Sequence[CFD]) -> None:
+    def __init__(self, relation: Relation, cfds: Sequence[CFD], config: RepairConfig) -> None:
         self.relation = relation
         self._cfds = cfds
 
@@ -138,9 +146,9 @@ class _IndexedEngine:
 class _IncrementalEngine:
     """Delta-maintained violation state (:class:`RepairState`)."""
 
-    def __init__(self, relation: Relation, cfds: Sequence[CFD]) -> None:
+    def __init__(self, relation: Relation, cfds: Sequence[CFD], config: RepairConfig) -> None:
         self.relation = relation
-        self._state = RepairState(relation, cfds)
+        self._state = RepairState(relation, cfds, cache_size=config.cache_size)
 
     def report(self) -> ViolationReport:
         return self._state.report()
@@ -149,11 +157,9 @@ class _IncrementalEngine:
         self._state.apply_change(tuple_index, attribute, new_value)
 
 
-_ENGINES = {
-    "scan": _ScanEngine,
-    "indexed": _IndexedEngine,
-    "incremental": _IncrementalEngine,
-}
+register_repairer("scan")(_ScanEngine)
+register_repairer("indexed")(_IndexedEngine)
+register_repairer("incremental")(_IncrementalEngine)
 
 
 # ---------------------------------------------------------------------------
@@ -166,14 +172,18 @@ def repair(
     max_passes: int = 25,
     check_consistency: bool = True,
     method: str = "incremental",
+    config: Optional[RepairConfig] = None,
 ) -> RepairResult:
     """Produce a repaired copy of ``relation`` satisfying ``cfds``.
 
     The input relation is not modified.  ``method`` selects the detection
-    engine driving the passes (see :data:`REPAIR_METHODS`); every method
-    yields the same repaired relation, differing only in speed.  Raises
-    :class:`~repro.errors.InconsistentCFDsError` when the CFD set has no
-    satisfying instance at all (no repair can exist then).
+    engine driving the passes — any name registered via
+    :func:`repro.registry.register_repairer`, or ``"auto"`` to pick from the
+    workload shape; every engine yields the same repaired relation, differing
+    only in speed.  A :class:`~repro.config.RepairConfig` may be passed
+    instead of the individual keywords (mutually exclusive with them).
+    Raises :class:`~repro.errors.InconsistentCFDsError` when the CFD set has
+    no satisfying instance at all (no repair can exist then).
 
     >>> from repro.datagen.cust import cust_relation, cust_cfds
     >>> result = repair(cust_relation(), cust_cfds())
@@ -181,22 +191,43 @@ def repair(
     True
     """
     cfds = list(cfds)
-    if method not in _ENGINES:
-        raise RepairError(
-            f"unknown repair method {method!r}; expected one of "
-            f"{', '.join(map(repr, REPAIR_METHODS))}"
-        )
-    if check_consistency and cfds and not is_consistent(cfds):
+    if config is not None:
+        if (
+            cost_model is not None
+            or max_passes != 25
+            or check_consistency is not True
+            or method != "incremental"
+        ):
+            raise RepairError(
+                "pass either a RepairConfig or explicit keyword options, not both"
+            )
+    else:
+        try:
+            config = RepairConfig(
+                method=method,
+                max_passes=max_passes,
+                check_consistency=check_consistency,
+                cost_model=cost_model,
+            )
+        except ConfigError as error:
+            raise RepairError(str(error)) from None
+    try:
+        name, engine_factory = resolve_repairer(config.method, relation, cfds)
+    except RegistryError as error:
+        raise RepairError(str(error)) from None
+    config = config.with_method(name)
+    if config.check_consistency and cfds and not is_consistent(cfds):
         raise InconsistentCFDsError("the CFD set is inconsistent; no repair exists")
-    cost_model = cost_model or CostModel()
+    cost_model = config.cost_model or CostModel()
     work = relation.copy()
-    engine = _ENGINES[method](work, cfds)
+    engine = engine_factory(work, cfds, config)
     result = RepairResult(relation=work)
     modification_counts: Dict[Tuple[int, str], int] = defaultdict(int)
 
-    for pass_number in range(1, max_passes + 1):
+    for pass_number in range(1, config.max_passes + 1):
         result.passes = pass_number
         report = engine.report()
+        result.pass_violation_counts.append(len(report))
         if report.is_clean():
             result.clean = True
             return result

@@ -33,7 +33,7 @@ complexity analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.cfd import CFD
 from repro.core.pattern import PatternValue
@@ -158,7 +158,12 @@ class RepairState:
     [0, 1, 2, 3]
     """
 
-    def __init__(self, relation: Relation, cfds: Sequence[CFD]) -> None:
+    def __init__(
+        self,
+        relation: Relation,
+        cfds: Sequence[CFD],
+        cache_size: Optional[int] = None,
+    ) -> None:
         self._relation = relation
         self._cfds = list(cfds)
         self._specs = _build_specs(relation, self._cfds)
@@ -170,7 +175,13 @@ class RepairState:
                 self._specs_by_attr.setdefault(attr, []).append(spec)
 
         distinct_lhs = {spec.lhs_free for spec in self._specs}
-        self._cache = PartitionIndexCache(relation, maxsize=max(32, len(distinct_lhs)))
+        # cache_size (RepairConfig.cache_size) below the number of distinct
+        # LHS sets would evict live indexes and stale the store, so it only
+        # ever widens the auto-sized cache.
+        auto_size = max(32, len(distinct_lhs))
+        self._cache = PartitionIndexCache(
+            relation, maxsize=max(auto_size, cache_size or 0)
+        )
         # Pre-build every index: with maxsize >= the number of distinct LHS
         # tuples nothing is ever evicted, so apply_update sees them all.
         for lhs_free in distinct_lhs:

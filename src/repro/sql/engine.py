@@ -22,7 +22,7 @@ from __future__ import annotations
 import sqlite3
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.cfd import CFD
 from repro.core.violations import (
@@ -43,6 +43,9 @@ from repro.sql.loader import (
 from repro.sql.merge import MergedTableau, merge_cfds
 from repro.sql.multi import MergedQueryBuilder
 from repro.sql.single import SingleCFDQueryBuilder
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from repro.config import DetectionConfig
 
 
 @dataclass
@@ -135,6 +138,7 @@ class SQLDetector:
         strategy: str = "per_cfd",
         form: str = "dnf",
         expand_variable_violations: bool = True,
+        config: Optional["DetectionConfig"] = None,
     ) -> DetectionRun:
         """Detect all violations of ``cfds`` in the loaded relation.
 
@@ -154,7 +158,16 @@ class SQLDetector:
             violating GROUP BY groups back to tuple indices, so that the
             resulting report is comparable with the in-memory detector.  The
             benchmarks disable it to time exactly the paper's query pair.
+        config:
+            A :class:`~repro.config.DetectionConfig`; when given, its
+            ``strategy``/``form``/``expand_variable_violations`` override the
+            keyword arguments (the pipeline passes configs, the keywords
+            remain for direct use).
         """
+        if config is not None:
+            strategy = config.effective_strategy
+            form = config.effective_form
+            expand_variable_violations = config.expand_variable_violations
         cfds = list(cfds)
         if not cfds:
             return DetectionRun(report=ViolationReport())

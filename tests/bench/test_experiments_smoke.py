@@ -80,8 +80,19 @@ class TestDrivers:
     def test_registry_contains_every_figure(self):
         assert set(ALL_EXPERIMENTS) == {
             "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "merged",
-            "backends", "repair",
+            "backends", "repair", "pipeline",
         }
+
+    def test_pipeline_throughput_columns_and_cleanliness(self, config):
+        from repro.bench.experiments import pipeline_throughput
+
+        rows = pipeline_throughput(config, tabsz=50)
+        assert len(rows) == len(config.sz_sweep())
+        assert set(rows[0]) == {
+            "SZ", "auto_seconds", "pinned_seconds", "auto_tuples_per_second",
+            "auto_backends", "changes", "passes",
+        }
+        assert all(row["auto_seconds"] > 0 for row in rows)
 
     def test_verbose_mode_prints_a_table(self, config, capsys):
         fig9c_qc_vs_qv(config, verbose=True)

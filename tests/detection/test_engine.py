@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.config import DetectionConfig
 from repro.core.cfd import CFD
 from repro.detection.engine import CrossCheckResult, cross_check, detect_violations
 from repro.errors import DetectionError
@@ -48,6 +49,33 @@ class TestDetectViolations:
     def test_empty_cfd_collection(self, cust):
         assert detect_violations(cust, []).is_clean()
 
+    def test_auto_method(self, cust, cust_constraints):
+        report = detect_violations(cust, cust_constraints, method="auto")
+        assert report.violating_indices() == frozenset({0, 1, 2, 3})
+
+    def test_config_object(self, cust, cust_constraints):
+        config = DetectionConfig(method="sql", strategy="merged")
+        report = detect_violations(cust, cust_constraints, config=config)
+        assert report.violating_indices() == frozenset({0, 1, 2, 3})
+
+    def test_config_and_keywords_are_mutually_exclusive(self, cust, cust_constraints):
+        with pytest.raises(DetectionError):
+            detect_violations(
+                cust, cust_constraints, method="sql", config=DetectionConfig()
+            )
+
+    def test_strategy_with_non_sql_method_warns(self, cust, cust_constraints):
+        # The old API silently ignored SQL-only knobs off the SQL path.
+        with pytest.warns(DeprecationWarning):
+            report = detect_violations(
+                cust, cust_constraints, method="indexed", strategy="merged"
+            )
+        assert report.violating_indices() == frozenset({0, 1, 2, 3})
+
+    def test_form_with_non_sql_method_warns(self, cust, cust_constraints):
+        with pytest.warns(DeprecationWarning):
+            detect_violations(cust, cust_constraints, method="inmemory", form="cnf")
+
 
 class TestCrossCheck:
     def test_agreement_on_cust(self, cust, cust_constraints):
@@ -62,11 +90,13 @@ class TestCrossCheck:
         assert result.only_indexed == frozenset()
         assert result.disagreements() == {}
 
-    def test_two_way_check_still_available(self, cust, cust_constraints):
-        result = cross_check(cust, cust_constraints, include_indexed=False)
-        assert result.indexed_indices is None
-        assert result.agree
-        assert result.only_indexed == frozenset()
+    def test_indexed_backend_is_always_run(self, cust, cust_constraints):
+        # The two-way include_indexed=False shape of PR 1 is gone: the result
+        # always carries all three index sets.
+        result = cross_check(cust, cust_constraints)
+        assert isinstance(result.indexed_indices, frozenset)
+        with pytest.raises(TypeError):
+            cross_check(cust, cust_constraints, include_indexed=False)
 
     def test_agreement_on_generated_data(self, small_tax_workload):
         from repro.datagen.cfd_catalog import zip_city_state_cfd
@@ -83,7 +113,9 @@ class TestCrossCheck:
 
     def test_disagreement_reporting_fields(self):
         result = CrossCheckResult(
-            inmemory_indices=frozenset({1, 2}), sql_indices=frozenset({2, 3})
+            inmemory_indices=frozenset({1, 2}),
+            sql_indices=frozenset({2, 3}),
+            indexed_indices=frozenset({1, 2}),
         )
         assert not result.agree
         assert result.only_inmemory == frozenset({1})

@@ -61,7 +61,7 @@ class TestExample22:
 
 class TestExample41:
     @pytest.mark.parametrize("method,strategy", [
-        ("inmemory", "per_cfd"),
+        ("inmemory", None),
         ("sql", "per_cfd"),
         ("sql", "merged"),
     ])

@@ -100,6 +100,107 @@ class TestRepairCommand:
         assert code == 0
 
 
+class TestCleanCommand:
+    def test_clean_writes_verified_csv_and_audit(self, workspace, capsys):
+        output_path = workspace["dir"] / "clean.csv"
+        audit_path = workspace["dir"] / "audit.json"
+        code = main([
+            "clean", "--data", workspace["data"], "--cfds", workspace["rules"],
+            "--output", str(output_path), "--audit", str(audit_path),
+        ])
+        assert code == 0
+        assert "backends" in capsys.readouterr().out
+        # the cleaned file passes detection
+        assert main(["detect", "--data", str(output_path), "--cfds", workspace["rules"], "--quiet"]) == 0
+        audit = json.loads(audit_path.read_text())
+        assert audit["clean"] is True
+        assert audit["initial_violations"] == 4
+        assert audit["final_violations"] == 0
+        assert audit["cell_changes"]
+        assert audit["pass_violation_counts"][0] == 4
+
+    def test_clean_with_pinned_backends(self, workspace, tmp_path):
+        output_path = tmp_path / "clean.csv"
+        code = main([
+            "clean", "--data", workspace["data"], "--cfds", workspace["rules"],
+            "--output", str(output_path),
+            "--detect-method", "indexed", "--repair-method", "incremental",
+        ])
+        assert code == 0
+
+    def test_clean_from_sqlite(self, workspace, tmp_path, capsys):
+        import sqlite3
+
+        from repro.datagen.cust import cust_relation
+
+        relation = cust_relation()
+        db_path = tmp_path / "cust.db"
+        connection = sqlite3.connect(db_path)
+        columns = ", ".join(f'"{name}" TEXT' for name in relation.schema.names)
+        connection.execute(f"CREATE TABLE cust ({columns})")
+        connection.executemany(
+            f"INSERT INTO cust VALUES ({', '.join('?' * len(relation.schema))})",
+            list(relation.rows),
+        )
+        connection.commit()
+        connection.close()
+        output_path = tmp_path / "clean.csv"
+        code = main([
+            "clean", "--sqlite", str(db_path), "--table", "cust",
+            "--cfds", workspace["rules"], "--output", str(output_path),
+        ])
+        assert code == 0
+        assert main(["detect", "--data", str(output_path), "--cfds", workspace["rules"], "--quiet"]) == 0
+
+    def test_clean_without_data_is_a_usage_error(self, workspace, capsys):
+        code = main(["clean", "--cfds", workspace["rules"]])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_data_and_sqlite_together_rejected(self, workspace, tmp_path, capsys):
+        code = main([
+            "clean", "--data", workspace["data"], "--sqlite", str(tmp_path / "x.db"),
+            "--cfds", workspace["rules"],
+        ])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestGenerateCommand:
+    def test_generate_cust_with_rules(self, tmp_path, capsys):
+        data_path = tmp_path / "cust.csv"
+        rules_path = tmp_path / "rules.cfd"
+        code = main([
+            "generate", "--dataset", "cust",
+            "--output", str(data_path), "--rules", str(rules_path),
+        ])
+        assert code == 0
+        assert len(load_relation_csv(str(data_path))) == 6
+        assert len(load_cfds(str(rules_path))) == 3
+
+    def test_generate_tax_then_clean_roundtrip(self, tmp_path):
+        data_path = tmp_path / "tax.csv"
+        rules_path = tmp_path / "tax.cfd"
+        clean_path = tmp_path / "clean.csv"
+        assert main([
+            "generate", "--dataset", "tax", "--size", "300", "--noise", "0.05",
+            "--seed", "7", "--output", str(data_path), "--rules", str(rules_path),
+        ]) == 0
+        assert len(load_relation_csv(str(data_path))) == 300
+        assert main([
+            "clean", "--data", str(data_path), "--cfds", str(rules_path),
+            "--output", str(clean_path),
+        ]) == 0
+        assert main(["detect", "--data", str(clean_path), "--cfds", str(rules_path),
+                     "--method", "inmemory", "--quiet"]) == 0
+
+
+class TestBenchCommand:
+    def test_bench_rejects_unknown_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "does-not-exist"])
+
+
 class TestDiscoverCommand:
     def test_discover_prints_rules(self, workspace, capsys):
         code = main([

@@ -1,0 +1,177 @@
+"""RowSource adapters: relation, CSV, SQLite, iterables, and coercion."""
+
+import sqlite3
+
+import pytest
+
+from repro.datagen.cust import cust_relation, cust_schema
+from repro.errors import ReproError
+from repro.io.sources import (
+    CSVSource,
+    IterableSource,
+    RelationSource,
+    RowSource,
+    SQLiteSource,
+    as_source,
+)
+from repro.relation.schema import Schema
+
+
+@pytest.fixture
+def cust():
+    return cust_relation()
+
+
+class TestRelationSource:
+    def test_schema_and_rows(self, cust):
+        source = RelationSource(cust)
+        assert source.schema is cust.schema
+        assert list(source) == list(cust.rows)
+
+    def test_to_relation_passes_through(self, cust):
+        assert RelationSource(cust).to_relation() is cust
+
+    def test_describe(self, cust):
+        assert "cust" in RelationSource(cust).describe()
+
+
+class TestIterableSource:
+    def test_positional_rows(self, cust):
+        source = IterableSource(cust.schema, list(cust.rows))
+        assert source.to_relation() == cust
+
+    def test_mapping_rows(self, cust):
+        source = IterableSource(cust.schema, cust.iter_dicts())
+        assert source.to_relation() == cust
+
+    def test_generator_is_consumed_lazily(self):
+        schema = Schema("r", ["A"])
+        consumed = []
+
+        def rows():
+            for value in ("x", "y"):
+                consumed.append(value)
+                yield (value,)
+
+        source = IterableSource(schema, rows())
+        assert consumed == []
+        assert list(source) == [("x",), ("y",)]
+        assert consumed == ["x", "y"]
+
+
+class TestCSVSource:
+    def test_roundtrip(self, cust, tmp_path):
+        path = tmp_path / "cust.csv"
+        cust.to_csv(path)
+        source = CSVSource(path)
+        assert source.schema.names == cust.schema.names
+        assert source.to_relation().rows == cust.rows
+
+    def test_schema_name_defaults_to_the_file_stem(self, cust, tmp_path):
+        path = tmp_path / "customers.csv"
+        cust.to_csv(path)
+        assert CSVSource(path).schema.name == "customers"
+
+    def test_explicit_schema_parses_cells(self, cust, tmp_path):
+        path = tmp_path / "cust.csv"
+        cust.to_csv(path)
+        relation = CSVSource(path, schema=cust_schema()).to_relation()
+        assert relation == cust
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("X,Y\n1,2\n")
+        with pytest.raises(ReproError):
+            list(CSVSource(path, schema=Schema("r", ["A", "B"])))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ReproError):
+            CSVSource(path).schema
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("A,B\n1,2\n3\n")
+        with pytest.raises(ReproError) as excinfo:
+            list(CSVSource(path))
+        assert "row 3" in str(excinfo.value)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CSVSource(tmp_path / "nope.csv").schema
+
+    def test_streams_twice(self, cust, tmp_path):
+        path = tmp_path / "cust.csv"
+        cust.to_csv(path)
+        source = CSVSource(path)
+        assert list(source) == list(source)
+
+
+class TestSQLiteSource:
+    @pytest.fixture
+    def database(self, cust, tmp_path):
+        path = tmp_path / "cust.db"
+        connection = sqlite3.connect(path)
+        columns = ", ".join(f'"{name}" TEXT' for name in cust.schema.names)
+        connection.execute(f"CREATE TABLE cust ({columns})")
+        connection.executemany(
+            f"INSERT INTO cust VALUES ({', '.join('?' * len(cust.schema))})",
+            list(cust.rows),
+        )
+        connection.commit()
+        connection.close()
+        return path
+
+    def test_schema_from_pragma(self, database, cust):
+        source = SQLiteSource(database, "cust")
+        assert source.schema.names == cust.schema.names
+
+    def test_rows(self, database, cust):
+        assert SQLiteSource(database, "cust").to_relation().rows == cust.rows
+
+    def test_open_connection_is_reused_and_left_open(self, database, cust):
+        connection = sqlite3.connect(database)
+        source = SQLiteSource(connection, "cust")
+        assert len(source.to_relation()) == len(cust)
+        connection.execute("SELECT 1")  # still open
+        connection.close()
+
+    def test_missing_table_rejected(self, database):
+        with pytest.raises(ReproError):
+            SQLiteSource(database, "nope").schema
+
+    def test_unsafe_table_name_rejected(self, database):
+        with pytest.raises(ReproError):
+            SQLiteSource(database, 'cust"; DROP TABLE cust; --')
+
+
+class TestAsSource:
+    def test_row_source_passes_through(self, cust):
+        source = RelationSource(cust)
+        assert as_source(source) is source
+
+    def test_relation(self, cust):
+        assert isinstance(as_source(cust), RelationSource)
+
+    def test_path_and_string(self, cust, tmp_path):
+        path = tmp_path / "cust.csv"
+        cust.to_csv(path)
+        assert isinstance(as_source(path), CSVSource)
+        assert isinstance(as_source(str(path)), CSVSource)
+
+    def test_iterable_requires_schema(self, cust):
+        rows = list(cust.rows)
+        with pytest.raises(ReproError):
+            as_source(rows)
+        source = as_source(rows, schema=cust.schema)
+        assert isinstance(source, IterableSource)
+        assert source.to_relation() == cust
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ReproError):
+            as_source(42)
+
+    def test_all_adapters_are_row_sources(self):
+        for adapter in (RelationSource, IterableSource, CSVSource, SQLiteSource):
+            assert issubclass(adapter, RowSource)

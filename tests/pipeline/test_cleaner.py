@@ -1,0 +1,143 @@
+"""The Cleaner facade: full detect → repair → verify runs with audit trails."""
+
+import pytest
+
+from repro.config import DetectionConfig, RepairConfig
+from repro.core.satisfaction import find_all_violations
+from repro.datagen.cfd_catalog import zip_state_cfd
+from repro.datagen.cust import cust_cfds, cust_relation
+from repro.datagen.generator import TaxRecordGenerator
+from repro.detection.engine import detect_violations
+from repro.errors import InconsistentCFDsError, ReproError
+from repro.io.sources import CSVSource, RelationSource
+from repro.pipeline import Cleaner, CleaningResult, clean
+
+
+class TestCleanOnCust:
+    def test_reaches_a_verified_clean_relation(self, cust, cust_constraints):
+        result = Cleaner().clean(cust, cust_constraints)
+        assert isinstance(result, CleaningResult)
+        assert result.clean
+        assert result.final_report.is_clean()
+        assert find_all_violations(result.relation, cust_constraints).is_clean()
+
+    def test_source_relation_is_not_mutated(self, cust, cust_constraints):
+        before = cust.rows
+        Cleaner().clean(cust, cust_constraints)
+        assert cust.rows == before
+
+    def test_audit_trail_fields(self, cust, cust_constraints):
+        result = Cleaner().clean(cust, cust_constraints)
+        assert len(result.initial_report) == 4
+        assert result.pass_violation_counts[0] == 4
+        assert result.pass_violation_counts[-1] == 0
+        assert result.rounds == 1
+        assert result.passes >= 1
+        assert result.changes and result.total_cost > 0
+        assert set(result.stage_seconds) == {"ingest", "detect", "repair", "verify"}
+        assert result.total_seconds >= 0
+        assert result.backends["verify"] == "inmemory"
+        summary = result.summary()
+        assert summary["clean"] is True
+        assert summary["initial_violations"] == 4
+        assert summary["final_violations"] == 0
+
+    def test_matches_direct_repair(self, cust, cust_constraints):
+        from repro.repair.heuristic import repair
+
+        pipeline_result = Cleaner().clean(cust, cust_constraints)
+        direct = repair(cust, cust_constraints)
+        assert pipeline_result.relation == direct.relation
+
+    def test_already_clean_input_short_circuits(self, cust, cfd_phi1):
+        result = Cleaner().clean(cust, cfd_phi1)
+        assert result.clean
+        assert result.rounds == 0
+        assert result.passes == 0
+        assert not result.changes
+
+    def test_module_level_clean_shortcut(self, cust, cust_constraints):
+        assert clean(cust, cust_constraints).clean
+
+    def test_inconsistent_cfds_raise(self, relation_factory):
+        from repro.core.cfd import CFD
+
+        relation = relation_factory(["A", "B"], [("a", "b")])
+        contradictory = [
+            CFD.build(["A"], ["B"], [["_", "b"]]),
+            CFD.build(["A"], ["B"], [["_", "c"]]),
+        ]
+        with pytest.raises(InconsistentCFDsError):
+            Cleaner().clean(relation, contradictory)
+
+    def test_max_rounds_validated(self):
+        with pytest.raises(ReproError):
+            Cleaner(max_rounds=0)
+
+
+class TestSourcesThroughThePipeline:
+    def test_csv_source(self, cust, cust_constraints, tmp_path):
+        path = tmp_path / "cust.csv"
+        cust.to_csv(path)
+        result = Cleaner().clean(CSVSource(path), cust_constraints)
+        assert result.clean
+        assert str(path) in result.source
+
+    def test_csv_path_string_is_coerced(self, cust, cust_constraints, tmp_path):
+        path = tmp_path / "cust.csv"
+        cust.to_csv(path)
+        assert Cleaner().clean(str(path), cust_constraints).clean
+
+    def test_iterable_source_with_schema(self, cust, cust_constraints):
+        rows = list(cust.iter_dicts())
+        result = Cleaner().clean(rows, cust_constraints, schema=cust.schema)
+        assert result.clean
+        assert len(result.relation) == len(cust)
+
+    def test_detect_stage_only(self, cust, cust_constraints):
+        report = Cleaner().detect(RelationSource(cust), cust_constraints)
+        assert sorted(report.violating_indices()) == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 8192])
+    def test_detect_streams_non_relation_sources(self, cust, cust_constraints, tmp_path, chunk_size):
+        # An indexed/auto detect over a CSV goes through detect_stream in
+        # chunk_size batches and must match the oracle on the materialised
+        # relation, whatever the batch size.
+        path = tmp_path / "cust.csv"
+        cust.to_csv(path)
+        cleaner = Cleaner(
+            detection=DetectionConfig(method="indexed", chunk_size=chunk_size)
+        )
+        report = cleaner.detect(CSVSource(path), cust_constraints)
+        assert sorted(report.violating_indices()) == [0, 1, 2, 3]
+
+    def test_detect_auto_streams_too(self, cust, cust_constraints, tmp_path):
+        path = tmp_path / "cust.csv"
+        cust.to_csv(path)
+        report = Cleaner().detect(CSVSource(path), cust_constraints)
+        assert sorted(report.violating_indices()) == [0, 1, 2, 3]
+
+
+class TestBackendEquivalence:
+    """Identical cleaned output no matter which backends do the work."""
+
+    @pytest.fixture(scope="class")
+    def noisy_tax(self):
+        relation = TaxRecordGenerator(size=2_000, noise=0.05, seed=9).generate_relation()
+        return relation, [zip_state_cfd()]
+
+    @pytest.mark.parametrize("repair_method", ["scan", "indexed", "incremental", "auto"])
+    def test_identical_relation_across_repair_methods(self, noisy_tax, repair_method):
+        relation, cfds = noisy_tax
+        baseline = Cleaner(repair=RepairConfig(method="incremental")).clean(relation, cfds)
+        result = Cleaner(repair=RepairConfig(method=repair_method)).clean(relation, cfds)
+        assert result.clean
+        assert result.relation == baseline.relation
+        assert detect_violations(result.relation, cfds).is_clean()
+
+    @pytest.mark.parametrize("detect_method", ["inmemory", "indexed", "sql", "auto"])
+    def test_detection_backend_does_not_change_the_outcome(self, noisy_tax, detect_method):
+        relation, cfds = noisy_tax
+        result = Cleaner(detection=DetectionConfig(method=detect_method)).clean(relation, cfds)
+        assert result.clean
+        assert find_all_violations(result.relation, cfds).is_clean()

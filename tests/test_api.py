@@ -1,6 +1,62 @@
 """The top-level public API: everything advertised in ``repro.__all__`` works."""
 
 import repro
+import repro.pipeline
+
+#: The advertised surface of ``repro``.  This list is a *contract*: additions
+#: belong at the right place alphabetically, removals are breaking changes.
+EXPECTED_REPRO_ALL = [
+    "Attribute",
+    "CFD",
+    "Cleaner",
+    "CleaningResult",
+    "ConstantViolation",
+    "CSVSource",
+    "DetectionConfig",
+    "DONTCARE",
+    "FD",
+    "IndexedDetector",
+    "IterableSource",
+    "PatternTableau",
+    "PatternTuple",
+    "PatternValue",
+    "Relation",
+    "RelationSource",
+    "RepairConfig",
+    "RowSource",
+    "Schema",
+    "SQLDetector",
+    "SQLiteSource",
+    "VariableViolation",
+    "Violation",
+    "ViolationReport",
+    "WILDCARD",
+    "as_source",
+    "clean",
+    "cross_check",
+    "cust_cfds",
+    "cust_relation",
+    "detect_violations",
+    "implies",
+    "is_consistent",
+    "minimal_cover",
+    "register_detector",
+    "register_repairer",
+    "repair",
+    "select_detection_method",
+    "select_repair_method",
+    "__version__",
+]
+
+#: The advertised surface of ``repro.pipeline``.
+EXPECTED_PIPELINE_ALL = [
+    "CleaningResult",
+    "Cleaner",
+    "DetectionConfig",
+    "RepairConfig",
+    "RowSource",
+    "clean",
+]
 
 
 class TestPublicAPI:
@@ -37,3 +93,26 @@ class TestPublicAPI:
         with repro.SQLDetector(repro.cust_relation()) as detector:
             run = detector.detect(repro.cust_cfds())
         assert not run.report.is_clean()
+
+    def test_repro_all_is_stable(self):
+        assert repro.__all__ == EXPECTED_REPRO_ALL
+
+    def test_pipeline_all_is_stable(self):
+        assert repro.pipeline.__all__ == EXPECTED_PIPELINE_ALL
+
+    def test_pipeline_all_names_resolve(self):
+        for name in repro.pipeline.__all__:
+            assert hasattr(repro.pipeline, name), f"repro.pipeline.{name} is missing"
+
+    def test_pipeline_shortcut(self):
+        result = repro.Cleaner().clean(repro.cust_relation(), repro.cust_cfds())
+        assert result.clean
+        assert repro.detect_violations(result.relation, repro.cust_cfds()).is_clean()
+
+    def test_pipeline_types_are_the_same_objects_as_submodules(self):
+        from repro.config import DetectionConfig, RepairConfig
+        from repro.pipeline import Cleaner
+
+        assert repro.Cleaner is Cleaner
+        assert repro.DetectionConfig is DetectionConfig
+        assert repro.RepairConfig is RepairConfig

@@ -15,6 +15,9 @@ evaluation depends on:
 * ``repro.detection`` — a single façade over the in-memory, SQL and
   partition-indexed detectors, plus three-way cross-checking.
 * ``repro.repair`` — cost-based heuristic repair (the paper's Section 6).
+* ``repro.parallel`` — sharded parallel detection/repair over a process
+  pool (``method="parallel"``), splitting the relation by LHS
+  equivalence classes so no violation spans two shards.
 * ``repro.pipeline`` — the ``Cleaner`` facade running the full
   detect → repair → verify loop over any row source.
 * ``repro.registry`` — named, pluggable detection/repair backends
@@ -55,6 +58,7 @@ from repro.io.sources import (
     SQLiteSource,
     as_source,
 )
+from repro.parallel.engine import find_violations_parallel
 from repro.pipeline import Cleaner, CleaningResult, clean
 from repro.reasoning.consistency import is_consistent
 from repro.reasoning.implication import implies
@@ -105,6 +109,7 @@ __all__ = [
     "cust_cfds",
     "cust_relation",
     "detect_violations",
+    "find_violations_parallel",
     "implies",
     "is_consistent",
     "minimal_cover",

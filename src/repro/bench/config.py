@@ -12,7 +12,7 @@ lets you dial the sizes back up toward the paper's.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 

@@ -9,7 +9,7 @@ crossovers) point by point.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bench.config import BenchConfig, default_config
 from repro.bench.harness import (
@@ -17,6 +17,8 @@ from repro.bench.harness import (
     time_backend,
     time_clean,
     time_detection,
+    time_parallel_detection,
+    time_parallel_repair,
     time_query_split,
     time_repair,
 )
@@ -386,6 +388,82 @@ def pipeline_throughput(
     return _emit(rows, "Ablation: end-to-end cleaning pipeline throughput", verbose)
 
 
+# ---------------------------------------------------------------------------
+# Ablation (beyond the paper): sharded parallel execution
+# ---------------------------------------------------------------------------
+def parallel_scaling(
+    config: Optional[BenchConfig] = None,
+    tabsz: int = 300,
+    worker_sweep: Tuple[int, ...] = (1, 2, 4),
+    verbose: bool = False,
+) -> List[Dict[str, Any]]:
+    """Sharded parallel detection/repair vs the serial engines over workers.
+
+    One fixed-size workload (the ``[ZIP] → [ST]`` constraint of the repair
+    ablation), swept over process-pool widths.  Every parallel run is checked
+    against the serial result outright — identical violation set, identical
+    repaired relation — so the series can only ever show *where* parallelism
+    pays, never a wrong answer.  ``workers=1`` rides the serial in-process
+    fallback and prices the sharding overhead alone.
+    """
+    config = config or default_config()
+    size = config.fixed_relation_size()
+    workload = build_workload(
+        size=size,
+        noise=config.default_noise,
+        seed=config.seed,
+        num_attrs=2,
+        tabsz=tabsz,
+        num_consts=1.0,
+    )
+    detect_serial_seconds, serial_report = time_backend(workload, "indexed")
+    repair_serial_seconds, serial_repair = time_repair(workload, "incremental")
+    rows: List[Dict[str, Any]] = []
+    for workers in worker_sweep:
+        shard_count = max(2, workers)
+        detect_seconds, report = time_parallel_detection(
+            workload, shard_count=shard_count, workers=workers
+        )
+        repair_seconds, repaired = time_parallel_repair(
+            workload, shard_count=shard_count, workers=workers
+        )
+        if set(report.violations) != set(serial_report.violations):
+            raise AssertionError(
+                f"parallel detection (workers={workers}) disagrees with the "
+                f"indexed backend on SZ={size}: {report.summary()} vs "
+                f"{serial_report.summary()}"
+            )
+        if repaired.relation != serial_repair.relation:
+            raise AssertionError(
+                f"parallel repair (workers={workers}) diverged from the "
+                f"incremental engine on SZ={size}"
+            )
+        stats = repaired.parallel_stats
+        rows.append(
+            {
+                "SZ": size,
+                "workers": workers,
+                "shards": shard_count,
+                "mode": stats.mode if stats else "?",
+                "detect_serial_seconds": detect_serial_seconds,
+                "detect_parallel_seconds": detect_seconds,
+                "detect_speedup": (
+                    detect_serial_seconds / detect_seconds
+                    if detect_seconds
+                    else float("inf")
+                ),
+                "repair_serial_seconds": repair_serial_seconds,
+                "repair_parallel_seconds": repair_seconds,
+                "repair_speedup": (
+                    repair_serial_seconds / repair_seconds
+                    if repair_seconds
+                    else float("inf")
+                ),
+            }
+        )
+    return _emit(rows, "Ablation: sharded parallel vs serial engines", verbose)
+
+
 #: Map of experiment name -> driver, used by ``python -m repro.bench``.
 ALL_EXPERIMENTS = {
     "fig9a": fig9a_cnf_vs_dnf_constants,
@@ -398,4 +476,5 @@ ALL_EXPERIMENTS = {
     "backends": backend_ablation,
     "repair": repair_ablation,
     "pipeline": pipeline_throughput,
+    "parallel": parallel_scaling,
 }

@@ -5,7 +5,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar
 
 from repro.config import DetectionConfig, RepairConfig
 from repro.core.cfd import CFD
@@ -16,6 +16,7 @@ from repro.datagen.generator import TaxRecordGenerator
 from repro.detection.engine import DETECTION_METHODS
 from repro.detection.indexed import IndexedDetector
 from repro.errors import DetectionError
+from repro.parallel.engine import find_violations_parallel
 from repro.pipeline import Cleaner, CleaningResult
 from repro.relation.relation import Relation
 from repro.repair.heuristic import RepairResult, repair
@@ -133,9 +134,15 @@ def time_backend(
             f"{', '.join(map(repr, DETECTION_METHODS))}"
         )
     if method == "inmemory":
-        run_once = lambda: find_all_violations(workload.relation, workload.cfds)
+
+        def run_once() -> ViolationReport:
+            return find_all_violations(workload.relation, workload.cfds)
+
     else:
-        run_once = lambda: IndexedDetector(workload.relation).detect(workload.cfds)
+
+        def run_once() -> ViolationReport:
+            return IndexedDetector(workload.relation).detect(workload.cfds)
+
     return _median_timed(run_once, repeats)
 
 
@@ -189,6 +196,51 @@ def time_clean(
     )
     return _median_timed(
         lambda: cleaner.clean(workload.relation, workload.cfds), repeats
+    )
+
+
+def time_parallel_detection(
+    workload: DetectionWorkload,
+    shard_count: Optional[int] = None,
+    workers: Optional[int] = None,
+    repeats: int = 1,
+) -> Tuple[float, ViolationReport]:
+    """Median wall-clock of sharded parallel detection, plus the last report.
+
+    Everything is timed — planning the shards, pickling them into the pool,
+    per-shard detection and the merge — because that end-to-end cost is what
+    competes against the serial backends.
+    """
+    return _median_timed(
+        lambda: find_violations_parallel(
+            workload.relation, workload.cfds, shard_count=shard_count, workers=workers
+        ),
+        repeats,
+    )
+
+
+def time_parallel_repair(
+    workload: DetectionWorkload,
+    shard_count: Optional[int] = None,
+    workers: Optional[int] = None,
+    max_passes: int = 25,
+    repeats: int = 1,
+) -> Tuple[float, RepairResult]:
+    """Median wall-clock of a full sharded parallel repair run.
+
+    Mirrors :func:`time_repair` (whole fixpoint, consistency pre-check
+    skipped) with the pool geometry made explicit.
+    """
+    config = RepairConfig(
+        method="parallel",
+        max_passes=max_passes,
+        check_consistency=False,
+        shard_count=shard_count,
+        workers=workers,
+    )
+    return _median_timed(
+        lambda: repair(workload.relation, workload.cfds, config=config),
+        repeats,
     )
 
 

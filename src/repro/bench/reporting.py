@@ -1,8 +1,20 @@
-"""Plain-text reporting of experiment series (the rows behind each figure)."""
+"""Reporting of experiment series: aligned text tables and JSON artifacts.
+
+:func:`format_table` renders the rows behind each figure for the terminal;
+:func:`write_json` persists one experiment's series as a ``BENCH_<name>.json``
+file — the machine-readable performance trajectory CI uploads as a workflow
+artifact, so regressions show up as diffs between artifact files rather than
+as folklore.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 
 def format_table(rows: Sequence[Dict[str, Any]], title: str = "") -> str:
@@ -30,3 +42,30 @@ def _render(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.4f}"
     return str(value)
+
+
+def write_json(
+    directory: Union[str, Path],
+    name: str,
+    rows: Sequence[Dict[str, Any]],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write one experiment's series as ``<directory>/BENCH_<name>.json``.
+
+    The payload carries the rows verbatim plus enough environment context
+    (timestamp, Python, platform) to compare artifacts across CI runs.
+    Returns the written path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    payload = {
+        "experiment": name,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "metadata": dict(metadata or {}),
+        "rows": list(rows),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

@@ -21,7 +21,7 @@ book, whatever its format.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.pattern import PatternValue
 from repro.errors import CFDError

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Set, Tuple
+from typing import Any, List, Set, Tuple
 
 from repro.cind.cind import CIND
 from repro.relation.relation import Relation

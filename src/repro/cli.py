@@ -5,6 +5,7 @@ The CLI turns the library into a small standalone data-cleaning tool::
     python -m repro detect   --data customers.csv --cfds rules.cfd
     python -m repro repair   --data customers.csv --cfds rules.cfd --output fixed.csv
     python -m repro clean    --data customers.csv --cfds rules.cfd --output clean.csv
+    python -m repro clean    --data tax.csv --cfds tax.cfd --repair-method parallel --workers 4
     python -m repro generate --dataset tax --size 10000 --output tax.csv --rules tax.cfd
     python -m repro bench    backends --scale 0.1
     python -m repro discover --data customers.csv --min-support 5 --output mined.cfd
@@ -81,6 +82,20 @@ def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--table", default="data", help="table to read with --sqlite (default: data)")
 
 
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        help="worker processes for the parallel backend (default: one per CPU); "
+        "requires a parallel or auto method",
+    )
+    parser.add_argument(
+        "--shard-count",
+        type=int,
+        help="shards for the parallel backend (default: the worker count)",
+    )
+
+
 def _report_payload(report: ViolationReport, relation: Relation) -> dict:
     return {
         "summary": report.summary(),
@@ -119,6 +134,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
         method=args.method,
         strategy=args.strategy if args.method == "sql" else None,
         form=args.form if args.method == "sql" else None,
+        workers=args.workers,
+        shard_count=args.shard_count,
     )
     report = detect_violations(relation, cfds, config=config)
     payload = _report_payload(report, relation)
@@ -150,7 +167,12 @@ def cmd_detect(args: argparse.Namespace) -> int:
 def cmd_repair(args: argparse.Namespace) -> int:
     relation = _data_source(args).to_relation()
     cfds = load_cfds(args.cfds)
-    config = RepairConfig(method=args.method, max_passes=args.max_passes)
+    config = RepairConfig(
+        method=args.method,
+        max_passes=args.max_passes,
+        workers=args.workers,
+        shard_count=args.shard_count,
+    )
     result = repair(relation, cfds, config=config)
     result.relation.to_csv(args.output)
     print(
@@ -171,8 +193,17 @@ def cmd_clean(args: argparse.Namespace) -> int:
     source = _data_source(args)
     cfds = load_cfds(args.cfds)
     cleaner = Cleaner(
-        detection=DetectionConfig(method=args.detect_method),
-        repair=RepairConfig(method=args.repair_method, max_passes=args.max_passes),
+        detection=DetectionConfig(
+            method=args.detect_method,
+            workers=args.workers,
+            shard_count=args.shard_count,
+        ),
+        repair=RepairConfig(
+            method=args.repair_method,
+            max_passes=args.max_passes,
+            workers=args.workers,
+            shard_count=args.shard_count,
+        ),
         verify_method=args.verify_method,
     )
     result = cleaner.clean(source, cfds)
@@ -230,6 +261,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     argv = list(args.experiments)
     if args.scale is not None:
         argv += ["--scale", str(args.scale)]
+    if args.json_dir:
+        argv += ["--json-dir", args.json_dir]
     return bench_main(argv)
 
 
@@ -303,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detect.add_argument("--strategy", choices=["per_cfd", "merged"], default="per_cfd")
     detect.add_argument("--form", choices=["cnf", "dnf"], default="dnf")
+    _add_parallel_arguments(detect)
     detect.add_argument("--output", help="write the full report as JSON to this path")
     detect.add_argument("--limit", type=int, default=20, help="violations to print (default 20)")
     detect.add_argument("--quiet", action="store_true", help="print only the summary line")
@@ -323,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
         "'auto' to pick per workload; all produce the same repair",
     )
     repair_cmd.add_argument("--changes", action="store_true", help="print every cell change")
+    _add_parallel_arguments(repair_cmd)
     repair_cmd.set_defaults(handler=cmd_repair)
 
     clean = subparsers.add_parser(
@@ -341,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="backend for the final verification (default: the pure-Python oracle)",
     )
     clean.add_argument("--max-passes", type=int, default=25)
+    _add_parallel_arguments(clean)
     clean.set_defaults(handler=cmd_clean)
 
     generate = subparsers.add_parser("generate", help="generate a synthetic workload CSV")
@@ -361,6 +397,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser("bench", help="run the Figure 9 experiment drivers")
     bench.add_argument("experiments", nargs="*", help="experiments to run (default: all)")
     bench.add_argument("--scale", type=float, default=None, help="workload scale factor")
+    bench.add_argument(
+        "--json-dir",
+        help="also write each series as BENCH_<experiment>.json in this directory",
+    )
     bench.set_defaults(handler=cmd_bench)
 
     discover = subparsers.add_parser("discover", help="mine constant CFDs from a CSV file")

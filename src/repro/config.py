@@ -33,6 +33,27 @@ SQL_FORMS = ("cnf", "dnf")
 SQL_STRATEGIES = ("per_cfd", "merged")
 
 
+def _validate_parallel_knobs(
+    method: str, workers: Optional[int], shard_count: Optional[int]
+) -> None:
+    """Shared validation of the ``workers``/``shard_count`` pair.
+
+    The knobs only make sense for the sharded parallel backend; ``"auto"``
+    is allowed because it may escalate to it.  Unlike the SQL knobs, values
+    are range-checked here — the registry never sees them.
+    """
+    for name, value in (("workers", workers), ("shard_count", shard_count)):
+        if value is None:
+            continue
+        if value < 1:
+            raise ConfigError(f"{name} must be at least 1, got {value}")
+        if method not in ("parallel", AUTO):
+            raise ConfigError(
+                f"{name}={value!r} only applies to the parallel backend, "
+                f"not method={method!r}"
+            )
+
+
 @dataclass(frozen=True)
 class DetectionConfig:
     """How violation detection should run.
@@ -58,6 +79,13 @@ class DetectionConfig:
         Batch size when :meth:`repro.pipeline.Cleaner.detect` streams a
         non-relation :class:`~repro.io.sources.RowSource` through the
         indexed backend (see :func:`repro.detection.indexed.detect_stream`).
+    workers, shard_count:
+        Parallel-only knobs (``method="parallel"``, or ``"auto"``, which may
+        escalate to it): worker processes in the pool (default: one per CPU)
+        and shards to split the relation into (default: the worker count).
+        Setting either with any other concrete backend raises
+        :class:`~repro.errors.ConfigError` — a serial backend would silently
+        ignore them.
 
     >>> DetectionConfig(method="sql", strategy="merged").effective_strategy
     'merged'
@@ -72,6 +100,8 @@ class DetectionConfig:
     form: Optional[str] = None
     expand_variable_violations: bool = True
     chunk_size: int = 8_192
+    workers: Optional[int] = None
+    shard_count: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.strategy is not None and self.strategy not in SQL_STRATEGIES:
@@ -92,6 +122,7 @@ class DetectionConfig:
                 )
         if self.chunk_size <= 0:
             raise ConfigError(f"chunk_size must be positive, got {self.chunk_size}")
+        _validate_parallel_knobs(self.method, self.workers, self.shard_count)
 
     @property
     def effective_strategy(self) -> str:
@@ -104,9 +135,16 @@ class DetectionConfig:
         return self.form if self.form is not None else "dnf"
 
     def with_method(self, method: str) -> "DetectionConfig":
-        """A copy with ``method`` pinned (used after ``"auto"`` resolution)."""
+        """A copy with ``method`` pinned (used after ``"auto"`` resolution).
+
+        Pinning ``"auto"`` to a serial backend drops the parallel-only knobs:
+        they were legal against ``"auto"`` (which *might* have escalated) but
+        would fail validation against the concrete serial method.
+        """
         if method == self.method:
             return self
+        if method != "parallel":
+            return replace(self, method=method, workers=None, shard_count=None)
         return replace(self, method=method)
 
     def summary(self) -> Dict[str, Any]:
@@ -115,6 +153,8 @@ class DetectionConfig:
             "strategy": self.strategy,
             "form": self.form,
             "chunk_size": self.chunk_size,
+            "workers": self.workers,
+            "shard_count": self.shard_count,
         }
 
 
@@ -143,6 +183,11 @@ class RepairConfig:
         engine only ever *widens* the auto size — a cache smaller than the
         number of distinct LHS sets would evict live indexes and corrupt
         the maintained state, so smaller values are ignored.
+    workers, shard_count:
+        Parallel-only knobs (``method="parallel"``, or ``"auto"``, which may
+        escalate to it): worker processes repairing shards concurrently and
+        shards to split the relation into.  Same validation as on
+        :class:`DetectionConfig`.
 
     >>> RepairConfig(max_passes=0)
     Traceback (most recent call last):
@@ -155,17 +200,26 @@ class RepairConfig:
     check_consistency: bool = True
     cost_model: Optional["CostModel"] = None
     cache_size: Optional[int] = None
+    workers: Optional[int] = None
+    shard_count: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_passes < 1:
             raise ConfigError(f"max_passes must be at least 1, got {self.max_passes}")
         if self.cache_size is not None and self.cache_size < 1:
             raise ConfigError(f"cache_size must be at least 1, got {self.cache_size}")
+        _validate_parallel_knobs(self.method, self.workers, self.shard_count)
 
     def with_method(self, method: str) -> "RepairConfig":
-        """A copy with ``method`` pinned (used after ``"auto"`` resolution)."""
+        """A copy with ``method`` pinned (used after ``"auto"`` resolution).
+
+        As on :meth:`DetectionConfig.with_method`, pinning to a serial engine
+        drops the parallel-only knobs instead of failing validation.
+        """
         if method == self.method:
             return self
+        if method != "parallel":
+            return replace(self, method=method, workers=None, shard_count=None)
         return replace(self, method=method)
 
     def summary(self) -> Dict[str, Any]:
@@ -173,4 +227,6 @@ class RepairConfig:
             "method": self.method,
             "max_passes": self.max_passes,
             "check_consistency": self.check_consistency,
+            "workers": self.workers,
+            "shard_count": self.shard_count,
         }

@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.core.pattern import WILDCARD, PatternValue
 from repro.core.tableau import CellSpec, PatternTableau, PatternTuple
 from repro.errors import CFDError
 from repro.relation.schema import Schema

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.core.pattern import DONTCARE, WILDCARD, PatternValue
+from repro.core.pattern import PatternValue
 from repro.errors import PatternError
 
 CellSpec = Union[PatternValue, Any]

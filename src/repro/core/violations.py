@@ -13,10 +13,9 @@ The paper distinguishes two ways a relation can violate a CFD
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.core.cfd import CFD
 
 
 @dataclass(frozen=True)

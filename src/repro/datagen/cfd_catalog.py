@@ -20,7 +20,6 @@ import random
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.cfd import CFD
-from repro.datagen.generator import TAX_ATTRIBUTES
 from repro.datagen.geo import GeoCatalog, catalog as geo_catalog
 from repro.datagen.tax import NO_INCOME_TAX_STATES, TaxCatalog
 from repro.errors import CFDError

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro.datagen.geo import GeoCatalog, Location, catalog as geo_catalog
 from repro.datagen.tax import TaxCatalog

@@ -202,9 +202,20 @@ def detect_stream(
 # ---------------------------------------------------------------------------
 # per-pattern detection against an index
 # ---------------------------------------------------------------------------
-def _lhs_free(cfd: CFD, pattern: PatternTuple) -> Tuple[str, ...]:
-    """The ``@``-free LHS attributes in LHS order (the partition attributes)."""
+def lhs_free_attributes(cfd: CFD, pattern: PatternTuple) -> Tuple[str, ...]:
+    """The ``@``-free LHS attributes in LHS order (the partition attributes).
+
+    This projection *defines* a pattern's grouping semantics: the oracle,
+    this backend, the incremental repair state and the parallel sharding
+    planner must all agree on it (the planner's "no violation spans two
+    shards" invariant is stated in terms of exactly these attribute sets),
+    which is why it is public — reuse it rather than re-deriving it.
+    """
     return tuple(attr for attr in cfd.lhs if not pattern.lhs_cell(attr).is_dontcare)
+
+
+#: Backward-compatible internal alias (pre-PR 4 name).
+_lhs_free = lhs_free_attributes
 
 
 def _cfd_violations(

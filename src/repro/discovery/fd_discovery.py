@@ -10,7 +10,7 @@ example.  The search is levelwise over LHS size with the classic pruning: if
 from __future__ import annotations
 
 from itertools import combinations
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.cfd import FD
 from repro.discovery.partitions import refines

@@ -49,6 +49,10 @@ class RepairError(ReproError):
     """The repair algorithm could not produce a valid repair."""
 
 
+class ParallelExecutionError(ReproError):
+    """Sharded parallel execution failed (bad shard/worker counts, a worker crashed)."""
+
+
 class DiscoveryError(ReproError):
     """CFD/FD discovery was asked to do something unsupported."""
 

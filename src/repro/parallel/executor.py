@@ -1,0 +1,132 @@
+"""Process-pool plumbing shared by the parallel detection and repair backends.
+
+Centralises the three behaviours the backends must agree on:
+
+* **worker resolution** — ``workers=None`` means one worker per CPU, capped
+  at the number of tasks; ``workers=1`` means "run serially in-process"
+  (no pool, no pickling, same results);
+* **serial fallback** — when the pool cannot start at all (sandboxed CI
+  without ``/dev/shm`` semaphores, seccomp'd containers, resource limits),
+  the tasks run serially in-process instead of failing the clean;
+* **error surfacing** — an exception inside a worker reaches the caller as
+  a :class:`~repro.errors.ParallelExecutionError` carrying the worker's own
+  error message, never as a raw ``concurrent.futures``/``multiprocessing``
+  traceback dump.
+
+Task functions must be module-level (picklable) and pure: they receive one
+payload and return one result.  Results are returned in payload order, so
+parallel execution is observationally deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ParallelExecutionError
+
+#: Execution modes reported back to callers (and into bench stats).
+SERIAL = "serial"
+PROCESS_POOL = "process-pool"
+
+
+def default_workers() -> int:
+    """One worker per CPU the scheduler will actually give us."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: Optional[int], task_count: int) -> int:
+    """The effective worker count for ``task_count`` tasks.
+
+    ``None`` resolves to the CPU count; the result is always capped at the
+    task count (extra workers would only sit idle) and floored at 1.
+    """
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ParallelExecutionError(f"workers must be at least 1, got {workers}")
+    return max(1, min(workers, task_count))
+
+
+def _run_serially(task: Callable[[Any], Any], payloads: Sequence[Any]) -> List[Any]:
+    results = []
+    for position, payload in enumerate(payloads):
+        try:
+            results.append(task(payload))
+        except ParallelExecutionError:
+            raise
+        except Exception as error:
+            raise ParallelExecutionError(
+                f"parallel worker {position} failed: {error}"
+            ) from error
+    return results
+
+
+def run_tasks(
+    task: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    workers: Optional[int] = None,
+) -> Tuple[List[Any], str]:
+    """Run ``task`` over every payload, returning ``(results, mode)``.
+
+    Results come back in payload order.  ``mode`` is :data:`PROCESS_POOL`
+    when a pool did the work and :data:`SERIAL` when the tasks ran in-process
+    (requested via ``workers=1``, forced by a single payload, or the fallback
+    after the pool failed to start).
+
+    Raises :class:`~repro.errors.ParallelExecutionError` when a worker
+    raises; the original exception is chained, not re-rendered as a
+    multiprocessing traceback.
+    """
+    payloads = list(payloads)
+    if not payloads:
+        return [], SERIAL
+    effective = resolve_workers(workers, len(payloads))
+    if effective <= 1:
+        return _run_serially(task, payloads), SERIAL
+
+    try:
+        pool = ProcessPoolExecutor(max_workers=effective)
+    except (OSError, PermissionError, ValueError):
+        # The pool could not even be created (no semaphores, no fork):
+        # degrade to serial execution rather than failing the pipeline.
+        return _run_serially(task, payloads), SERIAL
+
+    futures: List[Future] = []
+    try:
+        try:
+            for payload in payloads:
+                futures.append(pool.submit(task, payload))
+        except (OSError, PermissionError, RuntimeError, BrokenProcessPool):
+            # Submission is where a sandboxed interpreter actually tries to
+            # start worker processes; treat failure as "pool cannot start".
+            for future in futures:
+                future.cancel()
+            return _run_serially(task, payloads), SERIAL
+
+        results = []
+        for position, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except BrokenProcessPool:
+                # Workers died before running anything (the usual sandbox
+                # signature): fall back to serial execution of everything.
+                return _run_serially(task, payloads), SERIAL
+            except ParallelExecutionError:
+                raise
+            except Exception as error:
+                raise ParallelExecutionError(
+                    f"parallel worker {position} failed: {error}"
+                ) from error
+        return results, PROCESS_POOL
+    finally:
+        # Wait for the workers: every future above is already resolved (or
+        # cancelled), so this only reaps processes — and skipping the wait
+        # leaves an executor atexit hook racing a closed pipe, which prints
+        # an "Exception ignored" OSError traceback at interpreter shutdown.
+        pool.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,207 @@
+"""Sharded parallel repair (the ``method="parallel"`` repair backend).
+
+Unlike the other repair backends — which are *detection engines* driven one
+cell change at a time by the greedy loop in
+:mod:`repro.repair.heuristic` — the parallel backend is **self-driving**: it
+implements the optional ``run(cost_model)`` protocol hook, sharding the
+relation with :func:`repro.parallel.sharding.shard_relation` and running the
+*entire* incremental repair fixpoint per shard in a process pool.  Each
+worker returns its shard's :class:`~repro.repair.heuristic.RepairResult`;
+the parent remaps cell changes to global tuple indices, replays them onto
+the working relation, and re-verifies the merged result.
+
+Because per-shard repair decisions (pattern constants, plurality targets,
+deterministic fresh values) are pure functions of the shard's data, and the
+sharding invariant keeps every violation inside one shard, the merged
+relation is byte-identical to what the serial incremental engine produces —
+``benchmarks/test_ablation_parallel.py`` asserts exactly that on the 10K tax
+workload.  The one caveat: a repair can *move* a tuple into an equivalence
+class that lives in another shard (only possible when one CFD's RHS overlaps
+another's LHS).  The merge therefore re-verifies, and when cross-shard
+residue exists it finishes the job with a serial incremental pass
+(``docs/parallel.md`` discusses when that triggers).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import RepairConfig
+from repro.core.cfd import CFD
+from repro.detection.indexed import find_violations_indexed, lhs_free_attributes
+from repro.parallel.engine import ParallelStats, ShardTiming, resolve_shard_count
+from repro.parallel.executor import SERIAL, resolve_workers, run_tasks
+from repro.parallel.sharding import Shard, ShardPlan, shard_relation
+from repro.registry import register_repairer
+from repro.relation.relation import Relation
+from repro.repair.cost import CostModel
+from repro.repair.heuristic import CellChange, RepairResult, repair
+
+
+def _repairs_may_cross_shards(cfds: Sequence[CFD]) -> bool:
+    """Whether a repair could move a tuple into another shard's class.
+
+    Constant and variable fixes write a pattern's non-``@`` RHS cells; only
+    when such a written attribute is also some pattern's grouping attribute
+    can a fix change a tuple's equivalence class and create an agreement the
+    shard planner never saw.  (The last-resort LHS modification writes
+    grouping attributes too, but its deterministic fresh values cannot
+    produce a *new* cross-shard agreement — see ``docs/parallel.md``.)
+    When this returns ``False`` the merged relation needs no re-verification:
+    per-shard cleanliness is global cleanliness.
+    """
+    grouping = set()
+    written = set()
+    for cfd in cfds:
+        for pattern in cfd.tableau:
+            grouping.update(lhs_free_attributes(cfd, pattern))
+            written.update(
+                attr for attr in cfd.rhs if not pattern.rhs_cell(attr).is_dontcare
+            )
+    return bool(grouping & written)
+
+
+def _localize_cost_model(model: CostModel, shard: Shard) -> CostModel:
+    """Rekey per-tuple weights from global to shard-local indices."""
+    if not model.tuple_weights:
+        return model
+    weights = {
+        local: model.tuple_weights[global_index]
+        for local, global_index in enumerate(shard.global_indices)
+        if global_index in model.tuple_weights
+    }
+    return replace(model, tuple_weights=weights)
+
+
+def _repair_shard(
+    payload: Tuple[Relation, List[CFD], RepairConfig]
+) -> Tuple[RepairResult, float]:
+    """Worker body: run the full incremental repair fixpoint on one shard."""
+    relation, cfds, config = payload
+    start = time.perf_counter()
+    result = repair(relation, cfds, config=config)
+    return result, time.perf_counter() - start
+
+
+class ParallelRepairEngine:
+    """Self-driving repair engine: shard, repair per shard, merge, verify."""
+
+    def __init__(
+        self, relation: Relation, cfds: Sequence[CFD], config: RepairConfig
+    ) -> None:
+        self.relation = relation
+        self._cfds = list(cfds)
+        self._config = config
+        #: Execution statistics of the last :meth:`run` (None before it).
+        self.stats: Optional[ParallelStats] = None
+
+    def _inner_config(self, cost_model: CostModel) -> RepairConfig:
+        """The per-shard configuration: serial incremental, no re-checks."""
+        return RepairConfig(
+            method="incremental",
+            max_passes=self._config.max_passes,
+            check_consistency=False,  # repair() already checked, once
+            cost_model=cost_model,
+            cache_size=self._config.cache_size,
+        )
+
+    def run(self, cost_model: CostModel) -> RepairResult:
+        cfds = self._cfds
+        work = self.relation
+        plan = shard_relation(
+            work,
+            cfds,
+            resolve_shard_count(self._config.shard_count, self._config.workers),
+        )
+        if len(plan) <= 1:
+            # A single component (or a single-shard request): the pool would
+            # only add overhead, so run the serial incremental engine as-is.
+            result = repair(work, cfds, config=self._inner_config(cost_model))
+            self.stats = ParallelStats(
+                mode=SERIAL,
+                workers=1,
+                shard_count=len(plan),
+                component_count=plan.component_count,
+            )
+            result.parallel_stats = self.stats
+            return result
+
+        payloads = [
+            (
+                shard.relation,
+                cfds,
+                self._inner_config(_localize_cost_model(cost_model, shard)),
+            )
+            for shard in plan.shards
+        ]
+        outcomes, mode = run_tasks(
+            _repair_shard, payloads, workers=self._config.workers
+        )
+
+        changes: List[CellChange] = []
+        pass_counts: List[int] = []
+        timings: List[ShardTiming] = []
+        passes = 0
+        all_clean = True
+        for shard, (shard_result, seconds) in zip(plan.shards, outcomes):
+            for change in shard_result.changes:
+                global_index = shard.to_global(change.tuple_index)
+                work.update(global_index, change.attribute, change.new_value)
+                changes.append(replace(change, tuple_index=global_index))
+            for position, count in enumerate(shard_result.pass_violation_counts):
+                if position < len(pass_counts):
+                    pass_counts[position] += count
+                else:
+                    pass_counts.append(count)
+            passes = max(passes, shard_result.passes)
+            all_clean = all_clean and shard_result.clean
+            timings.append(
+                ShardTiming(shard_id=shard.shard_id, rows=len(shard), seconds=seconds)
+            )
+
+        result = RepairResult(
+            relation=work,
+            changes=changes,
+            clean=all_clean,
+            passes=passes,
+            pass_violation_counts=pass_counts,
+        )
+        if (
+            all_clean
+            and _repairs_may_cross_shards(cfds)
+            and not find_violations_indexed(work, cfds).is_clean()
+        ):
+            # Cross-shard residue: repairs moved tuples into equivalence
+            # classes owned by other shards (RHS/LHS attribute overlap).
+            # Finish serially from the merged state; changes stay global.
+            reconcile = repair(work, cfds, config=self._inner_config(cost_model))
+            result = RepairResult(
+                relation=reconcile.relation,
+                changes=changes + list(reconcile.changes),
+                clean=reconcile.clean,
+                passes=passes + reconcile.passes,
+                pass_violation_counts=pass_counts
+                + list(reconcile.pass_violation_counts),
+            )
+        self.stats = ParallelStats(
+            mode=mode,
+            workers=resolve_workers(self._config.workers, len(plan.shards)),
+            shard_count=len(plan.shards),
+            component_count=plan.component_count,
+            timings=tuple(timings),
+        )
+        result.parallel_stats = self.stats
+        return result
+
+    def plan(self) -> ShardPlan:
+        """The shard plan the next :meth:`run` would use (for inspection)."""
+        return shard_relation(
+            self.relation,
+            self._cfds,
+            resolve_shard_count(self._config.shard_count, self._config.workers),
+        )
+
+
+register_repairer("parallel")(ParallelRepairEngine)

@@ -1,0 +1,193 @@
+"""Equivalence-class-aware sharding of a relation for parallel execution.
+
+CFD detection and repair are embarrassingly parallel *across LHS equivalence
+classes*: a constant violation (``Q^C``) involves a single tuple, and a
+variable violation (``Q^V``) involves only tuples that agree on the pattern's
+``@``-free LHS attributes.  Two tuples that never share an equivalence class
+under *any* pattern of the workload can therefore never co-violate, and the
+relation can be split into sub-relations that are detected (and repaired)
+independently.
+
+:func:`shard_relation` computes that split:
+
+1. For every pattern tuple of every CFD, take its ``@``-free LHS attribute
+   set and group the relation's tuples by their projection onto it (exactly
+   the grouping the partition-indexed detector builds).
+2. Union-find over tuple indices merges every group into one *component*, so
+   a component is closed under "shares an equivalence class with, under some
+   pattern" — the transitive closure across all patterns.
+3. Components are packed into ``shard_count`` shards by greedy size-balanced
+   assignment (largest component first, onto the currently smallest shard).
+   The assignment is a pure function of the data — ties break on the lowest
+   shard id and components are ordered by size then smallest member — so it
+   is stable across runs and worker processes, unlike ``hash()`` of a string
+   key, which ``PYTHONHASHSEED`` would randomise.
+
+The resulting **sharding invariant** — *no variable-CFD violation spans two
+shards* — is what makes the per-shard reports (and the per-shard repairs)
+compose into exactly the global result; ``docs/parallel.md`` spells out the
+argument and its limits under repair-induced value changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.cfd import CFD
+from repro.detection.indexed import lhs_free_attributes
+from repro.errors import ParallelExecutionError
+from repro.relation.relation import Relation
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One sub-relation plus the mapping back to global tuple indices."""
+
+    shard_id: int
+    #: Global tuple indices in ascending order; ``global_indices[local]`` is
+    #: the index the shard's row ``local`` has in the source relation.
+    global_indices: Tuple[int, ...]
+    relation: Relation
+
+    def __len__(self) -> int:
+        return len(self.global_indices)
+
+    def to_global(self, local_index: int) -> int:
+        """Translate a shard-local tuple index back to the source relation."""
+        return self.global_indices[local_index]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full decomposition of one relation for one CFD workload."""
+
+    shards: Tuple[Shard, ...]
+    #: Number of union-find components (upper bound on useful shards).
+    component_count: int
+    #: Shard count that was requested (the plan may hold fewer, never more).
+    requested_shard_count: int
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def sizes(self) -> Tuple[int, ...]:
+        return tuple(len(shard) for shard in self.shards)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "shards": len(self.shards),
+            "requested_shards": self.requested_shard_count,
+            "components": self.component_count,
+            "sizes": list(self.sizes()),
+        }
+
+
+class _UnionFind:
+    """Plain union-find with path halving and union by size."""
+
+    __slots__ = ("parent", "size")
+
+    def __init__(self, count: int) -> None:
+        self.parent = list(range(count))
+        self.size = [1] * count
+
+    def find(self, item: int) -> int:
+        parent = self.parent
+        while parent[item] != item:
+            parent[item] = parent[parent[item]]
+            item = parent[item]
+        return item
+
+    def union(self, left: int, right: int) -> None:
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left == root_right:
+            return
+        if self.size[root_left] < self.size[root_right]:
+            root_left, root_right = root_right, root_left
+        self.parent[root_right] = root_left
+        self.size[root_left] += self.size[root_right]
+
+
+def _grouping_attribute_sets(cfds: Sequence[CFD]) -> List[Tuple[str, ...]]:
+    """Every distinct ``@``-free LHS attribute tuple across all patterns.
+
+    Reuses the detector's own projection
+    (:func:`repro.detection.indexed.lhs_free_attributes`), so the sharding
+    invariant can never drift from the grouping semantics detection and
+    repair actually use.
+    """
+    seen: Dict[Tuple[str, ...], None] = {}
+    for cfd in cfds:
+        for pattern in cfd.tableau:
+            seen.setdefault(lhs_free_attributes(cfd, pattern), None)
+    return list(seen)
+
+
+def components(relation: Relation, cfds: Sequence[CFD]) -> List[List[int]]:
+    """Tuple-index components closed under equivalence-class sharing.
+
+    Each returned list holds the global indices (ascending) of one component;
+    components are ordered by descending size, ties by smallest member.  An
+    empty LHS attribute set (a pattern whose LHS is all don't-care, or a
+    constant CFD over the empty LHS) puts the whole relation into a single
+    component — the degenerate but correct answer, since such a pattern
+    groups every tuple together.
+    """
+    count = len(relation)
+    if count == 0:
+        return []
+    uf = _UnionFind(count)
+    for attributes in _grouping_attribute_sets(cfds):
+        for indices in relation.group_by(attributes).values():
+            first = indices[0]
+            for other in indices[1:]:
+                uf.union(first, other)
+    grouped: Dict[int, List[int]] = {}
+    for index in range(count):
+        grouped.setdefault(uf.find(index), []).append(index)
+    return sorted(grouped.values(), key=lambda member: (-len(member), member[0]))
+
+
+def shard_relation(
+    relation: Relation, cfds: Sequence[CFD], shard_count: int
+) -> ShardPlan:
+    """Split ``relation`` into at most ``shard_count`` class-closed shards.
+
+    Rows keep their relative order inside a shard (ascending global index),
+    so per-shard detection reports violations in the same relative order as a
+    global run — which is what lets the merged, canonically-ordered report
+    match the serial engines violation for violation.
+
+    ``shard_count`` larger than the number of components (or than the number
+    of rows) simply yields fewer shards; it is never an error.
+    """
+    if shard_count < 1:
+        raise ParallelExecutionError(
+            f"shard_count must be at least 1, got {shard_count}"
+        )
+    member_lists = components(relation, cfds)
+    bucket_count = max(1, min(shard_count, len(member_lists)))
+    buckets: List[List[int]] = [[] for _ in range(bucket_count)]
+    loads = [0] * bucket_count
+    for members in member_lists:
+        target = loads.index(min(loads))  # lowest id wins ties: deterministic
+        buckets[target].extend(members)
+        loads[target] += len(members)
+
+    shards: List[Shard] = []
+    for shard_id, bucket in enumerate(buckets):
+        bucket.sort()
+        # The rows come straight out of a same-schema relation: adopt them
+        # without re-coercion (sharding runs on the 150K+-row hot path).
+        sub = Relation.from_validated_rows(
+            relation.schema, (relation[index] for index in bucket)
+        )
+        shards.append(
+            Shard(shard_id=shard_id, global_indices=tuple(bucket), relation=sub)
+        )
+    return ShardPlan(
+        shards=tuple(shards),
+        component_count=len(member_lists),
+        requested_shard_count=shard_count,
+    )

@@ -109,11 +109,18 @@ class Cleaner:
     Parameters
     ----------
     detection:
-        How to detect violations (backend, SQL knobs).  Defaults to
-        ``method="auto"``.
+        How to detect violations (backend, SQL knobs, parallel
+        ``workers``/``shard_count``).  Defaults to ``method="auto"``, which
+        escalates to the sharded parallel backend past
+        :data:`repro.registry.PARALLEL_AUTO_ROW_THRESHOLD` rows.
     repair:
-        How to repair them (engine, pass budget, cost model).  Defaults to
-        ``method="auto"``.
+        How to repair them (engine, pass budget, cost model, parallel
+        ``workers``/``shard_count``).  Defaults to ``method="auto"``.  A
+        parallel run degrades to serial in-process execution when the pool
+        cannot start (sandboxed CI) and surfaces a genuine worker crash as
+        a :class:`~repro.errors.ParallelExecutionError` — a
+        :class:`~repro.errors.ReproError`, not a raw multiprocessing
+        traceback.
     verify_method:
         Backend for the final verification stage.  Defaults to the
         pure-Python oracle, so a ``clean=True`` result is vouched for by the

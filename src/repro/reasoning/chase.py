@@ -25,7 +25,7 @@ CFDs) rests on two facts:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.core.cfd import CFD
 from repro.core.pattern import PatternValue

@@ -10,11 +10,15 @@ name:
 * a **repair engine** maps ``(relation, cfds, config)`` to an engine object
   exposing ``relation``, ``report()`` and ``update(index, attribute, value)``
   — the protocol the greedy repair loop drives (see
-  :mod:`repro.repair.heuristic`).
+  :mod:`repro.repair.heuristic`) — or, for *self-driving* engines, a single
+  ``run(cost_model)`` method that owns the whole fixpoint and returns the
+  :class:`~repro.repair.heuristic.RepairResult` itself (the sharded
+  parallel engine works this way).
 
 The built-in backends register themselves when their home modules import
 (``repro.detection.engine`` registers ``inmemory``/``sql``/``indexed``;
-``repro.repair.heuristic`` registers ``scan``/``indexed``/``incremental``);
+``repro.repair.heuristic`` registers ``scan``/``indexed``/``incremental``;
+``repro.parallel`` registers ``parallel`` for both kinds);
 user code adds its own with the same decorators:
 
 >>> from repro.registry import register_detector, unregister_detector
@@ -32,6 +36,7 @@ strategy-selection idea the ISSUE cites.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, Optional, Sequence, Tuple, TypeVar
 
 from repro.config import AUTO
@@ -50,10 +55,37 @@ _REPAIRERS: Dict[str, Callable] = {}
 #: delta-maintained state only pays off once the product grows past this.
 AUTO_CELL_THRESHOLD = 50_000
 
+def _parallel_threshold_from_env(default: int = 150_000) -> int:
+    """Parse ``REPRO_PARALLEL_AUTO_ROWS``, falling back on garbage.
+
+    An unparsable value must not make ``import repro`` itself crash with a
+    raw ``ValueError`` (this runs at import time); mirror the forgiving
+    behaviour of ``REPRO_BENCH_SCALE`` and keep the default instead.
+    """
+    raw = os.environ.get("REPRO_PARALLEL_AUTO_ROWS")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
+#: Relation size (rows) above which ``method="auto"`` escalates to the
+#: sharded parallel backend for both detection and repair.  Below it, the
+#: per-shard pickling and process start-up would eat the win; above it, the
+#: per-shard work dominates and the pool pays for itself.  Configurable via
+#: the ``REPRO_PARALLEL_AUTO_ROWS`` environment variable (read at import) or
+#: by assigning the module attribute (read at every selection).
+PARALLEL_AUTO_ROW_THRESHOLD = _parallel_threshold_from_env()
+
 
 def _ensure_builtins() -> None:
     """Import the modules whose import side-effect registers the built-ins."""
     import repro.detection.engine  # noqa: F401
+    import repro.parallel.engine  # noqa: F401
+    import repro.parallel.repairer  # noqa: F401
     import repro.repair.heuristic  # noqa: F401
 
 
@@ -143,8 +175,12 @@ def select_detection_method(relation: Relation, cfds: Sequence[CFD]) -> str:
     The oracle scans the relation once per pattern tuple — ``O(rows x
     patterns)`` — so on small products it beats paying the partition-map
     build; past :data:`AUTO_CELL_THRESHOLD` the indexed backend's one
-    grouping pass per distinct LHS set wins.
+    grouping pass per distinct LHS set wins; past
+    :data:`PARALLEL_AUTO_ROW_THRESHOLD` rows the workload is sharded over a
+    process pool.
     """
+    if len(relation) > PARALLEL_AUTO_ROW_THRESHOLD:
+        return "parallel"
     if _workload_cells(relation, cfds) <= AUTO_CELL_THRESHOLD:
         return "inmemory"
     return "indexed"
@@ -155,8 +191,12 @@ def select_repair_method(relation: Relation, cfds: Sequence[CFD]) -> str:
 
     Small products re-detect from scratch cheaply (over partition indexes);
     large ones amortise the one-off ingest of the delta-maintained
-    incremental state across passes.
+    incremental state across passes; past
+    :data:`PARALLEL_AUTO_ROW_THRESHOLD` rows whole equivalence classes are
+    repaired concurrently in a process pool.
     """
+    if len(relation) > PARALLEL_AUTO_ROW_THRESHOLD:
+        return "parallel"
     if _workload_cells(relation, cfds) <= AUTO_CELL_THRESHOLD:
         return "indexed"
     return "incremental"

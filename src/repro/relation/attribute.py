@@ -8,7 +8,7 @@ CFD consistency and implication intractable (Theorems 3.1 and 3.4).  An
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, FrozenSet, Optional
 
 from repro.errors import DomainError, SchemaError

@@ -186,6 +186,19 @@ class Relation:
         clone._rows = list(self._rows)
         return clone
 
+    @classmethod
+    def from_validated_rows(cls, schema: Schema, rows: Iterable[Row]) -> "Relation":
+        """Build a relation from positional rows already validated for ``schema``.
+
+        Skips the per-row coercion of :meth:`insert` — the fast path for
+        moving tuples between same-schema relations (copying, projection,
+        sharding), where re-validating every cell is pure overhead.  Rows
+        from untrusted sources belong in :meth:`insert`/:meth:`extend`.
+        """
+        relation = cls(schema)
+        relation._rows = list(rows)
+        return relation
+
     def active_domain(self, attribute: str) -> Tuple[Any, ...]:
         """Distinct values of ``attribute`` occurring in the relation, sorted."""
         position = self._schema.position(attribute)

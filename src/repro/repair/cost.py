@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 #: Size of the memo for repeated string comparisons.  Plurality voting in the
 #: repair heuristic compares the same few candidate values against every group

@@ -28,7 +28,12 @@ re-checked is pluggable (``method``):
 * ``"indexed"`` re-runs the partition-indexed detector from scratch on every
   check (full re-detection, but over indexes);
 * ``"scan"`` re-runs the pure-Python scan oracle from scratch on every check —
-  the seed behaviour, kept as the correctness baseline.
+  the seed behaviour, kept as the correctness baseline;
+* ``"parallel"`` (registered by :mod:`repro.parallel.repairer`) is
+  *self-driving*: instead of exposing ``report()``/``update()`` it implements
+  the optional ``run(cost_model)`` hook, and :func:`repair` delegates the
+  whole fixpoint to it — it shards the relation by LHS equivalence classes
+  and runs the incremental engine per shard in a process pool.
 
 All three methods feed the greedy policy the same violations in the same
 canonical order (:func:`repro.repair.incremental.canonical_order`), so they
@@ -87,6 +92,10 @@ class RepairResult:
     #: per-pass audit trail; monotonicity is not guaranteed pass-to-pass,
     #: reaching zero is what terminates the loop).
     pass_violation_counts: List[int] = field(default_factory=list)
+    #: Execution statistics of the sharded parallel engine
+    #: (:class:`repro.parallel.engine.ParallelStats`); ``None`` for the
+    #: serial engines.  Typed loosely to keep this module import-light.
+    parallel_stats: Optional[Any] = None
 
     @property
     def total_cost(self) -> float:
@@ -221,6 +230,11 @@ def repair(
     cost_model = config.cost_model or CostModel()
     work = relation.copy()
     engine = engine_factory(work, cfds, config)
+    runner = getattr(engine, "run", None)
+    if callable(runner):
+        # A self-driving engine (e.g. the sharded parallel backend) owns the
+        # whole fixpoint; the greedy per-violation loop below never runs.
+        return runner(cost_model)
     result = RepairResult(relation=work)
     modification_counts: Dict[Tuple[int, str], int] = defaultdict(int)
 
@@ -256,8 +270,17 @@ def repair(
 # ---------------------------------------------------------------------------
 # individual fixes
 # ---------------------------------------------------------------------------
-def _fresh_value(old_value: Any, counter: int) -> str:
-    return f"{_FRESH_PREFIX}_{counter}_{old_value}"
+def _fresh_value(attribute: str, old_value: Any, counter: int) -> str:
+    """A deterministic replacement value for a last-resort LHS modification.
+
+    The value is a pure function of the *cell being broken* — attribute, its
+    current value, and how many times this cell was already modified — not of
+    any global state (the old scheme numbered fresh values by the length of
+    the global change list).  That makes the repair of an equivalence class a
+    pure function of the class's own data, which is exactly what lets the
+    sharded parallel engine reproduce the serial engines byte for byte.
+    """
+    return f"{_FRESH_PREFIX}_{attribute}_{counter}_{old_value}"
 
 
 def _record_change(
@@ -421,7 +444,11 @@ def _break_lhs_match(
         # Fall back to any attribute of the tuple that has been modified least.
         attributes = tuple(engine.relation.schema.names)
     attribute = min(attributes, key=lambda attr: counts[(tuple_index, attr)])
-    fresh = _fresh_value(engine.relation.value(tuple_index, attribute), len(result.changes))
+    fresh = _fresh_value(
+        attribute,
+        engine.relation.value(tuple_index, attribute),
+        counts[(tuple_index, attribute)],
+    )
     return _record_change(
         engine,
         result,

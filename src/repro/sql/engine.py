@@ -22,7 +22,7 @@ from __future__ import annotations
 import sqlite3
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cfd import CFD
 from repro.core.violations import (
@@ -40,7 +40,7 @@ from repro.sql.loader import (
     load_single_tableau,
     tableau_table_name,
 )
-from repro.sql.merge import MergedTableau, merge_cfds
+from repro.sql.merge import merge_cfds
 from repro.sql.multi import MergedQueryBuilder
 from repro.sql.single import SingleCFDQueryBuilder
 

@@ -9,10 +9,9 @@ from __future__ import annotations
 
 import re
 import sqlite3
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.cfd import CFD
-from repro.errors import SQLGenerationError
 from repro.relation.relation import Relation
 from repro.sql.dialect import DEFAULT_DIALECT, SQLDialect
 from repro.sql.merge import MergedTableau

@@ -16,7 +16,7 @@ tableaux:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.cfd import CFD
 from repro.core.pattern import DONTCARE, PatternValue

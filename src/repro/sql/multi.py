@@ -20,9 +20,8 @@ stays bounded by the embedded FDs exactly as the paper requires.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
-from repro.errors import SQLGenerationError
 from repro.sql.dialect import DEFAULT_DIALECT, SQLDialect
 from repro.sql.merge import MergedTableau
 

@@ -18,7 +18,7 @@ Both queries are produced in two formulations of the WHERE clause:
 from __future__ import annotations
 
 from itertools import product
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.core.cfd import CFD
 from repro.errors import SQLGenerationError

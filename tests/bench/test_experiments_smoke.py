@@ -80,8 +80,21 @@ class TestDrivers:
     def test_registry_contains_every_figure(self):
         assert set(ALL_EXPERIMENTS) == {
             "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "merged",
-            "backends", "repair", "pipeline",
+            "backends", "repair", "pipeline", "parallel",
         }
+
+    def test_parallel_scaling_columns_and_agreement(self, config):
+        from repro.bench.experiments import parallel_scaling
+
+        rows = parallel_scaling(config, tabsz=50, worker_sweep=(1, 2))
+        assert len(rows) == 2
+        assert set(rows[0]) == {
+            "SZ", "workers", "shards", "mode",
+            "detect_serial_seconds", "detect_parallel_seconds", "detect_speedup",
+            "repair_serial_seconds", "repair_parallel_seconds", "repair_speedup",
+        }
+        assert rows[0]["mode"] == "serial"  # workers=1 never pays for a pool
+        assert all(row["repair_parallel_seconds"] > 0 for row in rows)
 
     def test_pipeline_throughput_columns_and_cleanliness(self, config):
         from repro.bench.experiments import pipeline_throughput
@@ -126,3 +139,25 @@ class TestReporting:
 
         with pytest.raises(SystemExit):
             main(["not-an-experiment"])
+
+    def test_write_json_artifact(self, tmp_path):
+        from repro.bench.reporting import write_json
+
+        rows = [{"SZ": 1000, "seconds": 0.5}]
+        path = write_json(tmp_path, "demo", rows, metadata={"scale": 0.1})
+        assert path.name == "BENCH_demo.json"
+        import json
+
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["experiment"] == "demo"
+        assert payload["rows"] == rows
+        assert payload["metadata"]["scale"] == 0.1
+        assert payload["generated_at"].endswith("Z")
+
+    def test_cli_json_dir_writes_artifacts(self, tmp_path, capsys, monkeypatch):
+        from repro.bench.__main__ import main
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.0001")
+        exit_code = main(["fig9c", "--json-dir", str(tmp_path)])
+        assert exit_code == 0
+        assert (tmp_path / "BENCH_fig9c.json").exists()

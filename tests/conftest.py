@@ -4,8 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.cfd import CFD
-from repro.datagen.cust import cust_cfds, cust_relation, cust_schema, phi1, phi2, phi3
+from repro.datagen.cust import cust_cfds, cust_relation, phi1, phi2, phi3
 from repro.datagen.generator import TaxRecordGenerator
 from repro.relation.relation import Relation
 from repro.relation.schema import Schema

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.pattern import DONTCARE, WILDCARD, PatternValue
+from repro.core.pattern import WILDCARD, PatternValue
 from repro.core.tableau import PatternTableau, PatternTuple
 from repro.errors import PatternError
 

@@ -1,6 +1,5 @@
 """Tests for the cust running example (Figure 1 / Figure 2)."""
 
-import pytest
 
 from repro.datagen.cust import (
     CUST_ATTRIBUTES,

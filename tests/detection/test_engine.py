@@ -3,7 +3,6 @@
 import pytest
 
 from repro.config import DetectionConfig
-from repro.core.cfd import CFD
 from repro.detection.engine import CrossCheckResult, cross_check, detect_violations
 from repro.errors import DetectionError
 

@@ -18,8 +18,6 @@ from repro.detection.indexed import (
 )
 from repro.detection.partition_index import PartitionIndexCache
 from repro.errors import DetectionError
-from repro.relation.relation import Relation
-from repro.relation.schema import Schema
 from repro.sql.merge import merge_cfds
 
 

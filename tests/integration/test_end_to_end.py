@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.satisfaction import find_all_violations, satisfies_all
+from repro.core.satisfaction import find_all_violations
 from repro.datagen.cfd_catalog import (
     exemption_cfd,
     experiment_cfd_set,

@@ -128,6 +128,28 @@ class TestCleanCommand:
         ])
         assert code == 0
 
+    def test_clean_with_parallel_backends_and_workers(self, workspace, tmp_path, capsys):
+        output_path = tmp_path / "clean.csv"
+        code = main([
+            "clean", "--data", workspace["data"], "--cfds", workspace["rules"],
+            "--output", str(output_path),
+            "--detect-method", "parallel", "--repair-method", "parallel",
+            "--workers", "2", "--shard-count", "3",
+        ])
+        assert code == 0
+        assert "repair=parallel" in capsys.readouterr().out
+        assert main(["detect", "--data", str(output_path), "--cfds", workspace["rules"], "--quiet"]) == 0
+
+    def test_workers_with_serial_backend_is_a_config_error(self, workspace, tmp_path, capsys):
+        code = main([
+            "clean", "--data", workspace["data"], "--cfds", workspace["rules"],
+            "--output", str(tmp_path / "clean.csv"),
+            "--detect-method", "indexed", "--repair-method", "incremental",
+            "--workers", "2",
+        ])
+        assert code == 2
+        assert "parallel backend" in capsys.readouterr().err
+
     def test_clean_from_sqlite(self, workspace, tmp_path, capsys):
         import sqlite3
 

@@ -1,0 +1,85 @@
+"""Hypothesis properties: parallel execution is invisible in the results.
+
+For *random shard counts and worker counts* — including degenerate ones like
+``shard_count > rows`` — sharded parallel detection must report exactly the
+violations the incremental/oracle engines find, and sharded parallel repair
+must produce the byte-identical repaired relation the incremental engine
+produces.  Randomising the execution geometry (rather than the rule set) is
+the point: the workload is held fixed and known-consistent, the split is
+what varies.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import RepairConfig
+from repro.core.satisfaction import find_all_violations
+from repro.datagen.cfd_catalog import zip_state_cfd
+from repro.datagen.cust import cust_cfds, cust_relation
+from repro.datagen.generator import TaxRecordGenerator
+from repro.parallel.engine import find_violations_parallel
+from repro.parallel.sharding import shard_relation
+from repro.repair.heuristic import repair
+
+# Keep worker counts small: every drawn example may start a process pool.
+shard_counts = st.integers(min_value=1, max_value=40)
+worker_counts = st.integers(min_value=1, max_value=3)
+
+
+@pytest.fixture(scope="module")
+def tax():
+    return TaxRecordGenerator(size=300, noise=0.07, seed=13).generate_relation()
+
+
+@pytest.fixture(scope="module")
+def tax_cfds():
+    return [zip_state_cfd()]
+
+
+@pytest.fixture(scope="module")
+def tax_oracle(tax, tax_cfds):
+    return set(find_all_violations(tax, tax_cfds).violations)
+
+
+@pytest.fixture(scope="module")
+def tax_incremental(tax, tax_cfds):
+    return repair(tax, tax_cfds, method="incremental")
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(shard_count=shard_counts, workers=worker_counts)
+def test_parallel_detection_agrees_for_any_geometry(
+    tax, tax_cfds, tax_oracle, shard_count, workers
+):
+    report = find_violations_parallel(
+        tax, tax_cfds, shard_count=shard_count, workers=workers
+    )
+    assert set(report.violations) == tax_oracle
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(shard_count=shard_counts, workers=worker_counts)
+def test_parallel_repair_agrees_for_any_geometry(
+    tax, tax_cfds, tax_incremental, shard_count, workers
+):
+    result = repair(
+        tax,
+        tax_cfds,
+        config=RepairConfig(method="parallel", shard_count=shard_count, workers=workers),
+    )
+    assert result.clean == tax_incremental.clean
+    assert result.relation.rows == tax_incremental.relation.rows
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(shard_count=st.integers(min_value=1, max_value=100))
+def test_shard_plan_partitions_the_relation_for_any_count(shard_count):
+    relation, cfds = cust_relation(), cust_cfds()
+    plan = shard_relation(relation, cfds, shard_count)
+    seen = sorted(
+        index for shard in plan.shards for index in shard.global_indices
+    )
+    assert seen == list(range(len(relation)))
+    assert len(plan) <= max(1, min(shard_count, len(relation)))

@@ -5,7 +5,6 @@ import pytest
 from repro.config import DetectionConfig, RepairConfig
 from repro.core.satisfaction import find_all_violations
 from repro.datagen.cfd_catalog import zip_state_cfd
-from repro.datagen.cust import cust_cfds, cust_relation
 from repro.datagen.generator import TaxRecordGenerator
 from repro.detection.engine import detect_violations
 from repro.errors import InconsistentCFDsError, ReproError

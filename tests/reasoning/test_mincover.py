@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.cfd import CFD, normalize_all
-from repro.reasoning.implication import equivalent, implies
+from repro.reasoning.implication import equivalent
 from repro.reasoning.mincover import is_minimal, minimal_cover
 
 

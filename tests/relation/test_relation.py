@@ -104,6 +104,14 @@ class TestMutation:
         clone.update(0, "A", "changed")
         assert relation.value(0, "A") == "a1"
 
+    def test_from_validated_rows_adopts_without_coercion(self, relation):
+        from repro.relation.relation import Relation
+
+        adopted = Relation.from_validated_rows(relation.schema, relation.rows)
+        assert adopted == relation
+        adopted.update(0, "A", "changed")
+        assert relation.value(0, "A") == "a1"  # independent row list
+
 
 class TestAlgebra:
     def test_select(self, relation):

@@ -5,7 +5,6 @@ quotes, unicode and marker-like strings must survive the round trip; these
 tests pin that down by cross-checking against the in-memory oracle.
 """
 
-import pytest
 
 from repro.core.cfd import CFD
 from repro.core.satisfaction import find_all_violations

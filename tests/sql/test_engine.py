@@ -2,11 +2,9 @@
 
 import pytest
 
-from repro.core.cfd import CFD
 from repro.core.satisfaction import find_all_violations
-from repro.datagen.cust import cust_cfds, cust_relation
 from repro.errors import DetectionError
-from repro.sql.engine import DetectionRun, QueryTiming, SQLDetector
+from repro.sql.engine import SQLDetector
 
 
 @pytest.fixture

@@ -37,6 +37,7 @@ EXPECTED_REPRO_ALL = [
     "cust_cfds",
     "cust_relation",
     "detect_violations",
+    "find_violations_parallel",
     "implies",
     "is_consistent",
     "minimal_cover",

@@ -1,0 +1,54 @@
+"""Demo: the dictionary-encoded columnar storage core (docs/columnar.md).
+
+Builds a tax workload, runs indexed detection over both storage layers,
+shows the byte-identical reports and the code protocol underneath, and
+cross-checks a repair across storages.
+
+Run with: PYTHONPATH=src python examples/columnar_storage.py
+"""
+
+import time
+
+from repro import DetectionConfig, RepairConfig, detect_violations, repair
+from repro.datagen.cfd_catalog import zip_state_cfd
+from repro.datagen.generator import TaxRecordGenerator
+from repro.relation.columnar import ColumnStore
+
+
+def main() -> None:
+    relation = TaxRecordGenerator(size=20_000, noise=0.05, seed=7).generate_relation()
+    cfd = zip_state_cfd(tabsz=200, seed=7)
+
+    reports = {}
+    for storage in ("rows", "columnar"):
+        config = DetectionConfig(method="indexed", storage=storage)
+        start = time.perf_counter()
+        reports[storage] = detect_violations(relation, [cfd], config=config)
+        print(f"indexed detection, storage={storage:8s}: "
+              f"{len(reports[storage])} violations in {time.perf_counter() - start:.4f}s")
+    assert list(reports["rows"].violations) == list(reports["columnar"].violations)
+    print("reports are violation-for-violation identical\n")
+
+    # The code protocol the hot layers consume directly.
+    store = ColumnStore.from_relation(relation)
+    print(f"store: {store!r}")
+    zip_codes = store.codes("ZIP")  # encodes the ZIP column on first demand
+    print(f"ZIP dictionary: {store.dictionary_size('ZIP')} entries "
+          f"for {len(store)} rows; first codes {list(zip_codes[:6])}")
+    print(f"after touching ZIP only: {store!r}\n")
+
+    repairs = {
+        storage: repair(
+            relation,
+            [cfd],
+            config=RepairConfig(method="incremental", storage=storage, check_consistency=False),
+        )
+        for storage in ("rows", "columnar")
+    }
+    assert repairs["rows"].relation.rows == repairs["columnar"].relation.rows
+    print(f"repair: {len(repairs['columnar'].changes)} cell changes, "
+          f"byte-identical across storages, clean={repairs['columnar'].clean}")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,7 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import CFD, cust_cfds, cust_relation, detect_violations, repair
+from repro import cust_cfds, cust_relation, detect_violations, repair
 
 
 def main() -> None:

@@ -5,7 +5,9 @@ Kementsietsidis (ICDE 2007) together with every substrate the paper's
 evaluation depends on:
 
 * ``repro.relation`` — an in-memory relational substrate (schemas, typed
-  attributes with optional finite domains, relations, CSV I/O).
+  attributes with optional finite domains, relations, CSV I/O), with a
+  dictionary-encoded columnar storage core (``ColumnStore``) behind the
+  same API.
 * ``repro.core`` — pattern tableaux, CFDs, the match/order relations and
   in-memory satisfaction checking.
 * ``repro.reasoning`` — consistency, implication (inference rules FD1–FD8),
@@ -70,18 +72,20 @@ from repro.registry import (
     select_repair_method,
 )
 from repro.relation.attribute import Attribute
+from repro.relation.columnar import ColumnStore
 from repro.relation.relation import Relation
 from repro.relation.schema import Schema
 from repro.repair.heuristic import repair
 from repro.sql.engine import SQLDetector
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Attribute",
     "CFD",
     "Cleaner",
     "CleaningResult",
+    "ColumnStore",
     "ConstantViolation",
     "CSVSource",
     "DetectionConfig",

@@ -82,6 +82,16 @@ def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--table", default="data", help="table to read with --sqlite (default: data)")
 
 
+def _add_storage_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--storage",
+        choices=["rows", "columnar"],
+        help="storage layer for the columnar-capable engines: dictionary-encoded "
+        "columns (default, also via REPRO_STORAGE) or the legacy row tuples; "
+        "outputs are identical either way",
+    )
+
+
 def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -136,6 +146,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         form=args.form if args.method == "sql" else None,
         workers=args.workers,
         shard_count=args.shard_count,
+        storage=args.storage,
     )
     report = detect_violations(relation, cfds, config=config)
     payload = _report_payload(report, relation)
@@ -172,6 +183,7 @@ def cmd_repair(args: argparse.Namespace) -> int:
         max_passes=args.max_passes,
         workers=args.workers,
         shard_count=args.shard_count,
+        storage=args.storage,
     )
     result = repair(relation, cfds, config=config)
     result.relation.to_csv(args.output)
@@ -197,12 +209,14 @@ def cmd_clean(args: argparse.Namespace) -> int:
             method=args.detect_method,
             workers=args.workers,
             shard_count=args.shard_count,
+            storage=args.storage,
         ),
         repair=RepairConfig(
             method=args.repair_method,
             max_passes=args.max_passes,
             workers=args.workers,
             shard_count=args.shard_count,
+            storage=args.storage,
         ),
         verify_method=args.verify_method,
     )
@@ -336,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detect.add_argument("--strategy", choices=["per_cfd", "merged"], default="per_cfd")
     detect.add_argument("--form", choices=["cnf", "dnf"], default="dnf")
+    _add_storage_argument(detect)
     _add_parallel_arguments(detect)
     detect.add_argument("--output", help="write the full report as JSON to this path")
     detect.add_argument("--limit", type=int, default=20, help="violations to print (default 20)")
@@ -357,6 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
         "'auto' to pick per workload; all produce the same repair",
     )
     repair_cmd.add_argument("--changes", action="store_true", help="print every cell change")
+    _add_storage_argument(repair_cmd)
     _add_parallel_arguments(repair_cmd)
     repair_cmd.set_defaults(handler=cmd_repair)
 
@@ -376,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="backend for the final verification (default: the pure-Python oracle)",
     )
     clean.add_argument("--max-passes", type=int, default=25)
+    _add_storage_argument(clean)
     _add_parallel_arguments(clean)
     clean.set_defaults(handler=cmd_clean)
 

@@ -15,6 +15,7 @@ including ones registered by user code); they are resolved by
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
@@ -31,6 +32,40 @@ SQL_FORMS = ("cnf", "dnf")
 
 #: Query strategies accepted by the SQL backend.
 SQL_STRATEGIES = ("per_cfd", "merged")
+
+#: Storage layers a relation can be held in while an engine works on it:
+#: ``"rows"`` is the legacy list-of-tuples :class:`~repro.relation.relation.Relation`,
+#: ``"columnar"`` the dictionary-encoded
+#: :class:`~repro.relation.columnar.ColumnStore`.  Every engine produces
+#: byte-identical output on either; they differ only in speed.
+STORAGES = ("rows", "columnar")
+
+#: The storage the columnar-capable engines use when nothing pins one.
+DEFAULT_STORAGE = "columnar"
+
+
+def storage_from_env(default: str = DEFAULT_STORAGE) -> str:
+    """The storage layer named by ``REPRO_STORAGE``, falling back on garbage.
+
+    The environment variable is the cross-checking escape hatch: exporting
+    ``REPRO_STORAGE=rows`` pins every config that did not set ``storage=``
+    explicitly back to the legacy row path.  Read at every resolution (not at
+    import), and forgiving like ``REPRO_PARALLEL_AUTO_ROWS`` — an unknown
+    value keeps the default rather than crashing whatever imported us.
+    """
+    raw = os.environ.get("REPRO_STORAGE")
+    if not raw:
+        return default
+    value = raw.strip().lower()
+    return value if value in STORAGES else default
+
+
+def validate_storage(storage: Optional[str]) -> None:
+    if storage is not None and storage not in STORAGES:
+        raise ConfigError(
+            f"unknown storage {storage!r}; expected one of "
+            f"{', '.join(map(repr, STORAGES))}"
+        )
 
 
 def _validate_parallel_knobs(
@@ -86,6 +121,14 @@ class DetectionConfig:
         Setting either with any other concrete backend raises
         :class:`~repro.errors.ConfigError` — a serial backend would silently
         ignore them.
+    storage:
+        Storage layer the columnar-capable backends (indexed, parallel) hold
+        the relation in: ``"columnar"`` (dictionary-encoded
+        :class:`~repro.relation.columnar.ColumnStore`) or ``"rows"`` (the
+        legacy tuple list).  ``None`` (default) defers to the
+        ``REPRO_STORAGE`` environment variable, then to ``"columnar"``.
+        Outputs are byte-identical either way; ``"rows"`` exists for
+        cross-checking the storage layer itself.
 
     >>> DetectionConfig(method="sql", strategy="merged").effective_strategy
     'merged'
@@ -102,8 +145,10 @@ class DetectionConfig:
     chunk_size: int = 8_192
     workers: Optional[int] = None
     shard_count: Optional[int] = None
+    storage: Optional[str] = None
 
     def __post_init__(self) -> None:
+        validate_storage(self.storage)
         if self.strategy is not None and self.strategy not in SQL_STRATEGIES:
             raise ConfigError(
                 f"unknown SQL strategy {self.strategy!r}; expected one of "
@@ -134,6 +179,11 @@ class DetectionConfig:
         """The SQL form with the default applied."""
         return self.form if self.form is not None else "dnf"
 
+    @property
+    def effective_storage(self) -> str:
+        """The storage layer with ``REPRO_STORAGE`` and the default applied."""
+        return self.storage if self.storage is not None else storage_from_env()
+
     def with_method(self, method: str) -> "DetectionConfig":
         """A copy with ``method`` pinned (used after ``"auto"`` resolution).
 
@@ -155,6 +205,7 @@ class DetectionConfig:
             "chunk_size": self.chunk_size,
             "workers": self.workers,
             "shard_count": self.shard_count,
+            "storage": self.storage,
         }
 
 
@@ -188,6 +239,12 @@ class RepairConfig:
         escalate to it): worker processes repairing shards concurrently and
         shards to split the relation into.  Same validation as on
         :class:`DetectionConfig`.
+    storage:
+        Storage layer the columnar-capable engines (indexed, incremental,
+        parallel) repair over — same semantics and default chain
+        (``REPRO_STORAGE``, then ``"columnar"``) as on
+        :class:`DetectionConfig`.  The repaired relation comes back in this
+        storage; its rows are byte-identical either way.
 
     >>> RepairConfig(max_passes=0)
     Traceback (most recent call last):
@@ -202,8 +259,10 @@ class RepairConfig:
     cache_size: Optional[int] = None
     workers: Optional[int] = None
     shard_count: Optional[int] = None
+    storage: Optional[str] = None
 
     def __post_init__(self) -> None:
+        validate_storage(self.storage)
         if self.max_passes < 1:
             raise ConfigError(f"max_passes must be at least 1, got {self.max_passes}")
         if self.cache_size is not None and self.cache_size < 1:
@@ -222,6 +281,11 @@ class RepairConfig:
             return replace(self, method=method, workers=None, shard_count=None)
         return replace(self, method=method)
 
+    @property
+    def effective_storage(self) -> str:
+        """The storage layer with ``REPRO_STORAGE`` and the default applied."""
+        return self.storage if self.storage is not None else storage_from_env()
+
     def summary(self) -> Dict[str, Any]:
         return {
             "method": self.method,
@@ -229,4 +293,5 @@ class RepairConfig:
             "check_consistency": self.check_consistency,
             "workers": self.workers,
             "shard_count": self.shard_count,
+            "storage": self.storage,
         }

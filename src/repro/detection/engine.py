@@ -24,7 +24,7 @@ from repro.core.satisfaction import find_all_violations
 from repro.core.violations import ViolationReport
 from repro.detection.indexed import find_violations_indexed
 from repro.errors import ConfigError, DetectionError, RegistryError
-from repro.registry import register_detector, resolve_detector
+from repro.registry import COLUMNAR_DETECTORS, apply_storage, register_detector, resolve_detector
 from repro.relation.relation import Relation
 from repro.sql.engine import SQLDetector
 
@@ -122,6 +122,13 @@ def detect_violations(
         name, backend = resolve_detector(config.method, relation, cfds)
     except RegistryError as error:
         raise DetectionError(str(error)) from None
+    # Columnar-capable backends see the relation in the configured storage
+    # layer (encoded once here; already-encoded input passes through), the
+    # others read whatever the caller holds.  Reports are byte-identical
+    # either way — storage is a speed knob, not a semantics knob.
+    relation = apply_storage(
+        relation, config.effective_storage, name in COLUMNAR_DETECTORS
+    )
     return backend(relation, cfds, config.with_method(name))
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.config import storage_from_env
 from repro.core.cfd import CFD
 from repro.core.tableau import PatternTuple
 from repro.core.violations import (
@@ -36,6 +37,7 @@ from repro.detection.partition_index import (
     PartitionIndexCache,
 )
 from repro.errors import DetectionError
+from repro.relation.columnar import ColumnStore
 from repro.relation.relation import Relation, Row
 from repro.relation.schema import Schema
 
@@ -136,16 +138,23 @@ def detect_stream(
     rows: Iterable[Union[Row, Sequence[Any], Mapping[str, Any]]],
     cfds: Union[CFD, Sequence[CFD]],
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    storage: Optional[str] = None,
 ) -> ViolationReport:
     """Detect violations over a row *stream* without materialising full rows.
 
     Rows (positional tuples in ``schema`` order, or mappings by attribute
     name) are consumed in batches of ``chunk_size``.  Only the projection
     onto the attributes the CFDs actually mention is retained, and every
-    partition index is grown incrementally via
-    :meth:`PartitionIndex.add_tuples` as batches arrive — so peak memory is
-    ``O(N x |attrs(cfds)|)`` rather than ``O(N x |schema|)``, and the source
-    (a CSV reader, a DB cursor) is read exactly once.
+    partition index is grown incrementally as batches arrive — so peak memory
+    is ``O(N x |attrs(cfds)|)`` rather than ``O(N x |schema|)``, and the
+    source (a CSV reader, a DB cursor) is read exactly once.
+
+    ``storage`` picks the layer the retained projection lives in (defaults to
+    ``REPRO_STORAGE``, then ``"columnar"``).  On columnar storage each batch
+    is dictionary-encoded as it arrives and the indexes ingest the *codes* of
+    the new rows (:meth:`PartitionIndex.add_encoded`), so a raw row is
+    touched exactly once — projected, encoded, dropped — instead of being
+    re-hashed by every index.
 
     Reported tuple indices refer to positions in the input stream.
     """
@@ -156,6 +165,8 @@ def detect_stream(
         return ViolationReport()
     if chunk_size <= 0:
         raise DetectionError(f"chunk_size must be positive, got {chunk_size}")
+    if storage is None:
+        storage = storage_from_env()
 
     # Projection: keep only the attributes some CFD constrains.
     needed = [name for name in schema.names if any(name in cfd.attributes for cfd in cfds)]
@@ -163,7 +174,8 @@ def detect_stream(
         schema.validate_attributes(cfd.attributes)
     slim_schema = schema.project(needed)
     positions = schema.positions(needed)
-    slim = Relation(slim_schema)
+    columnar = storage == "columnar"
+    slim = ColumnStore(slim_schema) if columnar else Relation(slim_schema)
 
     # One index per distinct @-free LHS attribute tuple across all patterns,
     # grown batch-by-batch alongside the projected relation.
@@ -177,9 +189,13 @@ def detect_stream(
     batch: List[Row] = []
 
     def flush() -> None:
+        start = len(slim)
         slim.extend(batch)
         for index in indexes.values():
-            index.add_tuples(batch)
+            if columnar:
+                index.add_encoded(slim, start, len(slim))
+            else:
+                index.add_tuples(batch)
         batch.clear()
 
     for row in rows:
@@ -248,8 +264,42 @@ def _pattern_violations(
         if pattern.rhs_cell(attr).is_constant
     ]
     rhs_free = tuple(attr for attr in cfd.rhs if not pattern.rhs_cell(attr).is_dontcare)
-    rhs_positions = relation.schema.positions(rhs_free) if rhs_free else ()
 
+    if isinstance(relation, ColumnStore):
+        # Columnar fast path: both checks run over dictionary codes — an
+        # expected constant encodes to at most one code (None means no cell
+        # ever held the value, so every matching tuple violates), and RHS
+        # agreement is cardinality of code projections (codes biject onto
+        # values).  Values are decoded only when a violation is emitted.
+        const_checks = [
+            (attr, relation.codes(attr), relation.encode(attr, cell.value), cell.value)
+            for attr, _position, cell in constant_rhs
+        ]
+        rhs_columns = relation.project_codes(rhs_free)
+        for key, indices in index.matching(cells):
+            for tuple_index in indices if const_checks else ():
+                for attr, column, expected_code, expected in const_checks:
+                    code = column[tuple_index]
+                    if code != expected_code:
+                        yield ConstantViolation(
+                            cfd_name=cfd.name,
+                            pattern_index=pattern_index,
+                            tuple_indices=(tuple_index,),
+                            attribute=attr,
+                            expected=expected,
+                            actual=relation.decode(attr, code),
+                        )
+            if rhs_free and len(indices) > 1 and codes_disagree(rhs_columns, indices):
+                yield VariableViolation(
+                    cfd_name=cfd.name,
+                    pattern_index=pattern_index,
+                    tuple_indices=tuple(indices),
+                    attributes=lhs_free,
+                    group_key=tuple(key),
+                )
+        return
+
+    rhs_positions = relation.schema.positions(rhs_free) if rhs_free else ()
     for key, indices in index.matching(cells):
         # Q^C semantics: each matching tuple must honour the constant RHS cells.
         for tuple_index in indices if constant_rhs else ():
@@ -278,3 +328,21 @@ def _pattern_violations(
                     attributes=lhs_free,
                     group_key=tuple(key),
                 )
+
+
+def codes_disagree(columns: Sequence[Any], indices: Sequence[int]) -> bool:
+    """Whether the code projections of ``indices`` take more than one value.
+
+    Codes biject onto values per attribute, so code disagreement *is* value
+    disagreement — the ``Q^V`` check without decoding a single cell.  Shared
+    by the indexed backend and the incremental repair state.
+    """
+    if len(columns) == 1:
+        column = columns[0]
+        first = column[indices[0]]
+        return any(column[index] != first for index in indices[1:])
+    first_index = indices[0]
+    first = tuple(column[first_index] for column in columns)
+    return any(
+        tuple(column[index] for column in columns) != first for index in indices[1:]
+    )

@@ -39,6 +39,7 @@ from typing import (
 
 from repro.core.pattern import PatternValue
 from repro.errors import DetectionError
+from repro.relation.columnar import ColumnStore
 from repro.relation.relation import Relation, Row
 from repro.relation.schema import Schema
 
@@ -78,13 +79,50 @@ class PartitionIndex:
     def from_relation(cls, relation: Relation, attributes: Sequence[str]) -> "PartitionIndex":
         """Build an index over ``relation`` in one pass.
 
-        Batch-by-batch construction (for sources not materialised as a
-        :class:`Relation`) goes through :meth:`add_tuples` directly, as
+        A :class:`~repro.relation.columnar.ColumnStore` is ingested through
+        :meth:`add_encoded` — the grouping runs over integer codes instead of
+        hashing a value tuple per row.  Batch-by-batch construction (for
+        sources not materialised as a :class:`Relation`) goes through
+        :meth:`add_tuples` / :meth:`add_encoded` directly, as
         :func:`repro.detection.indexed.detect_stream` does.
         """
         index = cls(relation.schema, attributes)
-        index.add_tuples(relation)
+        if isinstance(relation, ColumnStore):
+            index.add_encoded(relation)
+        else:
+            index.add_tuples(relation)
         return index
+
+    def add_encoded(
+        self, store: ColumnStore, start: Optional[int] = None, stop: Optional[int] = None
+    ) -> int:
+        """Ingest rows ``[start, stop)`` of an encoded store; return the next free index.
+
+        The columnar counterpart of :meth:`add_tuples`: the grouping pass runs
+        over dictionary codes (:meth:`ColumnStore.group_indices`) and each
+        partition key is decoded to values once per *partition*, not once per
+        row — so the resulting map is indistinguishable from row ingestion
+        (same keys, same members, same first-occurrence order), it just never
+        hashes a value tuple per tuple.  Batches must be contiguous with what
+        was already ingested, exactly like sequential :meth:`add_tuples` calls.
+        """
+        start = self._next_index if start is None else start
+        if start != self._next_index:
+            raise DetectionError(
+                f"encoded batch starts at {start} but the next free index is "
+                f"{self._next_index}; batches must be contiguous"
+            )
+        stop = len(store) if stop is None else stop
+        groups = self._groups
+        for key, indices in store.group_indices(self._attributes, start, stop):
+            existing = groups.get(key)
+            if existing is None:
+                groups[key] = indices
+            else:
+                existing.extend(indices)
+        self._tuple_count += max(0, stop - start)
+        self._next_index = stop
+        return stop
 
     def add_tuples(self, rows: Iterable[Row], start_index: Optional[int] = None) -> int:
         """Ingest a batch of positional rows; return the next free index.
@@ -251,10 +289,33 @@ class PartitionIndexCache:
         self._indexes: "OrderedDict[Tuple[str, ...], PartitionIndex]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._expected_version = relation.version
+
+    def _check_synchronized(self) -> None:
+        """Raise when the relation mutated outside :meth:`apply_update`.
+
+        Inserts and deletes shift or extend the tuple-index space, and raw
+        updates move tuples between equivalence classes behind the cached
+        indexes' backs; serving a read afterwards would silently return wrong
+        answers.  The relation's version counter makes that a loud error.
+        """
+        if self._relation.version != self._expected_version:
+            raise DetectionError(
+                "the relation was mutated while partition indexes were live "
+                f"(version {self._relation.version}, indexes built at "
+                f"{self._expected_version}); route cell updates through "
+                "apply_update, or call clear() to rebuild from scratch"
+            )
 
     # ------------------------------------------------------------------ access
     def get(self, attributes: Sequence[str]) -> PartitionIndex:
-        """The index over ``attributes``, building (and caching) it on a miss."""
+        """The index over ``attributes``, building (and caching) it on a miss.
+
+        Raises :class:`~repro.errors.DetectionError` when the relation was
+        mutated since the cache last synchronised with it (see
+        :meth:`apply_update` / :meth:`clear`).
+        """
+        self._check_synchronized()
         key = tuple(attributes)
         index = self._indexes.get(key)
         if index is not None:
@@ -273,6 +334,7 @@ class PartitionIndexCache:
         foreign index would serve tuple indices that do not line up with
         the relation later passed to detection.
         """
+        self._check_synchronized()
         if index.tuple_count != len(self._relation):
             raise DetectionError(
                 f"cannot seed an index covering {index.tuple_count} tuples into a "
@@ -286,6 +348,7 @@ class PartitionIndexCache:
     def clear(self) -> None:
         """Drop every cached index (required after mutating the relation)."""
         self._indexes.clear()
+        self._expected_version = self._relation.version
 
     def apply_update(self, tuple_index: int, attribute: str, old_row: Row) -> int:
         """Delta-maintain the cached indexes after one cell of the relation changed.
@@ -295,8 +358,22 @@ class PartitionIndexCache:
         attribute tuple mentions ``attribute`` are touched (the others cannot
         be affected by the change); each moves the tuple between its
         equivalence classes via :meth:`PartitionIndex.reindex_tuple` instead
-        of being rebuilt.  Returns the number of indexes updated.
+        of being rebuilt — on a :class:`~repro.relation.columnar.ColumnStore`
+        the cell change itself was a single code swap.  Returns the number of
+        indexes updated.
+
+        This is the *only* sanctioned mutation path while indexes are live:
+        it must follow exactly one ``update`` call (anything else — a second
+        update, an insert, a delete — raises instead of maintaining a lie).
         """
+        if self._relation.version != self._expected_version + 1:
+            raise DetectionError(
+                "apply_update must follow exactly one relation.update call "
+                f"(relation version {self._relation.version}, cache expected "
+                f"{self._expected_version + 1}); for inserts, deletes or "
+                "batched updates rebuild via clear()"
+            )
+        self._expected_version = self._relation.version
         new_row = self._relation[tuple_index]
         updated = 0
         for attributes, index in self._indexes.items():

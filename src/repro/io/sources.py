@@ -30,9 +30,22 @@ import sqlite3
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
 
+from repro.config import validate_storage
 from repro.errors import ReproError
+from repro.relation.columnar import ColumnStore
 from repro.relation.relation import Relation, Row
 from repro.relation.schema import Schema
+
+
+def _relation_class(storage: Optional[str]) -> type:
+    """The relation class for a storage name (``None`` keeps the row default).
+
+    Validation is the config layer's (:data:`repro.config.STORAGES`), so an
+    unknown name fails with the same :class:`~repro.errors.ConfigError`
+    everywhere a storage is named.
+    """
+    validate_storage(storage)
+    return ColumnStore if storage == "columnar" else Relation
 
 
 class RowSource(abc.ABC):
@@ -47,9 +60,15 @@ class RowSource(abc.ABC):
     def __iter__(self) -> Iterator[Row]:
         """Yield rows as positional tuples in schema attribute order."""
 
-    def to_relation(self) -> Relation:
-        """Materialise the source into an in-memory relation."""
-        relation = Relation(self.schema)
+    def to_relation(self, storage: Optional[str] = None) -> Relation:
+        """Materialise the source into an in-memory relation.
+
+        ``storage="columnar"`` dictionary-encodes the rows as they stream in
+        (:class:`~repro.relation.columnar.ColumnStore`) — encoding at
+        ingestion is what lets every later detection and repair pass run
+        over integer codes.  ``None``/``"rows"`` keeps the tuple-list layout.
+        """
+        relation = _relation_class(storage)(self.schema)
         relation.extend(self)
         return relation
 
@@ -77,9 +96,20 @@ class RelationSource(RowSource):
     def __iter__(self) -> Iterator[Row]:
         return iter(self._relation)
 
-    def to_relation(self) -> Relation:
-        # No copy: the pipeline copies before mutating (repair works on a
-        # copy), so handing back the original keeps ingestion free.
+    def to_relation(self, storage: Optional[str] = None) -> Relation:
+        # No copy when the storage already matches: the pipeline copies
+        # before mutating (repair works on a copy), so handing back the
+        # original keeps ingestion free.  An explicit storage request that
+        # does not match converts (never mutating the original).
+        validate_storage(storage)
+        if storage is None:
+            return self._relation
+        if storage == "columnar":
+            if isinstance(self._relation, ColumnStore):
+                return self._relation
+            return ColumnStore.from_relation(self._relation)
+        if isinstance(self._relation, ColumnStore):
+            return Relation.from_validated_rows(self._relation.schema, self._relation)
         return self._relation
 
     def describe(self) -> str:

@@ -98,13 +98,20 @@ class ParallelRepairEngine:
         self.stats: Optional[ParallelStats] = None
 
     def _inner_config(self, cost_model: CostModel) -> RepairConfig:
-        """The per-shard configuration: serial incremental, no re-checks."""
+        """The per-shard configuration: serial incremental, no re-checks.
+
+        The storage choice rides along, so shards of an encoded relation are
+        repaired columnar in their workers (they arrive as
+        :class:`~repro.relation.columnar.ColumnStore` slices already) and
+        ``storage="rows"`` cross-checking stays rows all the way down.
+        """
         return RepairConfig(
             method="incremental",
             max_passes=self._config.max_passes,
             check_consistency=False,  # repair() already checked, once
             cost_model=cost_model,
             cache_size=self._config.cache_size,
+            storage=self._config.storage,
         )
 
     def run(self, cost_model: CostModel) -> RepairResult:

@@ -37,6 +37,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.core.cfd import CFD
 from repro.detection.indexed import lhs_free_attributes
 from repro.errors import ParallelExecutionError
+from repro.relation.columnar import ColumnStore
 from repro.relation.relation import Relation
 
 
@@ -138,8 +139,16 @@ def components(relation: Relation, cfds: Sequence[CFD]) -> List[List[int]]:
     if count == 0:
         return []
     uf = _UnionFind(count)
+    columnar = isinstance(relation, ColumnStore)
     for attributes in _grouping_attribute_sets(cfds):
-        for indices in relation.group_by(attributes).values():
+        if columnar:
+            # The union-find only consumes the members, so the grouping runs
+            # entirely over dictionary codes; no partition key is ever built
+            # from values.
+            groups = (members for _key, members in relation.group_indices(attributes))
+        else:
+            groups = iter(relation.group_by(attributes).values())
+        for indices in groups:
             first = indices[0]
             for other in indices[1:]:
                 uf.union(first, other)
@@ -178,11 +187,11 @@ def shard_relation(
     shards: List[Shard] = []
     for shard_id, bucket in enumerate(buckets):
         bucket.sort()
-        # The rows come straight out of a same-schema relation: adopt them
-        # without re-coercion (sharding runs on the 150K+-row hot path).
-        sub = Relation.from_validated_rows(
-            relation.schema, (relation[index] for index in bucket)
-        )
+        # take() preserves the storage class without re-coercion (sharding
+        # runs on the 150K+-row hot path): a ColumnStore shard is gathered
+        # code-wise and ships to its worker as int arrays plus one dictionary
+        # per attribute — far cheaper to pickle than value tuples.
+        sub = relation.take(bucket)
         shards.append(
             Shard(shard_id=shard_id, global_indices=tuple(bucket), relation=sub)
         )

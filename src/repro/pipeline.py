@@ -34,7 +34,14 @@ from repro.detection.engine import detect_violations
 from repro.detection.indexed import detect_stream
 from repro.errors import ReproError
 from repro.io.sources import RelationSource, RowSource, as_source
-from repro.registry import resolve_detector, resolve_repairer
+from repro.registry import (
+    COLUMNAR_DETECTORS,
+    COLUMNAR_REPAIRERS,
+    apply_storage,
+    resolve_detector,
+    resolve_repairer,
+)
+from repro.relation.columnar import ColumnStore
 from repro.relation.relation import Relation
 from repro.relation.schema import Schema
 from repro.repair.heuristic import CellChange, RepairResult, repair
@@ -150,9 +157,14 @@ class Cleaner:
         self,
         source: Union[RowSource, Relation, str, Iterable],
         schema: Optional[Schema] = None,
+        storage: Optional[str] = None,
     ) -> Relation:
-        """Materialise any supported source into a relation."""
-        return as_source(source, schema=schema).to_relation()
+        """Materialise any supported source into a relation.
+
+        ``storage="columnar"`` dictionary-encodes at ingestion; ``None``
+        keeps whatever layout the source naturally produces.
+        """
+        return as_source(source, schema=schema).to_relation(storage=storage)
 
     def detect(
         self,
@@ -179,6 +191,7 @@ class Cleaner:
                     iter(row_source),
                     cfds,
                     chunk_size=self.detection.chunk_size,
+                    storage=self.detection.effective_storage,
                 )
         relation = row_source.to_relation()
         return detect_violations(relation, cfds, config=self.detection)
@@ -206,10 +219,28 @@ class Cleaner:
 
         detect_name, _ = resolve_detector(self.detection.method, relation, cfds)
         repair_name, _ = resolve_repairer(self.repair.method, relation, cfds)
+        # Encode once, up front — but only when some resolved stage will
+        # actually work columnar (a capable backend *and* that stage's
+        # config asking for it); then detection, every repair round and the
+        # audit share one encoded relation instead of re-encoding per stage.
+        detect_columnar = (
+            detect_name in COLUMNAR_DETECTORS
+            and self.detection.effective_storage == "columnar"
+        )
+        repair_columnar = (
+            repair_name in COLUMNAR_REPAIRERS
+            and self.repair.effective_storage == "columnar"
+        )
+        start = time.perf_counter()
+        relation = apply_storage(
+            relation, "columnar", detect_columnar or repair_columnar
+        )
+        stage_seconds["ingest"] += time.perf_counter() - start
         backends = {
             "detect": detect_name,
             "repair": repair_name,
             "verify": self.verify_method,
+            "storage": "columnar" if isinstance(relation, ColumnStore) else "rows",
         }
 
         start = time.perf_counter()

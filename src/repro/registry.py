@@ -42,6 +42,7 @@ from typing import Callable, Dict, Optional, Sequence, Tuple, TypeVar
 from repro.config import AUTO
 from repro.core.cfd import CFD
 from repro.errors import RegistryError
+from repro.relation.columnar import ColumnStore
 from repro.relation.relation import Relation
 
 _Backend = TypeVar("_Backend", bound=Callable)
@@ -79,6 +80,40 @@ def _parallel_threshold_from_env(default: int = 150_000) -> int:
 #: the ``REPRO_PARALLEL_AUTO_ROWS`` environment variable (read at import) or
 #: by assigning the module attribute (read at every selection).
 PARALLEL_AUTO_ROW_THRESHOLD = _parallel_threshold_from_env()
+
+#: Built-in detection backends whose hot loops consume the columnar code
+#: protocol.  The oracle and the SQL backend read rows either way; converting
+#: for them would only add decode overhead.
+COLUMNAR_DETECTORS = frozenset({"indexed", "parallel"})
+
+#: Built-in repair engines whose detection layer is columnar-capable.  The
+#: scan engine is the row-semantics correctness baseline and stays on rows.
+COLUMNAR_REPAIRERS = frozenset({"indexed", "incremental", "parallel"})
+
+
+def apply_storage(relation: Relation, storage: str, columnar_capable: bool) -> Relation:
+    """The relation in the storage layer the resolved backend should see.
+
+    ``storage`` is an *effective* storage name
+    (:attr:`repro.config.DetectionConfig.effective_storage`).  Columnar-
+    capable backends get the requested layer — ``REPRO_STORAGE=rows``
+    genuinely pins the legacy path for cross-checking.  Row-reading backends
+    (the scan oracle, the SQL loader) always get materialised rows: one
+    decode pass here is far cheaper than the per-cell decode their full
+    scans would otherwise pay against an encoded relation.  When no
+    conversion is needed the relation is returned as-is (callers that must
+    not share state copy afterwards, as
+    :func:`repro.repair.heuristic.repair` does).
+    """
+    if columnar_capable:
+        if storage == "columnar" and not isinstance(relation, ColumnStore):
+            return ColumnStore.from_relation(relation)
+        if storage == "rows" and isinstance(relation, ColumnStore):
+            return Relation.from_validated_rows(relation.schema, relation)
+        return relation
+    if isinstance(relation, ColumnStore):
+        return Relation.from_validated_rows(relation.schema, relation)
+    return relation
 
 
 def _ensure_builtins() -> None:

@@ -1,7 +1,14 @@
-"""In-memory relational substrate: attributes, schemas, relations, CSV I/O."""
+"""In-memory relational substrate: attributes, schemas, relations, CSV I/O.
+
+Two storage layers share the :class:`Relation` API: the legacy list of row
+tuples and the dictionary-encoded :class:`ColumnStore` (one integer code
+column per attribute) that the hot detection/repair/sharding paths consume
+directly.  See ``docs/columnar.md``.
+"""
 
 from repro.relation.attribute import Attribute
+from repro.relation.columnar import ColumnStore
 from repro.relation.relation import Relation
 from repro.relation.schema import Schema
 
-__all__ = ["Attribute", "Relation", "Schema"]
+__all__ = ["Attribute", "ColumnStore", "Relation", "Schema"]

@@ -1,0 +1,576 @@
+"""Dictionary-encoded columnar storage behind the :class:`Relation` API.
+
+Every engine in the repo ultimately asks equality questions — *which tuples
+agree on these attributes?* (the heart of the paper's ``Q^C``/``Q^V``
+violation queries) — and with row storage each pass pays Python-object
+hashing per cell.  A :class:`ColumnStore` holds the relation column-wise and
+dictionary-encodes each attribute at most once:
+
+* per attribute, a **dictionary** maps each distinct value to a dense
+  integer *code* (``value → code``) and back (``code → value``);
+* the attribute's cells become one **code column** — an ``array('i')`` of
+  small ints, not a slice of value tuples.
+
+Work is **lazy per column**.  Adopting an existing row block
+(:meth:`from_validated_rows`, :meth:`from_relation`) keeps the rows as a
+*pending* block; a column is split out of it only when touched, and
+dictionary-encoded only when something asks for its codes — which in
+practice means exactly the attributes some CFD groups or checks on.  A
+near-unique free-text column that no constraint mentions is never extracted,
+let alone encoded; it would cost a dictionary as large as the column and buy
+nothing.  Extraction and encoding change no observable content, so neither
+bumps the mutation :attr:`~Relation.version`.
+
+Two properties make the encoding invisible to everything above it:
+
+1. **Bijection per attribute** — two cells hold equal values *iff* they hold
+   equal codes, so grouping, distinct-counting and equality filtering can run
+   entirely over codes (int hashing, or no hashing at all for single-column
+   grouping) and still produce byte-identical answers.
+2. **Code stability** — a code, once assigned, always decodes to the same
+   value.  Updates swap one cell's code (appending a dictionary entry when
+   the value is new); they never renumber.  Dictionary entries orphaned by
+   updates or deletes are left in place rather than compacted — stale entries
+   cost a little memory, renumbering would invalidate every live code.
+
+The class subclasses :class:`Relation` and overrides every accessor and
+mutator, so all existing call sites keep working; the hot layers
+(:mod:`repro.detection.partition_index`, :mod:`repro.repair.incremental`,
+:mod:`repro.parallel.sharding`) detect the columnar storage and consume the
+fast-path protocol — :meth:`codes`, :meth:`project_codes`, :meth:`encode`,
+:meth:`decode`, :meth:`group_indices` — directly.  ``docs/columnar.md``
+covers the encoding model, the invariants above, and when the row backend
+still wins.
+"""
+
+from __future__ import annotations
+
+from array import array
+from operator import itemgetter
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import SchemaError
+from repro.relation.relation import Relation, Row
+from repro.relation.schema import Schema
+
+
+class ColumnStore(Relation):
+    """A relation stored as lazily dictionary-encoded columns.
+
+    Drop-in replacement for :class:`Relation` (same constructor, same
+    methods, equality across storage classes compares decoded rows), plus
+    the code-level protocol the hot layers use.
+
+    Each column is in one of three states, promoted on demand and never
+    demoted: *pending* (served from the adopted row block), *raw* (its own
+    value list), or *encoded* (code array + dictionary).  A cell written to
+    a column leaves its stale copy in the pending block; reads of that
+    column come from its own storage from then on, so the staleness is
+    unobservable.
+
+    >>> from repro.relation.schema import Schema
+    >>> store = ColumnStore(Schema("r", ["A", "B"]), [("x", 1), ("y", 2), ("x", 2)])
+    >>> store[2]
+    ('x', 2)
+    >>> list(store.codes("A"))
+    [0, 1, 0]
+    >>> store.decode("A", 1)
+    'y'
+    >>> store == Relation(Schema("r", ["A", "B"]), [("x", 1), ("y", 2), ("x", 2)])
+    True
+    """
+
+    __slots__ = ("_pending", "_raw", "_codes", "_values", "_value_maps", "_length")
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Optional[Iterable[Union[Row, Mapping[str, Any]]]] = None,
+    ) -> None:
+        self._schema = schema
+        self._version = 0
+        width = len(schema)
+        #: The adopted-but-unsplit row block; ``None`` once every column owns
+        #: its cells (or when the store was built row by row).
+        self._pending: Optional[List[Row]] = None
+        #: Per column: the raw value list, ``None`` while pending or encoded.
+        self._raw: List[Optional[List[Any]]] = [[] for _ in range(width)]
+        self._codes: List[Optional[array]] = [None] * width
+        self._values: List[List[Any]] = [[] for _ in range(width)]
+        self._value_maps: List[Dict[Any, int]] = [{} for _ in range(width)]
+        self._length = 0
+        if rows is not None:
+            self.extend(rows)
+
+    # ------------------------------------------------------------------ lazy states
+    def _extract_raw(self, position: int) -> List[Any]:
+        """The raw value list of a not-yet-encoded column, splitting it out
+        of the pending block on first demand."""
+        raw = self._raw[position]
+        if raw is None:
+            raw = list(map(itemgetter(position), self._pending))
+            self._raw[position] = raw
+        return raw
+
+    def _ensure_encoded(self, position: int) -> array:
+        """The code column at ``position``, encoding it on first demand.
+
+        Three C-level passes over the column: ``dict.fromkeys`` discovers the
+        dictionary in first-occurrence order (the same order incremental
+        interning would assign), a comprehension builds the code map, and a
+        mapped ``array`` fill writes the codes.  Encoding never changes
+        observable content, so the mutation version is untouched.
+        """
+        codes = self._codes[position]
+        if codes is not None:
+            return codes
+        raw = self._raw[position]
+        if raw is None:
+            raw = list(map(itemgetter(position), self._pending))
+        values = list(dict.fromkeys(raw))
+        value_map = {value: code for code, value in enumerate(values)}
+        codes = array("i", map(value_map.__getitem__, raw))
+        self._values[position] = values
+        self._value_maps[position] = value_map
+        self._codes[position] = codes
+        self._raw[position] = None
+        return codes
+
+    def is_encoded(self, attribute: str) -> bool:
+        """Whether ``attribute``'s column has been dictionary-encoded yet."""
+        return self._codes[self._schema.position(attribute)] is not None
+
+    def _intern(self, position: int, value: Any) -> int:
+        """The code of ``value`` in an *encoded* column, assigning one if new."""
+        code = self._value_maps[position].get(value, -1)
+        if code < 0:
+            values = self._values[position]
+            code = len(values)
+            self._value_maps[position][value] = code
+            values.append(value)
+        return code
+
+    def _column_values(self, position: int) -> Sequence[Any]:
+        """The column at ``position`` as values (no copy where avoidable)."""
+        codes = self._codes[position]
+        if codes is not None:
+            return list(map(self._values[position].__getitem__, codes))
+        raw = self._raw[position]
+        if raw is not None:
+            return raw
+        return list(map(itemgetter(position), self._pending))
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        """A decoded snapshot of all rows as positional tuples."""
+        return tuple(self)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[Row]:
+        if self._length == 0:
+            return iter(())
+        if self._pending is not None and all(
+            codes is None and raw is None
+            for codes, raw in zip(self._codes, self._raw)
+        ):
+            # Nothing split out yet: the pending block *is* the rows.
+            return iter(self._pending)
+        return zip(
+            *(self._column_values(position) for position in range(len(self._schema)))
+        )
+
+    def __getitem__(self, index: int) -> Row:
+        cells = []
+        pending = self._pending
+        for position in range(len(self._schema)):
+            codes = self._codes[position]
+            if codes is not None:
+                cells.append(self._values[position][codes[index]])
+                continue
+            raw = self._raw[position]
+            if raw is not None:
+                cells.append(raw[index])
+            else:
+                cells.append(pending[index][position])
+        return tuple(cells)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self._schema != other.schema or self._length != len(other):
+            return False
+        return all(mine == theirs for mine, theirs in zip(self, other))
+
+    def __repr__(self) -> str:
+        encoded = sum(1 for codes in self._codes if codes is not None)
+        entries = sum(len(values) for values in self._values)
+        return (
+            f"ColumnStore({self._schema.name!r}, {self._length} rows, "
+            f"{encoded}/{len(self._schema)} columns encoded, "
+            f"{entries} dictionary entries)"
+        )
+
+    # ------------------------------------------------------------------ mutation
+    def insert(self, row: Union[Row, Sequence[Any], Mapping[str, Any]]) -> int:
+        """Insert a row given positionally or as a mapping; return its index."""
+        self._append_validated(self._coerce(row))
+        self._version += 1
+        return self._length - 1
+
+    def update(self, index: int, attribute: str, value: Any) -> None:
+        """Set ``attribute`` of the row at ``index`` to ``value`` (a code swap)."""
+        position = self._schema.position(attribute)
+        self._schema[attribute].check(value)
+        codes = self._codes[position]
+        if codes is None:
+            raw = self._extract_raw(position)
+            raw[index] = value  # IndexError on a bad index, like the row backend
+        else:
+            # Probe the array bound first: an out-of-range index must fail
+            # the way the row backend does, before a dictionary entry is
+            # created for a value that never lands.
+            codes[index]
+            codes[index] = self._intern(position, value)
+        self._version += 1
+
+    def delete(self, index: int) -> Row:
+        """Remove and return the row at ``index``.
+
+        As on :class:`Relation`, this invalidates any live index built over
+        the relation; the version bump turns their next read into a
+        :class:`~repro.errors.DetectionError`.  Dictionary entries that lose
+        their last reference are kept (code stability beats compaction).
+        """
+        row = self[index]
+        if self._pending is not None:
+            self._pending.pop(index)
+        for position in range(len(self._schema)):
+            codes = self._codes[position]
+            if codes is not None:
+                codes.pop(index)
+                continue
+            raw = self._raw[position]
+            if raw is not None:
+                raw.pop(index)
+        self._length -= 1
+        self._version += 1
+        return row
+
+    def _append_validated(self, values: Row) -> None:
+        if self._pending is not None:
+            # The pending block keeps serving the columns not yet split out;
+            # split-out columns get their cell directly (their pending copy
+            # is stale and never read).
+            self._pending.append(tuple(values))
+        for position, value in enumerate(values):
+            codes = self._codes[position]
+            if codes is not None:
+                codes.append(self._intern(position, value))
+                continue
+            raw = self._raw[position]
+            if raw is not None:
+                raw.append(value)
+        self._length += 1
+
+    # ------------------------------------------------------------------ access
+    def value(self, index: int, attribute: str) -> Any:
+        """The value of ``attribute`` in the row at ``index``."""
+        position = self._schema.position(attribute)
+        codes = self._codes[position]
+        if codes is not None:
+            return self._values[position][codes[index]]
+        raw = self._raw[position]
+        if raw is not None:
+            return raw[index]
+        return self._pending[index][position]
+
+    def row_dict(self, index: int) -> Dict[str, Any]:
+        """The row at ``index`` as an attribute-name → value mapping."""
+        return dict(zip(self._schema.names, self[index]))
+
+    def project_row(self, index: int, attributes: Sequence[str]) -> Row:
+        """Project the row at ``index`` onto ``attributes`` (positional result)."""
+        return tuple(self.value(index, attribute) for attribute in attributes)
+
+    # ------------------------------------------------------------------ the code protocol
+    def codes(self, attribute: str) -> array:
+        """The live code column of ``attribute`` (treat as read-only).
+
+        Encodes the column on first demand.  Aligned with tuple indices:
+        ``codes(A)[i]`` is the code of tuple ``i``'s ``A`` cell.  The array
+        object is stable across updates (cells are swapped in place), so hot
+        loops may hold it across a detection pass; inserts and deletes resize
+        it, which the version counter turns into a loud consumer-side error.
+        """
+        return self._ensure_encoded(self._schema.position(attribute))
+
+    def project_codes(self, attributes: Sequence[str]) -> Tuple[array, ...]:
+        """The code columns of ``attributes``, aligned with the given order."""
+        return tuple(self.codes(attribute) for attribute in attributes)
+
+    def encode(self, attribute: str, value: Any) -> Optional[int]:
+        """The code of ``value`` in ``attribute``'s dictionary, or ``None``.
+
+        ``None`` means the value occurs nowhere in the column's history — a
+        constant pattern looking for it can only match nothing.
+        """
+        position = self._schema.position(attribute)
+        self._ensure_encoded(position)
+        return self._value_maps[position].get(value)
+
+    def decode(self, attribute: str, code: int) -> Any:
+        """The value a code stands for in ``attribute``'s dictionary."""
+        return self._values[self._schema.position(attribute)][code]
+
+    def dictionary(self, attribute: str) -> Tuple[Any, ...]:
+        """The dictionary of ``attribute``: position ``c`` decodes code ``c``.
+
+        May contain entries no live cell references (see the module notes on
+        code stability); :meth:`active_domain` reports occurring values only.
+        """
+        position = self._schema.position(attribute)
+        self._ensure_encoded(position)
+        return tuple(self._values[position])
+
+    def dictionary_size(self, attribute: str) -> int:
+        """Number of dictionary entries (assigned codes) of ``attribute``."""
+        position = self._schema.position(attribute)
+        self._ensure_encoded(position)
+        return len(self._values[position])
+
+    def group_indices(
+        self,
+        attributes: Sequence[str],
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> Iterator[Tuple[Row, List[int]]]:
+        """Group the row indices in ``[start, stop)`` by their projection.
+
+        The grouping pass runs entirely over codes — bucket indexing for a
+        single attribute, int-tuple hashing otherwise — and each group key is
+        decoded to values exactly once at the end, so the yielded
+        ``(value_key, indices)`` pairs are indistinguishable from
+        :meth:`Relation.group_by` output: same keys, same members in
+        ascending row order, same first-occurrence iteration order.  This is
+        the pass behind the partition-indexed detector and the sharding
+        planner on columnar storage.
+        """
+        positions = self._schema.positions(attributes)
+        if stop is None:
+            stop = self._length
+        if not positions:
+            # A pattern whose LHS is all don't-care groups every tuple
+            # together (the row backend's key is () for every row).
+            if stop > start:
+                yield (), list(range(start, stop))
+            return
+        if len(positions) == 1:
+            position = positions[0]
+            column = self._ensure_encoded(position)
+            values = self._values[position]
+            buckets: List[Optional[List[int]]] = [None] * len(values)
+            order: List[int] = []
+            index = start
+            window = column if start == 0 and stop == self._length else column[start:stop]
+            for code in window:
+                bucket = buckets[code]
+                if bucket is None:
+                    buckets[code] = [index]
+                    order.append(code)
+                else:
+                    bucket.append(index)
+                index += 1
+            for code in order:
+                yield (values[code],), buckets[code]  # type: ignore[misc]
+            return
+        columns = [self._ensure_encoded(position)[start:stop] for position in positions]
+        value_lists = [self._values[position] for position in positions]
+        groups: Dict[Tuple[int, ...], List[int]] = {}
+        for index, key in enumerate(zip(*columns), start):
+            group = groups.get(key)
+            if group is None:
+                groups[key] = [index]
+            else:
+                group.append(index)
+        for key, indices in groups.items():
+            yield (
+                tuple(values[code] for values, code in zip(value_lists, key)),
+                indices,
+            )
+
+    # ------------------------------------------------------------------ algebra
+    def project(self, attributes: Sequence[str], distinct: bool = False) -> "ColumnStore":
+        """Project onto ``attributes``; optionally de-duplicate the result."""
+        projected_schema = self._schema.project(attributes)
+        positions = self._schema.positions(attributes)
+        result = ColumnStore(projected_schema)
+        if not distinct:
+            for target, position in enumerate(positions):
+                self._copy_column(position, result, target, None)
+            result._length = self._length
+            return result
+        # Distinct over code tuples is distinct over value tuples (bijection),
+        # keeping first occurrences in row order like the row backend.
+        seen = set()
+        keep: List[int] = []
+        key_columns = [self._ensure_encoded(position) for position in positions]
+        for index, key in enumerate(zip(*key_columns)):
+            if key in seen:
+                continue
+            seen.add(key)
+            keep.append(index)
+        for target, position in enumerate(positions):
+            self._copy_column(position, result, target, keep)
+        result._length = len(keep)
+        return result
+
+    def group_by(self, attributes: Sequence[str]) -> Dict[Row, List[int]]:
+        """Group row indices by their projection onto ``attributes``."""
+        return dict(self.group_indices(attributes))
+
+    def _copy_column(
+        self,
+        position: int,
+        target_store: "ColumnStore",
+        target_position: int,
+        indices: Optional[Sequence[int]],
+    ) -> None:
+        """Copy one column into ``target_store``, preserving its encoding state.
+
+        ``indices`` of ``None`` copies the column whole; otherwise the listed
+        rows are gathered in order.  Encoded columns travel as code arrays
+        plus copied dictionaries (codes stay valid even when the subset
+        references only part of the dictionary); raw and pending columns
+        travel as value lists.
+        """
+        codes = self._codes[position]
+        if codes is not None:
+            target_store._raw[target_position] = None
+            target_store._codes[target_position] = (
+                codes[:]
+                if indices is None
+                else array("i", (codes[index] for index in indices))
+            )
+            target_store._values[target_position] = list(self._values[position])
+            target_store._value_maps[target_position] = dict(self._value_maps[position])
+            return
+        raw = self._raw[position]
+        if raw is None:
+            cell = itemgetter(position)
+            pending = self._pending
+            column = (
+                list(map(cell, pending))
+                if indices is None
+                else [cell(pending[index]) for index in indices]
+            )
+        else:
+            column = list(raw) if indices is None else [raw[index] for index in indices]
+        target_store._raw[target_position] = column
+
+    def copy(self) -> "ColumnStore":
+        """An independent copy sharing no mutable state.
+
+        Column states are preserved: copying must not force a split or an
+        encode the original never needed.
+        """
+        return self._gather(None)
+
+    def take(self, indices: Sequence[int]) -> "ColumnStore":
+        """The rows at ``indices``, in that order, as a new column store.
+
+        Encoded columns are gathered code-wise with their dictionaries copied
+        as-is, so a shard of an encoded relation ships to a worker process as
+        small int arrays plus one dictionary per attribute — not as
+        re-materialised value tuples.  A still-pending block is gathered in
+        one row pass and stays pending in the result.
+        """
+        return self._gather(list(indices))
+
+    def _gather(self, indices: Optional[List[int]]) -> "ColumnStore":
+        """A new store with all rows (``None``) or the rows at ``indices``,
+        every column keeping its current state."""
+        clone = ColumnStore(self._schema)
+        pending = self._pending
+        if pending is not None:
+            clone._pending = (
+                list(pending)
+                if indices is None
+                else [pending[index] for index in indices]
+            )
+        clone._raw = [None] * len(self._schema)
+        for position in range(len(self._schema)):
+            codes = self._codes[position]
+            raw = self._raw[position]
+            if codes is not None:
+                clone._codes[position] = (
+                    codes[:]
+                    if indices is None
+                    else array("i", (codes[index] for index in indices))
+                )
+                clone._values[position] = list(self._values[position])
+                clone._value_maps[position] = dict(self._value_maps[position])
+            elif raw is not None:
+                clone._raw[position] = (
+                    list(raw) if indices is None else [raw[index] for index in indices]
+                )
+        clone._length = self._length if indices is None else len(indices)
+        return clone
+
+    @classmethod
+    def from_validated_rows(cls, schema: Schema, rows: Iterable[Row]) -> "ColumnStore":
+        """Adopt positional rows already validated for ``schema``.
+
+        Adoption is O(1) per row (the block is kept pending); each column is
+        split out and dictionary-encoded only when something asks for it.
+        That is what makes "encode at ingestion" affordable even for wide
+        relations: the per-cell dictionary cost is paid only for the
+        attributes the workload actually groups or checks on.
+        """
+        store = cls(schema)
+        materialised = list(rows)
+        if not materialised:
+            return store
+        if len(materialised[0]) != len(schema):
+            raise SchemaError(
+                f"validated rows have {len(materialised[0])} values but schema "
+                f"{schema.name!r} has {len(schema)} attributes"
+            )
+        store._pending = materialised
+        store._raw = [None] * len(schema)
+        store._length = len(materialised)
+        return store
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "ColumnStore":
+        """Columnar view of an existing relation (rows trusted, no re-coercion)."""
+        if isinstance(relation, ColumnStore):
+            return relation.copy()
+        return cls.from_validated_rows(relation.schema, relation)
+
+    def active_domain(self, attribute: str) -> Tuple[Any, ...]:
+        """Distinct values of ``attribute`` occurring in the relation, sorted."""
+        position = self._schema.position(attribute)
+        codes = self._codes[position]
+        if codes is not None:
+            values = self._values[position]
+            occurring = {values[code] for code in set(codes)}
+        else:
+            occurring = set(self._column_values(position))
+        try:
+            return tuple(sorted(occurring))
+        except TypeError:
+            return tuple(sorted(occurring, key=repr))

@@ -10,6 +10,7 @@ generate synthetic data that may contain duplicate rows.
 from __future__ import annotations
 
 import csv
+from collections.abc import Mapping as MappingABC
 from pathlib import Path
 from typing import (
     Any,
@@ -31,6 +32,37 @@ from repro.relation.schema import Schema
 Row = Tuple[Any, ...]
 
 
+class _RowView(MappingABC):
+    """A read-only attribute-name view over one positional row.
+
+    :meth:`Relation.select` hands these to predicates instead of building a
+    fresh ``dict`` per row: the name → position map is resolved once per
+    relation and shared by every view, so a cheap predicate no longer pays a
+    full dict allocation per tuple just to read one or two cells.
+    """
+
+    __slots__ = ("_row", "_positions")
+
+    def __init__(self, row: Row, positions: Mapping[str, int]) -> None:
+        self._row = row
+        self._positions = positions
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._row[self._positions[name]]
+        except KeyError:
+            raise KeyError(name) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._positions)
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __repr__(self) -> str:
+        return repr(dict(self))
+
+
 class Relation:
     """A mutable in-memory instance of a relation schema.
 
@@ -46,11 +78,12 @@ class Relation:
     2
     """
 
-    __slots__ = ("_schema", "_rows")
+    __slots__ = ("_schema", "_rows", "_version")
 
     def __init__(self, schema: Schema, rows: Optional[Iterable[Union[Row, Mapping[str, Any]]]] = None) -> None:
         self._schema = schema
         self._rows: List[Row] = []
+        self._version = 0
         if rows is not None:
             for row in rows:
                 self.insert(row)
@@ -60,6 +93,19 @@ class Relation:
     def schema(self) -> Schema:
         """The schema of this relation."""
         return self._schema
+
+    @property
+    def version(self) -> int:
+        """A counter bumped by every mutation (insert, update, delete).
+
+        Index structures built over the relation (partition indexes, the
+        incremental repair state) snapshot this counter and refuse to serve
+        reads once it moves without them — a deleted or inserted tuple shifts
+        or extends the index space, so a stale index would silently return
+        wrong answers.  See :meth:`repro.detection.partition_index.PartitionIndexCache.apply_update`
+        for the sanctioned way to mutate under a live index.
+        """
+        return self._version
 
     @property
     def rows(self) -> Tuple[Row, ...]:
@@ -87,6 +133,7 @@ class Relation:
     def insert(self, row: Union[Row, Sequence[Any], Mapping[str, Any]]) -> int:
         """Insert a row given positionally or as a mapping; return its index."""
         self._rows.append(self._coerce(row))
+        self._version += 1
         return len(self._rows) - 1
 
     def extend(self, rows: Iterable[Union[Row, Mapping[str, Any]]]) -> None:
@@ -101,10 +148,20 @@ class Relation:
         row = list(self._rows[index])
         row[position] = value
         self._rows[index] = tuple(row)
+        self._version += 1
 
     def delete(self, index: int) -> Row:
-        """Remove and return the row at ``index``."""
-        return self._rows.pop(index)
+        """Remove and return the row at ``index``.
+
+        Deleting shifts every later tuple index, so any live
+        :class:`~repro.detection.partition_index.PartitionIndex` or
+        :class:`~repro.repair.incremental.RepairState` over the relation is
+        invalidated; the :attr:`version` bump makes their next read raise a
+        :class:`~repro.errors.DetectionError` instead of answering stale.
+        """
+        row = self._rows.pop(index)
+        self._version += 1
+        return row
 
     def _coerce(self, row: Union[Row, Sequence[Any], Mapping[str, Any]]) -> Row:
         if isinstance(row, Mapping):
@@ -144,17 +201,25 @@ class Relation:
     def iter_dicts(self) -> Iterator[Dict[str, Any]]:
         """Iterate over rows as dictionaries."""
         names = self._schema.names
-        for row in self._rows:
+        for row in self:
             yield dict(zip(names, row))
 
     # ------------------------------------------------------------------ algebra
-    def select(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Relation":
-        """Return a new relation with the rows whose dict satisfies ``predicate``."""
-        result = Relation(self._schema)
-        for row, row_dict in zip(self._rows, self.iter_dicts()):
-            if predicate(row_dict):
-                result._rows.append(row)
-        return result
+    def select(self, predicate: Callable[[Mapping[str, Any]], bool]) -> "Relation":
+        """Return a new relation with the rows whose mapping satisfies ``predicate``.
+
+        The predicate receives a read-only by-name mapping over each row.
+        Attribute positions are resolved once for the whole pass and rows are
+        handed over positionally behind the mapping facade, so selection no
+        longer allocates a dict per row.
+        """
+        positions = {name: position for position, name in enumerate(self._schema.names)}
+        matching = [
+            index
+            for index, row in enumerate(self)
+            if predicate(_RowView(row, positions))
+        ]
+        return self.take(matching)
 
     def project(self, attributes: Sequence[str], distinct: bool = False) -> "Relation":
         """Project onto ``attributes``; optionally de-duplicate the result."""
@@ -162,7 +227,7 @@ class Relation:
         positions = self._schema.positions(attributes)
         result = Relation(projected_schema)
         seen = set()
-        for row in self._rows:
+        for row in self:
             values = tuple(row[position] for position in positions)
             if distinct:
                 if values in seen:
@@ -175,7 +240,7 @@ class Relation:
         """Group row indices by their projection onto ``attributes``."""
         positions = self._schema.positions(attributes)
         groups: Dict[Row, List[int]] = {}
-        for index, row in enumerate(self._rows):
+        for index, row in enumerate(self):
             key = tuple(row[position] for position in positions)
             groups.setdefault(key, []).append(index)
         return groups
@@ -185,6 +250,18 @@ class Relation:
         clone = Relation(self._schema)
         clone._rows = list(self._rows)
         return clone
+
+    def take(self, indices: Sequence[int]) -> "Relation":
+        """The rows at ``indices``, in that order, as a new relation.
+
+        Preserves the storage class: a row relation yields a row relation, a
+        :class:`~repro.relation.columnar.ColumnStore` yields a column store
+        (the sharding planner relies on that to ship encoded shards).
+        """
+        rows = self._rows
+        return Relation.from_validated_rows(
+            self._schema, (rows[index] for index in indices)
+        )
 
     @classmethod
     def from_validated_rows(cls, schema: Schema, rows: Iterable[Row]) -> "Relation":
@@ -214,27 +291,48 @@ class Relation:
         with open(path, "w", newline="", encoding="utf-8") as handle:
             writer = csv.writer(handle)
             writer.writerow(self._schema.names)
-            writer.writerows(self._rows)
+            writer.writerows(self)
 
     @classmethod
     def from_csv(cls, schema: Schema, path: Union[str, Path]) -> "Relation":
-        """Load a relation from a CSV file whose header matches ``schema``."""
-        relation = cls(schema)
+        """Load a relation from a CSV file whose header matches ``schema``.
+
+        Cells are parsed through the schema's attribute types and checked
+        against any finite domains, then the whole file is adopted through
+        the :meth:`from_validated_rows` fast path — re-validating every cell
+        a second time through :meth:`insert` is pure overhead once
+        :meth:`~repro.relation.attribute.Attribute.parse` has run.
+        """
+        attributes = schema.attributes
+        width = len(attributes)
+        finite = [
+            (position, attribute)
+            for position, attribute in enumerate(attributes)
+            if attribute.has_finite_domain
+        ]
+        rows: List[Row] = []
         with open(path, newline="", encoding="utf-8") as handle:
             reader = csv.reader(handle)
             header = next(reader, None)
             if header is None:
-                return relation
+                return cls(schema)
             if tuple(header) != schema.names:
                 raise SchemaError(
                     f"CSV header {tuple(header)} does not match schema attributes {schema.names}"
                 )
-            for row in reader:
+            for cells in reader:
                 parsed = tuple(
-                    attribute.parse(cell) for attribute, cell in zip(schema.attributes, row)
+                    attribute.parse(cell) for attribute, cell in zip(attributes, cells)
                 )
-                relation.insert(parsed)
-        return relation
+                if len(parsed) != width:
+                    raise SchemaError(
+                        f"row has {len(parsed)} values but schema {schema.name!r} "
+                        f"has {width} attributes"
+                    )
+                for position, attribute in finite:
+                    attribute.check(parsed[position])
+                rows.append(parsed)
+        return cls.from_validated_rows(schema, rows)
 
     @classmethod
     def from_dicts(cls, schema: Schema, rows: Iterable[Mapping[str, Any]]) -> "Relation":

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Any, Dict
+from typing import Any, Dict, Sequence
 
 #: Size of the memo for repeated string comparisons.  Plurality voting in the
 #: repair heuristic compares the same few candidate values against every group
@@ -103,3 +103,20 @@ class CostModel:
     def modification_cost(self, tuple_index: int, old: Any, new: Any) -> float:
         """The cost of changing one cell of one tuple from ``old`` to ``new``."""
         return self.weight(tuple_index) * normalized_distance(old, new)
+
+    def projection_cost(
+        self, weight: float, old_values: Sequence[Any], new_values: Sequence[Any]
+    ) -> float:
+        """The cost of moving cells worth ``weight`` from one projection to another.
+
+        The repair heuristic prices candidate target values against every
+        tuple of a violating group; grouping the tuples by their *current*
+        projection first means each distance is computed once per distinct
+        value pair — once per **dictionary entry pair** when the relation is
+        dictionary-encoded (:class:`~repro.relation.columnar.ColumnStore`),
+        no matter how many rows share the typo — and multiplied by the
+        group's summed weight.
+        """
+        return weight * sum(
+            normalized_distance(old, new) for old, new in zip(old_values, new_values)
+        )

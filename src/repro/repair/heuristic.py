@@ -57,7 +57,7 @@ from repro.core.violations import ConstantViolation, VariableViolation, Violatio
 from repro.detection.indexed import find_violations_indexed
 from repro.errors import ConfigError, InconsistentCFDsError, RegistryError, RepairError
 from repro.reasoning.consistency import is_consistent
-from repro.registry import register_repairer, resolve_repairer
+from repro.registry import COLUMNAR_REPAIRERS, apply_storage, register_repairer, resolve_repairer
 from repro.relation.relation import Relation
 from repro.repair.cost import CostModel
 from repro.repair.incremental import RepairState, canonical_order
@@ -228,7 +228,14 @@ def repair(
     if config.check_consistency and cfds and not is_consistent(cfds):
         raise InconsistentCFDsError("the CFD set is inconsistent; no repair exists")
     cost_model = config.cost_model or CostModel()
-    work = relation.copy()
+    # The columnar-capable engines work over the configured storage layer;
+    # when apply_storage converts it already built a fresh object, otherwise
+    # copy — either way the caller's relation is never mutated.  The repaired
+    # relation comes back in that storage; its rows are identical either way.
+    converted = apply_storage(
+        relation, config.effective_storage, name in COLUMNAR_REPAIRERS
+    )
+    work = relation.copy() if converted is relation else converted
     engine = engine_factory(work, cfds, config)
     runner = getattr(engine, "run", None)
     if callable(runner):
@@ -389,18 +396,26 @@ def _fix_variable_violation(
         return False
 
     # Choose the target RHS value: the plurality value, breaking ties by the
-    # total cost of moving everyone else onto it.
+    # total cost of moving everyone else onto it.  Tuples are grouped by
+    # their current projection first, so each candidate is priced with one
+    # distance computation per *distinct* current value (per dictionary
+    # entry pair on columnar storage) times the group's summed weight — not
+    # one per cell.
     projections = {index: work.project_row(index, rhs_free) for index in indices}
     frequency = Counter(projections.values())
+    weight_by_projection: Dict[Tuple[Any, ...], float] = {}
+    for index, projection in projections.items():
+        weight_by_projection[projection] = (
+            weight_by_projection.get(projection, 0.0) + cost_model.weight(index)
+        )
     best_value = None
     best_cost = None
     for candidate_value, _count in frequency.most_common():
         candidate_cost = 0.0
-        for index in indices:
-            for attribute, new_value in zip(rhs_free, candidate_value):
-                candidate_cost += cost_model.modification_cost(
-                    index, work.value(index, attribute), new_value
-                )
+        for projection, weight in weight_by_projection.items():
+            candidate_cost += cost_model.projection_cost(
+                weight, projection, candidate_value
+            )
         if best_cost is None or candidate_cost < best_cost:
             best_cost = candidate_cost
             best_value = candidate_value

@@ -43,7 +43,10 @@ from repro.core.violations import (
     Violation,
     ViolationReport,
 )
+from repro.detection.indexed import codes_disagree
 from repro.detection.partition_index import PartitionIndexCache
+from repro.errors import DetectionError
+from repro.relation.columnar import ColumnStore
 from repro.relation.relation import Relation
 
 
@@ -202,6 +205,7 @@ class RepairState:
         self._changes_applied = 0
         self._patterns_reevaluated = 0
         self._partitions_reevaluated = 0
+        self._expected_version = relation.version
 
     # ------------------------------------------------------------------ queries
     @property
@@ -213,15 +217,34 @@ class RepairState:
     def cfds(self) -> Tuple[CFD, ...]:
         return tuple(self._cfds)
 
+    def _check_synchronized(self) -> None:
+        """Raise when the relation mutated outside :meth:`apply_change`.
+
+        An insert, delete or raw update behind the state's back leaves the
+        maintained report describing a relation that no longer exists; the
+        version counter turns the next read into a loud error instead of a
+        silently wrong answer.
+        """
+        if self._relation.version != self._expected_version:
+            raise DetectionError(
+                "the relation was mutated outside apply_change while a "
+                f"RepairState was live (version {self._relation.version}, "
+                f"state built at {self._expected_version}); rebuild the "
+                "RepairState over the current relation"
+            )
+
     def violation_count(self) -> int:
+        self._check_synchronized()
         return sum(len(violations) for store in self._store for violations in store.values())
 
     def is_clean(self) -> bool:
         """Whether the relation currently satisfies every CFD."""
+        self._check_synchronized()
         return all(not store for store in self._store)
 
     def report(self) -> ViolationReport:
         """The current violations, in the scan oracle's canonical order."""
+        self._check_synchronized()
         violations = [
             violation
             for store in self._store
@@ -249,6 +272,7 @@ class RepairState:
         mentioning ``attribute`` are re-evaluated — over only the tuple's old
         and new classes.
         """
+        self._check_synchronized()
         position = self._relation.schema.position(attribute)
         old_row = self._relation[tuple_index]
         if old_row[position] == new_value:
@@ -256,6 +280,7 @@ class RepairState:
         self._relation.update(tuple_index, attribute, new_value)
         new_row = self._relation[tuple_index]
         self._cache.apply_update(tuple_index, attribute, old_row)
+        self._expected_version = self._relation.version
         self._changes_applied += 1
 
         for spec in self._specs_by_attr.get(attribute, ()):
@@ -289,30 +314,63 @@ class RepairState:
     def _evaluate(
         self, spec: _PatternSpec, key: Tuple[Any, ...], indices: Sequence[int]
     ) -> List[Violation]:
-        """One pattern's violations over one equivalence class (assumed matching)."""
+        """One pattern's violations over one equivalence class (assumed matching).
+
+        On a :class:`~repro.relation.columnar.ColumnStore` both checks run
+        over dictionary codes, mirroring the indexed detection backend:
+        expected constants encode once per evaluation (the dictionary grows
+        under repair, so codes are not cached across calls) and RHS agreement
+        is code-projection cardinality — values decode only into emitted
+        violations.
+        """
         relation = self._relation
         violations: List[Violation] = []
+        store = relation if isinstance(relation, ColumnStore) else None
         if spec.constant_rhs:
-            for tuple_index in indices:
-                row = relation[tuple_index]
-                for attr, position, expected in spec.constant_rhs:
-                    if row[position] != expected:
-                        violations.append(
-                            ConstantViolation(
-                                cfd_name=spec.cfd.name,
-                                pattern_index=spec.pattern_index,
-                                tuple_indices=(tuple_index,),
-                                attribute=attr,
-                                expected=expected,
-                                actual=row[position],
+            if store is not None:
+                checks = [
+                    (attr, store.codes(attr), store.encode(attr, expected), expected)
+                    for attr, _position, expected in spec.constant_rhs
+                ]
+                for tuple_index in indices:
+                    for attr, column, expected_code, expected in checks:
+                        code = column[tuple_index]
+                        if code != expected_code:
+                            violations.append(
+                                ConstantViolation(
+                                    cfd_name=spec.cfd.name,
+                                    pattern_index=spec.pattern_index,
+                                    tuple_indices=(tuple_index,),
+                                    attribute=attr,
+                                    expected=expected,
+                                    actual=store.decode(attr, code),
+                                )
                             )
-                        )
+            else:
+                for tuple_index in indices:
+                    row = relation[tuple_index]
+                    for attr, position, expected in spec.constant_rhs:
+                        if row[position] != expected:
+                            violations.append(
+                                ConstantViolation(
+                                    cfd_name=spec.cfd.name,
+                                    pattern_index=spec.pattern_index,
+                                    tuple_indices=(tuple_index,),
+                                    attribute=attr,
+                                    expected=expected,
+                                    actual=row[position],
+                                )
+                            )
         if spec.rhs_free and len(indices) > 1:
-            rhs_values = {
-                tuple(relation[tuple_index][position] for position in spec.rhs_positions)
-                for tuple_index in indices
-            }
-            if len(rhs_values) > 1:
+            if store is not None:
+                disagree = codes_disagree(store.project_codes(spec.rhs_free), indices)
+            else:
+                rhs_values = {
+                    tuple(relation[tuple_index][position] for position in spec.rhs_positions)
+                    for tuple_index in indices
+                }
+                disagree = len(rhs_values) > 1
+            if disagree:
                 violations.append(
                     VariableViolation(
                         cfd_name=spec.cfd.name,

@@ -80,7 +80,7 @@ class TestDrivers:
     def test_registry_contains_every_figure(self):
         assert set(ALL_EXPERIMENTS) == {
             "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "merged",
-            "backends", "repair", "pipeline", "parallel",
+            "backends", "repair", "pipeline", "parallel", "columnar",
         }
 
     def test_parallel_scaling_columns_and_agreement(self, config):

@@ -147,3 +147,83 @@ class TestPartitionIndexCache:
     def test_rejects_nonpositive_maxsize(self, rel):
         with pytest.raises(DetectionError):
             PartitionIndexCache(rel, maxsize=0)
+
+
+class TestColumnarIngestion:
+    """add_encoded must be indistinguishable from add_tuples row ingestion."""
+
+    def _store(self, rel):
+        from repro.relation.columnar import ColumnStore
+
+        return ColumnStore.from_relation(rel)
+
+    @pytest.mark.parametrize("attributes", [("A",), ("A", "B"), ("C", "A")])
+    def test_from_relation_matches_row_ingestion(self, rel, attributes):
+        row_index = PartitionIndex.from_relation(rel, attributes)
+        columnar_index = PartitionIndex.from_relation(self._store(rel), attributes)
+        assert list(columnar_index.partitions()) == list(row_index.partitions())
+        assert columnar_index.tuple_count == row_index.tuple_count
+
+    def test_batched_add_encoded_matches_one_shot(self, rel):
+        store = self._store(rel)
+        batched = PartitionIndex(rel.schema, ("A",))
+        batched.add_encoded(store, 0, 2)
+        batched.add_encoded(store, 2, len(store))
+        one_shot = PartitionIndex.from_relation(store, ("A",))
+        assert list(batched.partitions()) == list(one_shot.partitions())
+
+    def test_non_contiguous_batch_raises(self, rel):
+        store = self._store(rel)
+        index = PartitionIndex(rel.schema, ("A",))
+        index.add_encoded(store, 0, 2)
+        with pytest.raises(DetectionError):
+            index.add_encoded(store, 3, 4)
+
+
+class TestCacheStaleness:
+    """Mutations outside apply_update must turn reads into loud errors."""
+
+    def test_delete_invalidates_reads(self, rel):
+        cache = PartitionIndexCache(rel)
+        cache.get(("A",))
+        rel.delete(0)
+        with pytest.raises(DetectionError):
+            cache.get(("A",))
+
+    def test_insert_invalidates_reads(self, rel):
+        cache = PartitionIndexCache(rel)
+        cache.get(("A",))
+        rel.insert(("a9", "b9", "c9"))
+        with pytest.raises(DetectionError):
+            cache.get(("A",))
+
+    def test_raw_update_without_apply_update_invalidates_reads(self, rel):
+        cache = PartitionIndexCache(rel)
+        cache.get(("A",))
+        rel.update(0, "A", "a9")
+        with pytest.raises(DetectionError):
+            cache.get(("A",))
+
+    def test_apply_update_resynchronizes(self, rel):
+        cache = PartitionIndexCache(rel)
+        cache.get(("A",))
+        old_row = rel[0]
+        rel.update(0, "A", "a9")
+        cache.apply_update(0, "A", old_row)
+        assert cache.get(("A",)).get(("a9",)) == (0,)
+
+    def test_apply_update_after_two_raw_updates_raises(self, rel):
+        cache = PartitionIndexCache(rel)
+        cache.get(("A",))
+        old_row = rel[0]
+        rel.update(0, "A", "a8")
+        rel.update(0, "A", "a9")
+        with pytest.raises(DetectionError):
+            cache.apply_update(0, "A", old_row)
+
+    def test_clear_resynchronizes(self, rel):
+        cache = PartitionIndexCache(rel)
+        cache.get(("A",))
+        rel.delete(0)
+        cache.clear()
+        assert cache.get(("A",)).tuple_count == len(rel)

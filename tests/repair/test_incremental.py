@@ -180,10 +180,26 @@ class TestApplyChange:
             oracle = find_all_violations(cust, cust_constraints)
             assert list(state.report()) == canonical_order(oracle, cust_constraints)
 
-    def test_mutating_outside_apply_change_is_the_documented_hazard(self):
+    def test_mutating_outside_apply_change_raises_on_the_next_read(self):
+        # The state used to go silently stale here (the old documented
+        # hazard); the relation's version counter now turns every read after
+        # a bypassing mutation into a loud DetectionError.
         rel = _ab_relation([("a", "x"), ("a", "y")])
         cfd = CFD.build(["A"], ["B"], [["_", "_"]])
         state = RepairState(rel, [cfd])
-        rel.update(1, "B", "x")  # bypasses the state: report is now stale
-        assert not state.is_clean()
+        rel.update(1, "B", "x")  # bypasses the state
+        with pytest.raises(DetectionError):
+            state.is_clean()
+        with pytest.raises(DetectionError):
+            state.report()
         assert not find_all_violations(rel, [cfd])
+
+    def test_delete_invalidates_the_state(self):
+        rel = _ab_relation([("a", "x"), ("a", "y"), ("b", "z")])
+        cfd = CFD.build(["A"], ["B"], [["_", "_"]])
+        state = RepairState(rel, [cfd])
+        rel.delete(0)  # shifts every later tuple index
+        with pytest.raises(DetectionError):
+            state.report()
+        with pytest.raises(DetectionError):
+            state.apply_change(0, "B", "w")

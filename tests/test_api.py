@@ -10,6 +10,7 @@ EXPECTED_REPRO_ALL = [
     "CFD",
     "Cleaner",
     "CleaningResult",
+    "ColumnStore",
     "ConstantViolation",
     "CSVSource",
     "DetectionConfig",

@@ -60,6 +60,7 @@ from repro.io.sources import (
     SQLiteSource,
     as_source,
 )
+from repro.kernels import kernel_names, numpy_available, use_kernel
 from repro.parallel.engine import find_violations_parallel
 from repro.pipeline import Cleaner, CleaningResult, clean
 from repro.reasoning.consistency import is_consistent
@@ -78,7 +79,7 @@ from repro.relation.schema import Schema
 from repro.repair.heuristic import repair
 from repro.sql.engine import SQLDetector
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Attribute",
@@ -116,11 +117,14 @@ __all__ = [
     "find_violations_parallel",
     "implies",
     "is_consistent",
+    "kernel_names",
     "minimal_cover",
+    "numpy_available",
     "register_detector",
     "register_repairer",
     "repair",
     "select_detection_method",
     "select_repair_method",
+    "use_kernel",
     "__version__",
 ]

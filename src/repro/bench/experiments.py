@@ -13,10 +13,12 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bench.config import BenchConfig, default_config
 from repro.bench.harness import (
+    build_fd_workload,
     build_workload,
     time_backend,
     time_clean,
     time_detection,
+    time_kernel_detection,
     time_parallel_detection,
     time_parallel_repair,
     time_query_split,
@@ -25,6 +27,7 @@ from repro.bench.harness import (
     time_storage_repair,
 )
 from repro.bench.reporting import format_table
+from repro.kernels import numpy_available
 
 
 def _emit(rows: List[Dict[str, Any]], title: str, verbose: bool) -> List[Dict[str, Any]]:
@@ -536,6 +539,55 @@ def columnar_ablation(
     return _emit(rows, "Ablation: columnar vs row storage", verbose)
 
 
+# ---------------------------------------------------------------------------
+# Ablation: numpy vs pure-python kernels
+# ---------------------------------------------------------------------------
+def kernels_ablation(
+    config: Optional[BenchConfig] = None,
+    noise: float = 0.01,
+    verbose: bool = False,
+) -> List[Dict[str, Any]]:
+    """Numpy vs pure-python kernels for columnar indexed detection.
+
+    The same pre-encoded store, the same detector, the only variable being
+    the hot-loop implementation (:mod:`repro.kernels`).  The workload is the
+    plain exemption FD at low noise — the pure-``Q^V``, mostly-clean regime
+    where the python reference must scan nearly every partition to the end
+    while the numpy kernel's fused scan stays in whole-column array passes.
+    Reports must agree byte for byte, checked outright.
+
+    Returns an empty series (with a note when verbose) if numpy is not
+    installed — the python path is then the only kernel, so there is
+    nothing to compare.
+    """
+    config = config or default_config()
+    if not numpy_available():
+        if verbose:
+            print("kernels ablation skipped: numpy is not installed ([fast] extra)")
+        return []
+    rows: List[Dict[str, Any]] = []
+    for size in config.sz_sweep():
+        workload = build_fd_workload(size=size, noise=noise, seed=config.seed)
+        python_seconds, python_report = time_kernel_detection(workload, "python")
+        numpy_seconds, numpy_report = time_kernel_detection(workload, "numpy")
+        if list(python_report.violations) != list(numpy_report.violations):
+            raise AssertionError(
+                f"kernels disagree on detection at SZ={size}: "
+                f"{python_report.summary()} vs {numpy_report.summary()}"
+            )
+        rows.append(
+            {
+                "SZ": size,
+                "python_detect_seconds": python_seconds,
+                "numpy_detect_seconds": numpy_seconds,
+                "numpy_speedup": (
+                    python_seconds / numpy_seconds if numpy_seconds else float("inf")
+                ),
+            }
+        )
+    return _emit(rows, "Ablation: numpy vs python kernels", verbose)
+
+
 #: Map of experiment name -> driver, used by ``python -m repro.bench``.
 ALL_EXPERIMENTS = {
     "fig9a": fig9a_cnf_vs_dnf_constants,
@@ -550,4 +602,5 @@ ALL_EXPERIMENTS = {
     "pipeline": pipeline_throughput,
     "parallel": parallel_scaling,
     "columnar": columnar_ablation,
+    "kernels": kernels_ablation,
 }

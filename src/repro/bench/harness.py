@@ -16,6 +16,7 @@ from repro.datagen.generator import TaxRecordGenerator
 from repro.detection.engine import DETECTION_METHODS
 from repro.detection.indexed import IndexedDetector
 from repro.errors import DetectionError
+from repro.kernels import use_kernel
 from repro.parallel.engine import find_violations_parallel
 from repro.pipeline import Cleaner, CleaningResult
 from repro.relation.columnar import ColumnStore
@@ -62,6 +63,32 @@ def build_workload(
         cfds = experiment_cfd_set(num_cfds=num_cfds, tabsz=tabsz, num_consts=num_consts, seed=seed)
     label = f"SZ={size} NOISE={noise:.0%} NUMATTRs={num_attrs} TABSZ={tabsz} NUMCONSTs={num_consts:.0%}"
     return DetectionWorkload(relation=relation, cfds=cfds, label=label)
+
+
+def build_fd_workload(
+    size: int,
+    noise: float,
+    seed: int,
+    lhs: Tuple[str, ...] = ("ZIP", "MR", "CH"),
+    rhs: Tuple[str, ...] = ("STX", "MTX", "CTX"),
+) -> DetectionWorkload:
+    """A tax-records workload constrained by a plain FD (one wildcard pattern).
+
+    The pure-``Q^V`` regime: detection is one grouping pass over the LHS plus
+    a disagreement check per partition, with no constant patterns anywhere —
+    exactly the shape the kernel layer's fused scan targets.  The default FD
+    is the exemption dependency keyed by zip code — zips determine states,
+    so ``[ZIP, MR, CH] → [STX, MTX, CTX]`` holds on clean generated data and
+    is violated only by injected noise.  Grouping by zip yields thousands of
+    small partitions, the regime where per-partition interpreter overhead
+    dominates the pure-python path.
+    """
+    relation = _cached_relation(size, noise, seed)
+    cfd = CFD.build(
+        list(lhs), list(rhs), [["_"] * (len(lhs) + len(rhs))], name="exemption_fd"
+    )
+    label = f"SZ={size} NOISE={noise:.0%} FD [{','.join(lhs)}] -> [{','.join(rhs)}]"
+    return DetectionWorkload(relation=relation, cfds=[cfd], label=label)
 
 
 def _median_timed(fn: Callable[[], _T], repeats: int) -> Tuple[float, _T]:
@@ -226,6 +253,32 @@ def time_storage_detection(
 
     def run_once() -> ViolationReport:
         return IndexedDetector(relation).detect(workload.cfds)
+
+    return _median_timed(run_once, repeats)
+
+
+def time_kernel_detection(
+    workload: DetectionWorkload,
+    kernel: str,
+    repeats: int = 1,
+) -> Tuple[float, ViolationReport]:
+    """Median wall-clock of columnar indexed detection under one kernel.
+
+    The setup contract of :func:`time_storage_detection` — the store is
+    built and the constrained columns force-encoded before the timer, and
+    each repeat runs a cold detector — with the storage fixed to columnar
+    and the *kernel* as the only variable between calls.  Every kernel
+    produces the byte-identical report, so the returned reports can be
+    compared directly.
+    """
+    store = ColumnStore.from_relation(workload.relation)
+    for cfd in workload.cfds:
+        for attribute in cfd.attributes:
+            store.codes(attribute)
+
+    def run_once() -> ViolationReport:
+        with use_kernel(kernel):
+            return IndexedDetector(store).detect(workload.cfds)
 
     return _median_timed(run_once, repeats)
 

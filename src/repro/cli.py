@@ -92,6 +92,17 @@ def _add_storage_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        choices=["python", "numpy", "auto"],
+        help="hot-loop implementation for the columnar engines: the pure-Python "
+        "reference, the numpy-vectorised kernels (requires the [fast] extra), "
+        "or auto to use numpy when installed (default, also via REPRO_KERNEL); "
+        "outputs are identical either way",
+    )
+
+
 def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
@@ -147,6 +158,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         workers=args.workers,
         shard_count=args.shard_count,
         storage=args.storage,
+        kernel=args.kernel,
     )
     report = detect_violations(relation, cfds, config=config)
     payload = _report_payload(report, relation)
@@ -184,6 +196,7 @@ def cmd_repair(args: argparse.Namespace) -> int:
         workers=args.workers,
         shard_count=args.shard_count,
         storage=args.storage,
+        kernel=args.kernel,
     )
     result = repair(relation, cfds, config=config)
     result.relation.to_csv(args.output)
@@ -210,6 +223,7 @@ def cmd_clean(args: argparse.Namespace) -> int:
             workers=args.workers,
             shard_count=args.shard_count,
             storage=args.storage,
+            kernel=args.kernel,
         ),
         repair=RepairConfig(
             method=args.repair_method,
@@ -217,6 +231,7 @@ def cmd_clean(args: argparse.Namespace) -> int:
             workers=args.workers,
             shard_count=args.shard_count,
             storage=args.storage,
+            kernel=args.kernel,
         ),
         verify_method=args.verify_method,
     )
@@ -351,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--strategy", choices=["per_cfd", "merged"], default="per_cfd")
     detect.add_argument("--form", choices=["cnf", "dnf"], default="dnf")
     _add_storage_argument(detect)
+    _add_kernel_argument(detect)
     _add_parallel_arguments(detect)
     detect.add_argument("--output", help="write the full report as JSON to this path")
     detect.add_argument("--limit", type=int, default=20, help="violations to print (default 20)")
@@ -373,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     repair_cmd.add_argument("--changes", action="store_true", help="print every cell change")
     _add_storage_argument(repair_cmd)
+    _add_kernel_argument(repair_cmd)
     _add_parallel_arguments(repair_cmd)
     repair_cmd.set_defaults(handler=cmd_repair)
 
@@ -393,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     clean.add_argument("--max-passes", type=int, default=25)
     _add_storage_argument(clean)
+    _add_kernel_argument(clean)
     _add_parallel_arguments(clean)
     clean.set_defaults(handler=cmd_clean)
 

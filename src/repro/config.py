@@ -43,6 +43,16 @@ STORAGES = ("rows", "columnar")
 #: The storage the columnar-capable engines use when nothing pins one.
 DEFAULT_STORAGE = "columnar"
 
+#: Compute kernels the code-column hot loops can run on: ``"python"`` is the
+#: always-available pure-Python reference, ``"numpy"`` the vectorised layer
+#: (requires the optional ``[fast]`` extra).  Every kernel produces
+#: byte-identical violations and repairs; they differ only in speed.
+KERNELS = ("python", "numpy")
+
+#: The kernel used when nothing pins one: ``"auto"`` resolves to ``"numpy"``
+#: when numpy is importable and degrades to ``"python"`` otherwise.
+DEFAULT_KERNEL = AUTO
+
 
 def storage_from_env(default: str = DEFAULT_STORAGE) -> str:
     """The storage layer named by ``REPRO_STORAGE``, falling back on garbage.
@@ -65,6 +75,37 @@ def validate_storage(storage: Optional[str]) -> None:
         raise ConfigError(
             f"unknown storage {storage!r}; expected one of "
             f"{', '.join(map(repr, STORAGES))}"
+        )
+
+
+def kernel_from_env(default: str = DEFAULT_KERNEL) -> str:
+    """The kernel named by ``REPRO_KERNEL``, falling back on garbage.
+
+    Mirrors :func:`storage_from_env`: read at every resolution (not at
+    import) and forgiving — an unknown value keeps the default rather than
+    crashing whatever imported us.  The returned name may be ``"auto"``;
+    :func:`repro.kernels.resolve_kernel_name` turns it into a concrete
+    kernel from what is importable.
+    """
+    raw = os.environ.get("REPRO_KERNEL")
+    if not raw:
+        return default
+    value = raw.strip().lower()
+    return value if value in KERNELS + (AUTO,) else default
+
+
+def validate_kernel(kernel: Optional[str]) -> None:
+    """Reject kernel names outside ``python``/``numpy``/``auto``.
+
+    Name validation only: whether ``"numpy"`` is actually importable is
+    checked at dispatch time (:func:`repro.kernels.resolve_kernel_name`), so
+    a config naming an uninstalled kernel fails when something tries to
+    *compute* with it, with a message that says how to install it.
+    """
+    if kernel is not None and kernel not in KERNELS + (AUTO,):
+        raise ConfigError(
+            f"unknown kernel {kernel!r}; expected one of "
+            f"{', '.join(map(repr, KERNELS + (AUTO,)))}"
         )
 
 
@@ -129,6 +170,14 @@ class DetectionConfig:
         ``REPRO_STORAGE`` environment variable, then to ``"columnar"``.
         Outputs are byte-identical either way; ``"rows"`` exists for
         cross-checking the storage layer itself.
+    kernel:
+        Compute kernel for the code-column hot loops (grouping, ``Q^C``/
+        ``Q^V`` checks): ``"python"`` (the pure-Python reference),
+        ``"numpy"`` (the vectorised layer, requires the ``[fast]`` extra) or
+        ``"auto"`` (numpy when importable, python otherwise).  ``None``
+        (default) defers to the ``REPRO_KERNEL`` environment variable, then
+        to ``"auto"``.  Kernels only matter on columnar storage; outputs are
+        byte-identical across kernels.
 
     >>> DetectionConfig(method="sql", strategy="merged").effective_strategy
     'merged'
@@ -146,9 +195,11 @@ class DetectionConfig:
     workers: Optional[int] = None
     shard_count: Optional[int] = None
     storage: Optional[str] = None
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         validate_storage(self.storage)
+        validate_kernel(self.kernel)
         if self.strategy is not None and self.strategy not in SQL_STRATEGIES:
             raise ConfigError(
                 f"unknown SQL strategy {self.strategy!r}; expected one of "
@@ -184,6 +235,15 @@ class DetectionConfig:
         """The storage layer with ``REPRO_STORAGE`` and the default applied."""
         return self.storage if self.storage is not None else storage_from_env()
 
+    @property
+    def effective_kernel(self) -> str:
+        """The kernel with ``REPRO_KERNEL`` and the default applied.
+
+        May still be ``"auto"``; the concrete kernel is picked at dispatch
+        time from what is importable (:func:`repro.kernels.resolve_kernel_name`).
+        """
+        return self.kernel if self.kernel is not None else kernel_from_env()
+
     def with_method(self, method: str) -> "DetectionConfig":
         """A copy with ``method`` pinned (used after ``"auto"`` resolution).
 
@@ -206,6 +266,7 @@ class DetectionConfig:
             "workers": self.workers,
             "shard_count": self.shard_count,
             "storage": self.storage,
+            "kernel": self.kernel,
         }
 
 
@@ -245,6 +306,10 @@ class RepairConfig:
         (``REPRO_STORAGE``, then ``"columnar"``) as on
         :class:`DetectionConfig`.  The repaired relation comes back in this
         storage; its rows are byte-identical either way.
+    kernel:
+        Compute kernel for the code-column hot loops — same semantics and
+        default chain (``REPRO_KERNEL``, then ``"auto"``) as on
+        :class:`DetectionConfig`.  Repairs are byte-identical across kernels.
 
     >>> RepairConfig(max_passes=0)
     Traceback (most recent call last):
@@ -260,9 +325,11 @@ class RepairConfig:
     workers: Optional[int] = None
     shard_count: Optional[int] = None
     storage: Optional[str] = None
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         validate_storage(self.storage)
+        validate_kernel(self.kernel)
         if self.max_passes < 1:
             raise ConfigError(f"max_passes must be at least 1, got {self.max_passes}")
         if self.cache_size is not None and self.cache_size < 1:
@@ -286,6 +353,11 @@ class RepairConfig:
         """The storage layer with ``REPRO_STORAGE`` and the default applied."""
         return self.storage if self.storage is not None else storage_from_env()
 
+    @property
+    def effective_kernel(self) -> str:
+        """The kernel with ``REPRO_KERNEL`` and the default applied."""
+        return self.kernel if self.kernel is not None else kernel_from_env()
+
     def summary(self) -> Dict[str, Any]:
         return {
             "method": self.method,
@@ -294,4 +366,5 @@ class RepairConfig:
             "workers": self.workers,
             "shard_count": self.shard_count,
             "storage": self.storage,
+            "kernel": self.kernel,
         }

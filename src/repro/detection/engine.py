@@ -24,7 +24,13 @@ from repro.core.satisfaction import find_all_violations
 from repro.core.violations import ViolationReport
 from repro.detection.indexed import find_violations_indexed
 from repro.errors import ConfigError, DetectionError, RegistryError
-from repro.registry import COLUMNAR_DETECTORS, apply_storage, register_detector, resolve_detector
+from repro.registry import (
+    COLUMNAR_DETECTORS,
+    apply_kernel,
+    apply_storage,
+    register_detector,
+    resolve_detector,
+)
 from repro.relation.relation import Relation
 from repro.sql.engine import SQLDetector
 
@@ -124,12 +130,15 @@ def detect_violations(
         raise DetectionError(str(error)) from None
     # Columnar-capable backends see the relation in the configured storage
     # layer (encoded once here; already-encoded input passes through), the
-    # others read whatever the caller holds.  Reports are byte-identical
-    # either way — storage is a speed knob, not a semantics knob.
+    # others read whatever the caller holds, and the configured kernel is
+    # active for the duration of the backend call.  Reports are
+    # byte-identical either way — storage and kernel are speed knobs, not
+    # semantics knobs.
     relation = apply_storage(
         relation, config.effective_storage, name in COLUMNAR_DETECTORS
     )
-    return backend(relation, cfds, config.with_method(name))
+    with apply_kernel(config.effective_kernel):
+        return backend(relation, cfds, config.with_method(name))
 
 
 @dataclass(frozen=True)

@@ -37,6 +37,7 @@ from repro.detection.partition_index import (
     PartitionIndexCache,
 )
 from repro.errors import DetectionError
+from repro.kernels import active_kernel, use_kernel
 from repro.relation.columnar import ColumnStore
 from repro.relation.relation import Relation, Row
 from repro.relation.schema import Schema
@@ -139,6 +140,7 @@ def detect_stream(
     cfds: Union[CFD, Sequence[CFD]],
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     storage: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> ViolationReport:
     """Detect violations over a row *stream* without materialising full rows.
 
@@ -155,6 +157,10 @@ def detect_stream(
     the new rows (:meth:`PartitionIndex.add_encoded`), so a raw row is
     touched exactly once — projected, encoded, dropped — instead of being
     re-hashed by every index.
+
+    ``kernel`` picks the hot-loop implementation (defaults to
+    ``REPRO_KERNEL``, then ``"auto"``); see :mod:`repro.kernels`.  Every
+    kernel produces byte-identical reports.
 
     Reported tuple indices refer to positions in the input stream.
     """
@@ -198,21 +204,22 @@ def detect_stream(
                 index.add_tuples(batch)
         batch.clear()
 
-    for row in rows:
-        if isinstance(row, Mapping):
-            projected = tuple(row[name] for name in needed)
-        else:
-            projected = tuple(row[position] for position in positions)
-        batch.append(projected)
-        if len(batch) >= chunk_size:
+    with use_kernel(kernel):
+        for row in rows:
+            if isinstance(row, Mapping):
+                projected = tuple(row[name] for name in needed)
+            else:
+                projected = tuple(row[position] for position in positions)
+            batch.append(projected)
+            if len(batch) >= chunk_size:
+                flush()
+        if batch:
             flush()
-    if batch:
-        flush()
 
-    cache = PartitionIndexCache(slim, maxsize=max(32, len(indexes)))
-    for index in indexes.values():
-        cache.seed(index)
-    return find_violations_indexed(slim, cfds, cache=cache)
+        cache = PartitionIndexCache(slim, maxsize=max(32, len(indexes)))
+        for index in indexes.values():
+            cache.seed(index)
+        return find_violations_indexed(slim, cfds, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -255,7 +262,6 @@ def _pattern_violations(
     remain part of the grouping key and constants filter partitions.
     """
     lhs_free = _lhs_free(cfd, pattern)
-    index = cache.get(lhs_free)
     cells = [pattern.lhs_cell(attr) for attr in lhs_free]
 
     constant_rhs = [
@@ -270,26 +276,83 @@ def _pattern_violations(
         # expected constant encodes to at most one code (None means no cell
         # ever held the value, so every matching tuple violates), and RHS
         # agreement is cardinality of code projections (codes biject onto
-        # values).  Values are decoded only when a violation is emitted.
+        # values).  Values are decoded only when a violation is emitted, and
+        # the per-group scans are the active kernel's (see repro.kernels).
         const_checks = [
             (attr, relation.codes(attr), relation.encode(attr, cell.value), cell.value)
             for attr, _position, cell in constant_rhs
         ]
         rhs_columns = relation.project_codes(rhs_free)
+        kernel = active_kernel()
+        index: Optional[PartitionIndex] = None
+        if (
+            kernel.fused_variable_scan
+            and lhs_free
+            and rhs_free
+            and not const_checks
+            and not any(cell.is_constant for cell in cells)
+        ):
+            # Pure wildcard pattern on an array kernel: the fused Q^V scan
+            # (one sort + one reduction over the whole window) beats
+            # grouping through a partition index — unless an index already
+            # exists, in which case reusing it is cheaper still.
+            index = cache.peek(lhs_free)
+            if index is None:
+                lhs_columns = [relation.codes(attr) for attr in lhs_free]
+                for key_codes, members in kernel.variable_violation_groups(
+                    lhs_columns, rhs_columns, 0, len(relation)
+                ):
+                    yield VariableViolation(
+                        cfd_name=cfd.name,
+                        pattern_index=pattern_index,
+                        tuple_indices=tuple(members),
+                        attributes=lhs_free,
+                        group_key=tuple(
+                            relation.decode(attr, code)
+                            for attr, code in zip(lhs_free, key_codes)
+                        ),
+                    )
+                return
+        if index is None:
+            index = cache.get(lhs_free)
         for key, indices in index.matching(cells):
-            for tuple_index in indices if const_checks else ():
-                for attr, column, expected_code, expected in const_checks:
-                    code = column[tuple_index]
-                    if code != expected_code:
+            if const_checks:
+                # Emission stays tuple-major (all checks of tuple i before
+                # any check of tuple i+1): each check contributes its
+                # mismatching subset, and the union is re-walked in index
+                # order — `indices` is ascending, so sorted() restores it.
+                if len(const_checks) == 1:
+                    attr, column, expected_code, expected = const_checks[0]
+                    for tuple_index in kernel.constant_mismatches(
+                        column, indices, expected_code
+                    ):
                         yield ConstantViolation(
                             cfd_name=cfd.name,
                             pattern_index=pattern_index,
                             tuple_indices=(tuple_index,),
                             attribute=attr,
                             expected=expected,
-                            actual=relation.decode(attr, code),
+                            actual=relation.decode(attr, column[tuple_index]),
                         )
-            if rhs_free and len(indices) > 1 and codes_disagree(rhs_columns, indices):
+                else:
+                    dirty: set = set()
+                    for _attr, column, expected_code, _expected in const_checks:
+                        dirty.update(
+                            kernel.constant_mismatches(column, indices, expected_code)
+                        )
+                    for tuple_index in sorted(dirty):
+                        for attr, column, expected_code, expected in const_checks:
+                            code = column[tuple_index]
+                            if code != expected_code:
+                                yield ConstantViolation(
+                                    cfd_name=cfd.name,
+                                    pattern_index=pattern_index,
+                                    tuple_indices=(tuple_index,),
+                                    attribute=attr,
+                                    expected=expected,
+                                    actual=relation.decode(attr, code),
+                                )
+            if rhs_free and len(indices) > 1 and kernel.codes_disagree(rhs_columns, indices):
                 yield VariableViolation(
                     cfd_name=cfd.name,
                     pattern_index=pattern_index,
@@ -300,6 +363,7 @@ def _pattern_violations(
         return
 
     rhs_positions = relation.schema.positions(rhs_free) if rhs_free else ()
+    index = cache.get(lhs_free)
     for key, indices in index.matching(cells):
         # Q^C semantics: each matching tuple must honour the constant RHS cells.
         for tuple_index in indices if constant_rhs else ():
@@ -335,14 +399,8 @@ def codes_disagree(columns: Sequence[Any], indices: Sequence[int]) -> bool:
 
     Codes biject onto values per attribute, so code disagreement *is* value
     disagreement — the ``Q^V`` check without decoding a single cell.  Shared
-    by the indexed backend and the incremental repair state.
+    by the indexed backend and the incremental repair state; dispatches to
+    the active kernel (:mod:`repro.kernels`), every implementation of which
+    answers identically.
     """
-    if len(columns) == 1:
-        column = columns[0]
-        first = column[indices[0]]
-        return any(column[index] != first for index in indices[1:])
-    first_index = indices[0]
-    first = tuple(column[first_index] for column in columns)
-    return any(
-        tuple(column[index] for column in columns) != first for index in indices[1:]
-    )
+    return active_kernel().codes_disagree(columns, indices)

@@ -327,6 +327,22 @@ class PartitionIndexCache:
         self.seed(index)
         return index
 
+    def peek(self, attributes: Sequence[str]) -> Optional[PartitionIndex]:
+        """The cached index over ``attributes``, or ``None`` — never builds.
+
+        For callers that have a cheaper strategy than grouping (the fused
+        kernel scan of a pure wildcard pattern): an index that already
+        exists beats regrouping, but its absence should not force
+        construction.  Counts as a hit only when an index is served.
+        """
+        self._check_synchronized()
+        key = tuple(attributes)
+        index = self._indexes.get(key)
+        if index is not None:
+            self._hits += 1
+            self._indexes.move_to_end(key)
+        return index
+
     def seed(self, index: PartitionIndex) -> None:
         """Insert a pre-built index (used by the streaming ingestion path).
 

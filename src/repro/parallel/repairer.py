@@ -100,9 +100,10 @@ class ParallelRepairEngine:
     def _inner_config(self, cost_model: CostModel) -> RepairConfig:
         """The per-shard configuration: serial incremental, no re-checks.
 
-        The storage choice rides along, so shards of an encoded relation are
-        repaired columnar in their workers (they arrive as
-        :class:`~repro.relation.columnar.ColumnStore` slices already) and
+        The storage and kernel choices ride along, so shards of an encoded
+        relation are repaired columnar in their workers (they arrive as
+        :class:`~repro.relation.columnar.ColumnStore` slices already), a
+        pinned kernel is honoured inside each worker process, and
         ``storage="rows"`` cross-checking stays rows all the way down.
         """
         return RepairConfig(
@@ -112,6 +113,7 @@ class ParallelRepairEngine:
             cost_model=cost_model,
             cache_size=self._config.cache_size,
             storage=self._config.storage,
+            kernel=self._config.kernel,
         )
 
     def run(self, cost_model: CostModel) -> RepairResult:

@@ -37,6 +37,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.core.cfd import CFD
 from repro.detection.indexed import lhs_free_attributes
 from repro.errors import ParallelExecutionError
+from repro.kernels import active_kernel
 from repro.relation.columnar import ColumnStore
 from repro.relation.relation import Relation
 
@@ -143,9 +144,19 @@ def components(relation: Relation, cfds: Sequence[CFD]) -> List[List[int]]:
     for attributes in _grouping_attribute_sets(cfds):
         if columnar:
             # The union-find only consumes the members, so the grouping runs
-            # entirely over dictionary codes; no partition key is ever built
-            # from values.
-            groups = (members for _key, members in relation.group_indices(attributes))
+            # entirely over dictionary codes through the active kernel; no
+            # partition key is ever built — not even decoded code tuples.
+            if attributes:
+                columns = list(relation.project_codes(attributes))
+                groups = (
+                    members
+                    for _codes, members in active_kernel().group_codes(
+                        columns, 0, count
+                    )
+                )
+            else:
+                # Empty LHS groups every tuple together.
+                groups = iter([list(range(count))])
         else:
             groups = iter(relation.group_by(attributes).values())
         for indices in groups:

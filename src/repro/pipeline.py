@@ -34,6 +34,7 @@ from repro.detection.engine import detect_violations
 from repro.detection.indexed import detect_stream
 from repro.errors import ReproError
 from repro.io.sources import RelationSource, RowSource, as_source
+from repro.kernels import resolve_kernel_name
 from repro.registry import (
     COLUMNAR_DETECTORS,
     COLUMNAR_REPAIRERS,
@@ -192,6 +193,7 @@ class Cleaner:
                     cfds,
                     chunk_size=self.detection.chunk_size,
                     storage=self.detection.effective_storage,
+                    kernel=self.detection.effective_kernel,
                 )
         relation = row_source.to_relation()
         return detect_violations(relation, cfds, config=self.detection)
@@ -241,6 +243,7 @@ class Cleaner:
             "repair": repair_name,
             "verify": self.verify_method,
             "storage": "columnar" if isinstance(relation, ColumnStore) else "rows",
+            "kernel": resolve_kernel_name(self.detection.effective_kernel),
         }
 
         start = time.perf_counter()

@@ -116,6 +116,25 @@ def apply_storage(relation: Relation, storage: str, columnar_capable: bool) -> R
     return relation
 
 
+def apply_kernel(kernel: Optional[str]):
+    """Context manager activating the kernel a resolved backend should use.
+
+    The kernel counterpart of :func:`apply_storage`: ``kernel`` is an
+    *effective* kernel name (:attr:`repro.config.DetectionConfig.effective_kernel`
+    — possibly still ``"auto"``, possibly ``None`` to defer to
+    ``REPRO_KERNEL``).  Dispatch sites wrap their backend call in it so every
+    hot loop underneath — partition grouping, ``Q^C``/``Q^V`` checks, the
+    repair vote — computes through the same kernel.  Kernels are
+    byte-identical by contract (``tests/integration/test_kernel_agreement.py``),
+    so this is a speed knob, never a semantics knob.  Raises
+    :class:`~repro.errors.ConfigError` when an explicitly requested kernel is
+    not importable (``"auto"`` degrades instead).
+    """
+    from repro.kernels import use_kernel
+
+    return use_kernel(kernel)
+
+
 def _ensure_builtins() -> None:
     """Import the modules whose import side-effect registers the built-ins."""
     import repro.detection.engine  # noqa: F401

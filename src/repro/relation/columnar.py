@@ -61,6 +61,7 @@ from typing import (
 )
 
 from repro.errors import SchemaError
+from repro.kernels import active_kernel
 from repro.relation.relation import Relation, Row
 from repro.relation.schema import Schema
 
@@ -360,8 +361,8 @@ class ColumnStore(Relation):
     ) -> Iterator[Tuple[Row, List[int]]]:
         """Group the row indices in ``[start, stop)`` by their projection.
 
-        The grouping pass runs entirely over codes — bucket indexing for a
-        single attribute, int-tuple hashing otherwise — and each group key is
+        The grouping pass runs entirely over codes — delegated to the active
+        kernel (:func:`repro.kernels.active_kernel`) — and each group key is
         decoded to values exactly once at the end, so the yielded
         ``(value_key, indices)`` pairs are indistinguishable from
         :meth:`Relation.group_by` output: same keys, same members in
@@ -378,38 +379,14 @@ class ColumnStore(Relation):
             if stop > start:
                 yield (), list(range(start, stop))
             return
-        if len(positions) == 1:
-            position = positions[0]
-            column = self._ensure_encoded(position)
-            values = self._values[position]
-            buckets: List[Optional[List[int]]] = [None] * len(values)
-            order: List[int] = []
-            index = start
-            window = column if start == 0 and stop == self._length else column[start:stop]
-            for code in window:
-                bucket = buckets[code]
-                if bucket is None:
-                    buckets[code] = [index]
-                    order.append(code)
-                else:
-                    bucket.append(index)
-                index += 1
-            for code in order:
-                yield (values[code],), buckets[code]  # type: ignore[misc]
-            return
-        columns = [self._ensure_encoded(position)[start:stop] for position in positions]
+        columns = [self._ensure_encoded(position) for position in positions]
         value_lists = [self._values[position] for position in positions]
-        groups: Dict[Tuple[int, ...], List[int]] = {}
-        for index, key in enumerate(zip(*columns), start):
-            group = groups.get(key)
-            if group is None:
-                groups[key] = [index]
-            else:
-                group.append(index)
-        for key, indices in groups.items():
+        sizes = [len(values) for values in value_lists]
+        kernel = active_kernel()
+        for key_codes, members in kernel.group_codes(columns, start, stop, sizes=sizes):
             yield (
-                tuple(values[code] for values, code in zip(value_lists, key)),
-                indices,
+                tuple(values[code] for values, code in zip(value_lists, key_codes)),
+                members,
             )
 
     # ------------------------------------------------------------------ algebra

@@ -100,6 +100,20 @@ class CostModel:
     def weight(self, tuple_index: int) -> float:
         return self.tuple_weights.get(tuple_index, self.default_weight)
 
+    def group_weight(self, indices: Sequence[int]) -> float:
+        """The summed weight of a group of tuples, in the given order.
+
+        Accumulates one weight at a time (no ``count * weight`` shortcut):
+        float addition is not associative, and the repair heuristic's
+        byte-identity contract across storage layers and kernels requires
+        every implementation to produce the exact same partial sums — so the
+        summation order is part of the interface: ascending tuple index.
+        """
+        total = 0.0
+        for tuple_index in indices:
+            total += self.weight(tuple_index)
+        return total
+
     def modification_cost(self, tuple_index: int, old: Any, new: Any) -> float:
         """The cost of changing one cell of one tuple from ``old`` to ``new``."""
         return self.weight(tuple_index) * normalized_distance(old, new)

@@ -56,8 +56,10 @@ from repro.core.satisfaction import find_all_violations
 from repro.core.violations import ConstantViolation, VariableViolation, ViolationReport
 from repro.detection.indexed import find_violations_indexed
 from repro.errors import ConfigError, InconsistentCFDsError, RegistryError, RepairError
+from repro.kernels import active_kernel, use_kernel
 from repro.reasoning.consistency import is_consistent
 from repro.registry import COLUMNAR_REPAIRERS, apply_storage, register_repairer, resolve_repairer
+from repro.relation.columnar import ColumnStore
 from repro.relation.relation import Relation
 from repro.repair.cost import CostModel
 from repro.repair.incremental import RepairState, canonical_order
@@ -236,42 +238,50 @@ def repair(
         relation, config.effective_storage, name in COLUMNAR_REPAIRERS
     )
     work = relation.copy() if converted is relation else converted
-    engine = engine_factory(work, cfds, config)
-    runner = getattr(engine, "run", None)
-    if callable(runner):
-        # A self-driving engine (e.g. the sharded parallel backend) owns the
-        # whole fixpoint; the greedy per-violation loop below never runs.
-        return runner(cost_model)
-    result = RepairResult(relation=work)
-    modification_counts: Dict[Tuple[int, str], int] = defaultdict(int)
+    # The configured kernel (see repro.kernels) is active for the whole
+    # fixpoint: every engine's detection passes and the heuristic's own
+    # distinct-projection votes all compute through it.  Kernels are
+    # byte-identical, so this changes speed only.
+    with use_kernel(config.effective_kernel):
+        engine = engine_factory(work, cfds, config)
+        runner = getattr(engine, "run", None)
+        if callable(runner):
+            # A self-driving engine (e.g. the sharded parallel backend) owns
+            # the whole fixpoint; the greedy per-violation loop below never
+            # runs.
+            return runner(cost_model)
+        result = RepairResult(relation=work)
+        modification_counts: Dict[Tuple[int, str], int] = defaultdict(int)
 
-    for pass_number in range(1, config.max_passes + 1):
-        result.passes = pass_number
-        report = engine.report()
-        result.pass_violation_counts.append(len(report))
-        if report.is_clean():
-            result.clean = True
-            return result
-        progressed = False
-        for violation in report.constant_violations():
-            progressed |= _fix_constant_violation(
-                engine, violation, cost_model, result, modification_counts
-            )
-        # Re-check after the forced constant fixes: they may already resolve
-        # (or change the shape of) the variable violations.
-        report = engine.report()
-        if report.is_clean():
-            result.clean = True
-            return result
-        for violation in report.variable_violations():
-            progressed |= _fix_variable_violation(
-                engine, violation, cfds, cost_model, result, modification_counts
-            )
-        if not progressed:
-            raise RepairError("repair made no progress; giving up to avoid looping")
+        for pass_number in range(1, config.max_passes + 1):
+            result.passes = pass_number
+            report = engine.report()
+            result.pass_violation_counts.append(len(report))
+            if report.is_clean():
+                result.clean = True
+                return result
+            progressed = False
+            for violation in report.constant_violations():
+                progressed |= _fix_constant_violation(
+                    engine, violation, cost_model, result, modification_counts
+                )
+            # Re-check after the forced constant fixes: they may already
+            # resolve (or change the shape of) the variable violations.
+            report = engine.report()
+            if report.is_clean():
+                result.clean = True
+                return result
+            for violation in report.variable_violations():
+                progressed |= _fix_variable_violation(
+                    engine, violation, cfds, cost_model, result, modification_counts
+                )
+            if not progressed:
+                raise RepairError(
+                    "repair made no progress; giving up to avoid looping"
+                )
 
-    result.clean = engine.report().is_clean()
-    return result
+        result.clean = engine.report().is_clean()
+        return result
 
 
 # ---------------------------------------------------------------------------
@@ -401,16 +411,43 @@ def _fix_variable_violation(
     # distance computation per *distinct* current value (per dictionary
     # entry pair on columnar storage) times the group's summed weight — not
     # one per cell.
-    projections = {index: work.project_row(index, rhs_free) for index in indices}
-    frequency = Counter(projections.values())
+    projections: Dict[int, Tuple[Any, ...]] = {}
     weight_by_projection: Dict[Tuple[Any, ...], float] = {}
-    for index, projection in projections.items():
-        weight_by_projection[projection] = (
-            weight_by_projection.get(projection, 0.0) + cost_model.weight(index)
-        )
+    if isinstance(work, ColumnStore):
+        # Distinct-projection pass over codes: the active kernel groups the
+        # member indices by RHS code projection (first-occurrence order,
+        # members ascending — exactly the row branch's insertion order), each
+        # distinct projection decodes once, and group weights accumulate in
+        # ascending member order (CostModel.group_weight), so every float
+        # partial sum matches the row branch bit for bit.
+        columns = list(work.project_codes(rhs_free))
+        groups = [
+            (
+                tuple(work.decode(attr, code) for attr, code in zip(rhs_free, key_codes)),
+                members,
+            )
+            for key_codes, members in active_kernel().group_projections(columns, indices)
+        ]
+        for projection, members in groups:
+            for index in members:
+                projections[index] = projection
+            weight_by_projection[projection] = cost_model.group_weight(members)
+        # Stable sort by descending group size reproduces
+        # Counter.most_common(): ties stay in first-occurrence order.
+        candidates = [
+            projection for projection, _members in sorted(groups, key=lambda g: -len(g[1]))
+        ]
+    else:
+        projections = {index: work.project_row(index, rhs_free) for index in indices}
+        frequency = Counter(projections.values())
+        for index, projection in projections.items():
+            weight_by_projection[projection] = (
+                weight_by_projection.get(projection, 0.0) + cost_model.weight(index)
+            )
+        candidates = [value for value, _count in frequency.most_common()]
     best_value = None
     best_cost = None
-    for candidate_value, _count in frequency.most_common():
+    for candidate_value in candidates:
         candidate_cost = 0.0
         for projection, weight in weight_by_projection.items():
             candidate_cost += cost_model.projection_cost(

@@ -46,6 +46,7 @@ from repro.core.violations import (
 from repro.detection.indexed import codes_disagree
 from repro.detection.partition_index import PartitionIndexCache
 from repro.errors import DetectionError
+from repro.kernels import active_kernel
 from repro.relation.columnar import ColumnStore
 from repro.relation.relation import Relation
 
@@ -328,24 +329,50 @@ class RepairState:
         store = relation if isinstance(relation, ColumnStore) else None
         if spec.constant_rhs:
             if store is not None:
+                kernel = active_kernel()
                 checks = [
                     (attr, store.codes(attr), store.encode(attr, expected), expected)
                     for attr, _position, expected in spec.constant_rhs
                 ]
-                for tuple_index in indices:
-                    for attr, column, expected_code, expected in checks:
-                        code = column[tuple_index]
-                        if code != expected_code:
-                            violations.append(
-                                ConstantViolation(
-                                    cfd_name=spec.cfd.name,
-                                    pattern_index=spec.pattern_index,
-                                    tuple_indices=(tuple_index,),
-                                    attribute=attr,
-                                    expected=expected,
-                                    actual=store.decode(attr, code),
-                                )
+                # Tuple-major emission, like the indexed backend: the kernel
+                # finds each check's mismatching subset, the union is walked
+                # in ascending index order (`indices` is ascending, so
+                # sorted() restores the reference order).
+                if len(checks) == 1:
+                    attr, column, expected_code, expected = checks[0]
+                    for tuple_index in kernel.constant_mismatches(
+                        column, indices, expected_code
+                    ):
+                        violations.append(
+                            ConstantViolation(
+                                cfd_name=spec.cfd.name,
+                                pattern_index=spec.pattern_index,
+                                tuple_indices=(tuple_index,),
+                                attribute=attr,
+                                expected=expected,
+                                actual=store.decode(attr, column[tuple_index]),
                             )
+                        )
+                else:
+                    dirty: set = set()
+                    for _attr, column, expected_code, _expected in checks:
+                        dirty.update(
+                            kernel.constant_mismatches(column, indices, expected_code)
+                        )
+                    for tuple_index in sorted(dirty):
+                        for attr, column, expected_code, expected in checks:
+                            code = column[tuple_index]
+                            if code != expected_code:
+                                violations.append(
+                                    ConstantViolation(
+                                        cfd_name=spec.cfd.name,
+                                        pattern_index=spec.pattern_index,
+                                        tuple_indices=(tuple_index,),
+                                        attribute=attr,
+                                        expected=expected,
+                                        actual=store.decode(attr, code),
+                                    )
+                                )
             else:
                 for tuple_index in indices:
                     row = relation[tuple_index]

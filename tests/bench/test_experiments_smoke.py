@@ -80,7 +80,7 @@ class TestDrivers:
     def test_registry_contains_every_figure(self):
         assert set(ALL_EXPERIMENTS) == {
             "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "merged",
-            "backends", "repair", "pipeline", "parallel", "columnar",
+            "backends", "repair", "pipeline", "parallel", "columnar", "kernels",
         }
 
     def test_parallel_scaling_columns_and_agreement(self, config):
@@ -106,6 +106,20 @@ class TestDrivers:
             "auto_backends", "changes", "passes",
         }
         assert all(row["auto_seconds"] > 0 for row in rows)
+
+    def test_kernels_ablation_columns_and_agreement(self, config):
+        from repro.bench.experiments import kernels_ablation
+        from repro.kernels import numpy_available
+
+        rows = kernels_ablation(config)
+        if not numpy_available():
+            assert rows == []
+            return
+        assert len(rows) == len(config.sz_sweep())
+        assert set(rows[0]) == {
+            "SZ", "python_detect_seconds", "numpy_detect_seconds", "numpy_speedup",
+        }
+        assert all(row["numpy_detect_seconds"] > 0 for row in rows)
 
     def test_verbose_mode_prints_a_table(self, config, capsys):
         fig9c_qc_vs_qv(config, verbose=True)

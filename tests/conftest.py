@@ -1,6 +1,8 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the Hypothesis CI profile."""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -8,6 +10,28 @@ from repro.datagen.cust import cust_cfds, cust_relation, phi1, phi2, phi3
 from repro.datagen.generator import TaxRecordGenerator
 from repro.relation.relation import Relation
 from repro.relation.schema import Schema
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # One shared profile for every property suite (the storage and kernel
+    # agreement grids keep growing): "ci" is fully derandomised so the
+    # coverage-gated tier-1 job can never flake on an unlucky draw — a
+    # regression either reproduces on every run or is caught by the local
+    # randomised profile, not intermittently in CI.  Locally the default
+    # profile keeps exploring fresh examples; select the CI behaviour with
+    # HYPOTHESIS_PROFILE=ci (the CI workflow exports it).
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    pass
 
 
 @pytest.fixture

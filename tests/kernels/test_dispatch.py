@@ -1,0 +1,92 @@
+"""Unit tests for the kernel dispatch layer (resolution, env, activation)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.kernels as kernels
+from repro.config import DetectionConfig, RepairConfig, kernel_from_env, validate_kernel
+from repro.errors import ConfigError
+from repro.kernels import (
+    active_kernel,
+    get_kernel,
+    kernel_names,
+    resolve_kernel_name,
+    use_kernel,
+)
+
+
+def test_validate_kernel_accepts_known_names():
+    for name in ("python", "numpy", "auto", None):
+        validate_kernel(name)
+
+
+def test_validate_kernel_rejects_garbage():
+    with pytest.raises(ConfigError):
+        validate_kernel("fortran")
+
+
+def test_configs_carry_and_validate_kernel():
+    assert DetectionConfig(kernel="python").kernel == "python"
+    assert RepairConfig(kernel="auto").summary()["kernel"] == "auto"
+    with pytest.raises(ConfigError):
+        DetectionConfig(kernel="fortran")
+    with pytest.raises(ConfigError):
+        RepairConfig(kernel="fortran")
+
+
+def test_effective_kernel_defers_to_env(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "python")
+    assert DetectionConfig().effective_kernel == "python"
+    assert DetectionConfig(kernel="auto").effective_kernel == "auto"
+    monkeypatch.delenv("REPRO_KERNEL")
+    assert RepairConfig().effective_kernel == "auto"
+
+
+def test_kernel_from_env_is_forgiving(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "not-a-kernel")
+    assert kernel_from_env() == "auto"
+    monkeypatch.setenv("REPRO_KERNEL", "  NumPy ")
+    assert kernel_from_env() == "numpy"
+
+
+def test_resolve_unknown_kernel_raises():
+    with pytest.raises(ConfigError):
+        resolve_kernel_name("fortran")
+
+
+def test_auto_degrades_cleanly_without_numpy(monkeypatch):
+    monkeypatch.setattr(kernels, "_numpy_available", False)
+    assert resolve_kernel_name("auto") == "python"
+    assert kernel_names() == ("python",)
+    # An *explicit* numpy request without numpy is an error, not a silent
+    # substitution.
+    with pytest.raises(ConfigError, match="fast"):
+        resolve_kernel_name("numpy")
+
+
+def test_get_kernel_returns_named_singletons():
+    assert get_kernel("python").name == "python"
+    if kernels.numpy_available():
+        assert get_kernel("numpy").name == "numpy"
+
+
+def test_use_kernel_activates_and_restores(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "python")
+    assert active_kernel().name == "python"
+    with use_kernel("python") as outer:
+        assert active_kernel() is outer
+        if kernels.numpy_available():
+            with use_kernel("numpy") as inner:
+                assert active_kernel() is inner
+                assert inner.name == "numpy"
+            assert active_kernel() is outer
+    assert active_kernel().name == "python"
+
+
+def test_use_kernel_restores_on_error():
+    before = active_kernel()
+    with pytest.raises(RuntimeError):
+        with use_kernel("python"):
+            raise RuntimeError("boom")
+    assert active_kernel().name == before.name

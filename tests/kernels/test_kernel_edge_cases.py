@@ -1,0 +1,264 @@
+"""Edge-case unit suite for the kernel layer, run against both kernels.
+
+Each case is the kind of input the vectorised kernels are most likely to get
+wrong — empty windows, degenerate group shapes, columns that were never
+dictionary-encoded, values numpy cannot represent natively — asserted
+byte-identical between ``kernel="python"`` and ``kernel="numpy"`` at every
+level the kernels surface: the raw primitives, ``ColumnStore.group_indices``
+and full detection/repair.
+
+The numpy kernel's small-input fallback is disabled throughout (these inputs
+are all tiny by construction; with the fallback active the numpy column
+would never run its own code).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import pytest
+
+from repro.config import DetectionConfig, RepairConfig
+from repro.core.cfd import CFD
+from repro.detection.engine import detect_violations
+from repro.kernels import get_kernel, numpy_available, use_kernel
+from repro.relation.columnar import ColumnStore
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+from repro.repair.heuristic import repair
+
+KERNELS = [
+    "python",
+    pytest.param(
+        "numpy",
+        marks=pytest.mark.skipif(
+            not numpy_available(), reason="the numpy kernel needs the [fast] extra"
+        ),
+    ),
+]
+
+
+@pytest.fixture(autouse=True)
+def no_small_input_fallback():
+    """Force the numpy kernel's vectorised paths even on tiny inputs."""
+    if not numpy_available():
+        yield
+        return
+    from repro.kernels import numpy_kernels
+
+    previous = numpy_kernels.SMALL_INPUT_THRESHOLD
+    numpy_kernels.SMALL_INPUT_THRESHOLD = 0
+    yield
+    numpy_kernels.SMALL_INPUT_THRESHOLD = previous
+
+
+def reference(primitive, *args, **kwargs):
+    """The python kernel's answer, normalised to a comparable list."""
+    result = getattr(get_kernel("python"), primitive)(*args, **kwargs)
+    return list(result) if primitive != "codes_disagree" else result
+
+
+def answer(kernel, primitive, *args, **kwargs):
+    result = getattr(get_kernel(kernel), primitive)(*args, **kwargs)
+    return list(result) if primitive != "codes_disagree" else result
+
+
+SCHEMA = Schema("r", ["A", "B", "C"])
+
+ZIP_CFD = CFD.build(["A"], ["B"], [{"A": "_", "B": "_"}])
+CONST_CFD = CFD.build(["A"], ["B"], [{"A": "x", "B": "y"}])
+
+
+# ---------------------------------------------------------------------------
+# empty relation
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_empty_relation(kernel):
+    empty = array("i")
+    assert answer(kernel, "group_codes", [empty], 0, 0, sizes=[0]) == []
+    assert answer(kernel, "group_codes", [empty, empty], 0, 0) == []
+    assert answer(kernel, "group_projections", [empty], []) == []
+    assert answer(kernel, "constant_mismatches", empty, [], 0) == []
+    assert answer(kernel, "variable_violation_groups", [empty], [empty], 0, 0) == []
+
+    store = ColumnStore(SCHEMA)
+    with use_kernel(kernel):
+        assert list(store.group_indices(["A"])) == []
+        report = detect_violations(
+            ColumnStore(SCHEMA),
+            [ZIP_CFD, CONST_CFD],
+            config=DetectionConfig(method="indexed", kernel=kernel),
+        )
+    assert list(report.violations) == []
+
+
+# ---------------------------------------------------------------------------
+# single row
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_single_row(kernel):
+    column = array("i", [0])
+    for primitive, args, kwargs in [
+        ("group_codes", ([column], 0, 1), {"sizes": [1]}),
+        ("group_codes", ([column, column], 0, 1), {}),
+        ("group_projections", ([column], [0]), {}),
+        ("codes_disagree", ([column], [0]), {}),
+        ("constant_mismatches", (column, [0], 0), {}),
+        ("constant_mismatches", (column, [0], 5), {}),
+        ("constant_mismatches", (column, [0], None), {}),
+        ("variable_violation_groups", ([column], [column], 0, 1), {}),
+    ]:
+        assert answer(kernel, primitive, *args, **kwargs) == reference(
+            primitive, *args, **kwargs
+        ), primitive
+
+    store = ColumnStore(SCHEMA, [("x", "z", "w")])
+    with use_kernel(kernel):
+        groups = list(store.group_indices(["A", "B"]))
+    assert groups == [(("x", "z"), [0])]
+
+
+# ---------------------------------------------------------------------------
+# all-identical column (one giant group, no disagreement)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_all_identical_column(kernel):
+    column = array("i", [0] * 50)
+    varied = array("i", list(range(50)))
+    assert answer(kernel, "group_codes", [column], 0, 50, sizes=[1]) == [
+        ((0,), list(range(50)))
+    ]
+    assert answer(kernel, "group_codes", [column, column], 0, 50) == [
+        ((0, 0), list(range(50)))
+    ]
+    assert answer(kernel, "codes_disagree", [column], list(range(50))) is False
+    assert answer(kernel, "codes_disagree", [column, varied], list(range(50))) is True
+    assert answer(kernel, "constant_mismatches", column, list(range(50)), 0) == []
+    assert answer(kernel, "constant_mismatches", column, list(range(50)), 1) == list(
+        range(50)
+    )
+    # Fused Q^V scan: one giant agreeing group is clean, a varied RHS makes
+    # it the single violating group.
+    assert answer(kernel, "variable_violation_groups", [column], [column], 0, 50) == []
+    assert answer(kernel, "variable_violation_groups", [column], [varied], 0, 50) == [
+        ((0,), list(range(50)))
+    ]
+
+    rows = [("same", "same", str(i)) for i in range(50)]
+    with use_kernel(kernel):
+        report = detect_violations(
+            ColumnStore(SCHEMA, rows),
+            [ZIP_CFD],
+            config=DetectionConfig(method="indexed", kernel=kernel),
+        )
+    assert list(report.violations) == []
+
+
+# ---------------------------------------------------------------------------
+# never-encoded pending column
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_pending_column_stays_pending(kernel):
+    rows = [(f"a{i % 3}", f"b{i % 3}", f"free-text {i}") for i in range(40)]
+    store = ColumnStore.from_relation(Relation(SCHEMA, rows))
+    with use_kernel(kernel):
+        groups = list(store.group_indices(["A"]))
+    # Grouping on A encoded A only; the free-text column C was never touched.
+    assert store.is_encoded("A")
+    assert not store.is_encoded("C")
+    assert [key for key, _members in groups] == [("a0",), ("a1",), ("a2",)]
+    assert groups[0][1] == list(range(0, 40, 3))
+
+
+# ---------------------------------------------------------------------------
+# unicode / None values
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_unicode_and_none_values(kernel):
+    rows = [
+        ("café", "北京", None),
+        ("café", "北京", "ok"),
+        (None, "żółć", "ok"),
+        ("café", "Ωμέγα", None),
+        (None, "żółć", None),
+    ] * 10
+    store = ColumnStore(SCHEMA, rows)
+    plain = Relation(SCHEMA, rows)
+    with use_kernel(kernel):
+        groups = list(store.group_indices(["A", "C"]))
+    assert dict(groups) == dict(
+        (key, members) for key, members in plain.group_by(["A", "C"]).items()
+    )
+    # First-occurrence order and ascending members, like the row backend.
+    assert [key for key, _ in groups] == list(plain.group_by(["A", "C"]).keys())
+
+    cfd = CFD.build(["B"], ["C"], [{"B": "_", "C": "_"}])
+    with use_kernel(kernel):
+        report = detect_violations(
+            store, [cfd], config=DetectionConfig(method="indexed", kernel=kernel)
+        )
+    oracle = detect_violations(plain, [cfd], method="inmemory")
+    assert list(report.violations) == list(oracle.violations)
+
+
+# ---------------------------------------------------------------------------
+# dictionary larger than the row count (orphaned codes after updates/deletes)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_dictionary_larger_than_row_count(kernel):
+    rows = [(f"v{i}", "b", "c") for i in range(40)]
+    store = ColumnStore(SCHEMA, rows)
+    store.dictionary_size("A")  # force encoding before shrinking
+    # Updates append fresh dictionary entries, deletes orphan old ones: the
+    # dictionary ends far larger than the surviving rows, and codes are no
+    # longer dense in the live data.
+    for index in range(10):
+        store.update(index, "A", f"fresh{index}")
+    for _ in range(35):
+        store.delete(len(store) - 1)
+    assert store.dictionary_size("A") > len(store)
+
+    with use_kernel(kernel):
+        groups = list(store.group_indices(["A"]))
+    assert [key for key, _ in groups] == [(f"fresh{i}",) for i in range(5)]
+    assert [members for _, members in groups] == [[i] for i in range(5)]
+
+    with use_kernel(kernel):
+        result = repair(
+            store,
+            [CONST_CFD],
+            config=RepairConfig(
+                method="incremental", kernel=kernel, check_consistency=False
+            ),
+        )
+    assert result.clean
+
+
+# ---------------------------------------------------------------------------
+# cross-kernel: every primitive agrees on a mixed workload
+# ---------------------------------------------------------------------------
+@pytest.mark.skipif(not numpy_available(), reason="needs the numpy kernel")
+def test_primitives_agree_on_mixed_codes():
+    first = array("i", [3, 1, 3, 0, 1, 3, 2, 2, 0, 3] * 8)
+    second = array("i", [0, 1, 0, 1, 2, 2, 0, 1, 2, 0] * 8)
+    indices = list(range(0, 80, 3))
+    cases = [
+        ("group_codes", ([first], 0, 80), {"sizes": [4]}),
+        ("group_codes", ([first], 5, 71), {"sizes": [4]}),
+        ("group_codes", ([first, second], 0, 80), {}),
+        ("group_codes", ([first, second], 7, 63), {}),
+        ("group_projections", ([first], indices), {}),
+        ("group_projections", ([first, second], indices), {}),
+        ("codes_disagree", ([first], indices), {}),
+        ("codes_disagree", ([first, second], indices), {}),
+        ("constant_mismatches", (first, indices, 3), {}),
+        ("constant_mismatches", (first, indices, None), {}),
+        ("variable_violation_groups", ([first], [second], 0, 80), {}),
+        ("variable_violation_groups", ([first], [second], 5, 71), {}),
+        ("variable_violation_groups", ([first, second], [first], 0, 80), {}),
+        ("variable_violation_groups", ([second], [first, second], 7, 63), {}),
+    ]
+    for primitive, args, kwargs in cases:
+        assert answer("numpy", primitive, *args, **kwargs) == reference(
+            primitive, *args, **kwargs
+        ), primitive

@@ -41,12 +41,15 @@ EXPECTED_REPRO_ALL = [
     "find_violations_parallel",
     "implies",
     "is_consistent",
+    "kernel_names",
     "minimal_cover",
+    "numpy_available",
     "register_detector",
     "register_repairer",
     "repair",
     "select_detection_method",
     "select_repair_method",
+    "use_kernel",
     "__version__",
 ]
 

@@ -6,7 +6,8 @@ evaluation depends on:
 
 * ``repro.relation`` — an in-memory relational substrate (schemas, typed
   attributes with optional finite domains, relations, CSV I/O), with a
-  dictionary-encoded columnar storage core (``ColumnStore``) behind the
+  dictionary-encoded columnar storage core (``ColumnStore``) and a
+  memory-mapped out-of-core variant (``MmapColumnStore``) behind the
   same API.
 * ``repro.core`` — pattern tableaux, CFDs, the match/order relations and
   in-memory satisfaction checking.
@@ -74,12 +75,13 @@ from repro.registry import (
 )
 from repro.relation.attribute import Attribute
 from repro.relation.columnar import ColumnStore
+from repro.relation.mmap_store import MmapColumnStore, spill_run
 from repro.relation.relation import Relation
 from repro.relation.schema import Schema
 from repro.repair.heuristic import repair
 from repro.sql.engine import SQLDetector
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Attribute",
@@ -94,6 +96,7 @@ __all__ = [
     "FD",
     "IndexedDetector",
     "IterableSource",
+    "MmapColumnStore",
     "PatternTableau",
     "PatternTuple",
     "PatternValue",
@@ -125,6 +128,7 @@ __all__ = [
     "repair",
     "select_detection_method",
     "select_repair_method",
+    "spill_run",
     "use_kernel",
     "__version__",
 ]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass
 from functools import lru_cache
@@ -25,6 +26,28 @@ from repro.repair.heuristic import RepairResult, repair
 from repro.sql.engine import DetectionRun, SQLDetector
 
 _T = TypeVar("_T")
+
+
+def peak_rss_mb(children: bool = False) -> float:
+    """Peak resident set size in MiB: this process, or its reaped children.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; 0.0 on platforms
+    without :mod:`resource` (Windows), so callers can stamp it
+    unconditionally.  The counter is process-lifetime-monotone — comparing
+    points *within* one process only shows growth, which is why the CI
+    bounded-memory assertion runs the out-of-core series in a fresh process.
+    With ``children=True`` the peak is over terminated child processes (the
+    parallel engine's pool workers, reaped at pool shutdown).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    who = resource.RUSAGE_CHILDREN if children else resource.RUSAGE_SELF
+    rss = resource.getrusage(who).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes, not KB
+        return rss / (1024.0 * 1024.0)
+    return rss / 1024.0
 
 
 @dataclass

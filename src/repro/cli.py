@@ -44,6 +44,7 @@ from repro.io.sources import CSVSource, RowSource, SQLiteSource
 from repro.io.text_format import format_cfds, read_cfd_file, write_cfd_file
 from repro.pipeline import Cleaner
 from repro.reasoning.consistency import is_consistent
+from repro.relation.mmap_store import MmapColumnStore
 from repro.reasoning.mincover import minimal_cover
 from repro.registry import detector_names, repairer_names
 from repro.relation.relation import Relation
@@ -85,10 +86,23 @@ def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
 def _add_storage_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--storage",
-        choices=["rows", "columnar"],
+        choices=["rows", "columnar", "mmap"],
         help="storage layer for the columnar-capable engines: dictionary-encoded "
-        "columns (default, also via REPRO_STORAGE) or the legacy row tuples; "
-        "outputs are identical either way",
+        "columns (default, also via REPRO_STORAGE), the legacy row tuples, or "
+        "memory-mapped spill files for out-of-core workloads; outputs are "
+        "identical either way",
+    )
+    parser.add_argument(
+        "--spill-dir",
+        help="base directory for --storage mmap spill files (default: "
+        "REPRO_SPILL_DIR, then the system temp dir); each run spills into "
+        "its own subdirectory, removed on success and preserved on crash",
+    )
+    parser.add_argument(
+        "--memory-budget-mb",
+        type=int,
+        help="approximate ingestion memory budget for --storage mmap; sizes "
+        "the streaming chunks so raw rows in flight stay within it",
     )
 
 
@@ -115,6 +129,21 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         help="shards for the parallel backend (default: the worker count)",
     )
+
+
+def _release_spill(*relations) -> None:
+    """Remove the spill run directories of mmap-backed relations.
+
+    Called when a command completes (successfully or with a dirty result):
+    the lifecycle contract is *cleanup on completion, preserved on crash* —
+    an exception propagates past this call, leaving the spill files in place
+    for debugging.
+    """
+    released = set()
+    for relation in relations:
+        if isinstance(relation, MmapColumnStore) and id(relation) not in released:
+            released.add(id(relation))
+            relation.release()
 
 
 def _report_payload(report: ViolationReport, relation: Relation) -> dict:
@@ -147,7 +176,13 @@ def _report_payload(report: ViolationReport, relation: Relation) -> dict:
 # subcommands
 # ---------------------------------------------------------------------------
 def cmd_detect(args: argparse.Namespace) -> int:
-    relation = _data_source(args).to_relation()
+    source = _data_source(args)
+    if args.storage == "mmap":
+        # Out-of-core ingestion: stream the rows straight into spilled code
+        # columns instead of materialising them as tuples first.
+        relation = source.to_relation(storage="mmap", spill_dir=args.spill_dir)
+    else:
+        relation = source.to_relation()
     cfds = load_cfds(args.cfds)
     # strategy/form are SQL-only; forwarding them for other backends would
     # (rightly) be rejected by DetectionConfig.
@@ -159,6 +194,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
         shard_count=args.shard_count,
         storage=args.storage,
         kernel=args.kernel,
+        spill_dir=args.spill_dir,
+        memory_budget_mb=args.memory_budget_mb,
     )
     report = detect_violations(relation, cfds, config=config)
     payload = _report_payload(report, relation)
@@ -184,11 +221,16 @@ def cmd_detect(args: argparse.Namespace) -> int:
         hidden = len(payload["violations"]) - args.limit
         if hidden > 0:
             print(f"  ... and {hidden} more (use --limit to show them)")
+    _release_spill(relation)
     return 1 if report else 0
 
 
 def cmd_repair(args: argparse.Namespace) -> int:
-    relation = _data_source(args).to_relation()
+    source = _data_source(args)
+    if args.storage == "mmap":
+        relation = source.to_relation(storage="mmap", spill_dir=args.spill_dir)
+    else:
+        relation = source.to_relation()
     cfds = load_cfds(args.cfds)
     config = RepairConfig(
         method=args.method,
@@ -197,9 +239,12 @@ def cmd_repair(args: argparse.Namespace) -> int:
         shard_count=args.shard_count,
         storage=args.storage,
         kernel=args.kernel,
+        spill_dir=args.spill_dir,
+        memory_budget_mb=args.memory_budget_mb,
     )
     result = repair(relation, cfds, config=config)
     result.relation.to_csv(args.output)
+    _release_spill(relation, result.relation)
     print(
         f"Repaired {args.data or args.sqlite}: {len(result.changes)} cell changes "
         f"(cost {result.total_cost:.2f}) in {result.passes} pass(es); "
@@ -224,6 +269,8 @@ def cmd_clean(args: argparse.Namespace) -> int:
             shard_count=args.shard_count,
             storage=args.storage,
             kernel=args.kernel,
+            spill_dir=args.spill_dir,
+            memory_budget_mb=args.memory_budget_mb,
         ),
         repair=RepairConfig(
             method=args.repair_method,
@@ -232,12 +279,15 @@ def cmd_clean(args: argparse.Namespace) -> int:
             shard_count=args.shard_count,
             storage=args.storage,
             kernel=args.kernel,
+            spill_dir=args.spill_dir,
+            memory_budget_mb=args.memory_budget_mb,
         ),
         verify_method=args.verify_method,
     )
     result = cleaner.clean(source, cfds)
     if args.output:
         result.relation.to_csv(args.output)
+    _release_spill(result.relation)
     summary = result.summary()
     if args.audit:
         audit = dict(summary)
@@ -268,6 +318,34 @@ def cmd_clean(args: argparse.Namespace) -> int:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
+    if args.stream:
+        # Stream rows straight to the CSV — O(1) memory regardless of
+        # --size, identical output to the materialised path (same seed,
+        # same RNG call order inside the generator).
+        import csv
+
+        from repro.datagen.cust import cust_schema, iter_cust_rows
+        from repro.datagen.generator import tax_schema
+
+        if args.dataset == "cust":
+            schema, rows, rules = cust_schema(), iter_cust_rows(), cust_cfds()
+        else:
+            generator = TaxRecordGenerator(
+                size=args.size, noise=args.noise, seed=args.seed
+            )
+            schema, rows, rules = tax_schema(), generator.iter_rows(), [zip_state_cfd()]
+        count = 0
+        with open(args.output, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(schema.names)
+            for row in rows:
+                writer.writerow(row)
+                count += 1
+        print(f"Wrote {count} {args.dataset} tuples to {args.output} (streamed).")
+        if args.rules:
+            write_cfd_file(args.rules, rules)
+            print(f"Wrote {len(rules)} matching CFDs to {args.rules}.")
+        return 0
     if args.dataset == "cust":
         relation = cust_relation()
         rules = cust_cfds()
@@ -426,6 +504,12 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--noise", type=float, default=0.05, help="fraction of dirty tuples")
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--output", required=True, help="path of the generated CSV")
+    generate.add_argument(
+        "--stream",
+        action="store_true",
+        help="write rows to the CSV as they are generated (O(1) memory; "
+        "identical output, suited to 1M-10M row inputs)",
+    )
     generate.add_argument("--rules", help="also write the matching CFDs to this rule file")
     generate.set_defaults(handler=cmd_generate)
 

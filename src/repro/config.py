@@ -36,9 +36,13 @@ SQL_STRATEGIES = ("per_cfd", "merged")
 #: Storage layers a relation can be held in while an engine works on it:
 #: ``"rows"`` is the legacy list-of-tuples :class:`~repro.relation.relation.Relation`,
 #: ``"columnar"`` the dictionary-encoded
-#: :class:`~repro.relation.columnar.ColumnStore`.  Every engine produces
-#: byte-identical output on either; they differ only in speed.
-STORAGES = ("rows", "columnar")
+#: :class:`~repro.relation.columnar.ColumnStore`, and ``"mmap"`` the
+#: disk-backed :class:`~repro.relation.mmap_store.MmapColumnStore`, whose
+#: code columns live in memory-mapped spill files so 1M–10M-row relations
+#: clean within a bounded memory budget.  Every engine produces
+#: byte-identical output on any of them; they differ only in speed and
+#: resident memory.
+STORAGES = ("rows", "columnar", "mmap")
 
 #: The storage the columnar-capable engines use when nothing pins one.
 DEFAULT_STORAGE = "columnar"
@@ -130,6 +134,13 @@ def _validate_parallel_knobs(
             )
 
 
+def _validate_memory_budget(memory_budget_mb: Optional[int]) -> None:
+    if memory_budget_mb is not None and memory_budget_mb < 1:
+        raise ConfigError(
+            f"memory_budget_mb must be at least 1, got {memory_budget_mb}"
+        )
+
+
 @dataclass(frozen=True)
 class DetectionConfig:
     """How violation detection should run.
@@ -165,11 +176,23 @@ class DetectionConfig:
     storage:
         Storage layer the columnar-capable backends (indexed, parallel) hold
         the relation in: ``"columnar"`` (dictionary-encoded
-        :class:`~repro.relation.columnar.ColumnStore`) or ``"rows"`` (the
-        legacy tuple list).  ``None`` (default) defers to the
-        ``REPRO_STORAGE`` environment variable, then to ``"columnar"``.
-        Outputs are byte-identical either way; ``"rows"`` exists for
-        cross-checking the storage layer itself.
+        :class:`~repro.relation.columnar.ColumnStore`), ``"mmap"`` (the
+        disk-backed :class:`~repro.relation.mmap_store.MmapColumnStore` for
+        out-of-core workloads) or ``"rows"`` (the legacy tuple list).
+        ``None`` (default) defers to the ``REPRO_STORAGE`` environment
+        variable, then to ``"columnar"``.  Outputs are byte-identical every
+        way; ``"rows"`` exists for cross-checking the storage layer itself.
+    spill_dir:
+        Base directory for the ``"mmap"`` storage's spill files (per-run
+        subdirectories are created inside it).  ``None`` (default) defers to
+        the ``REPRO_SPILL_DIR`` environment variable, then to the system
+        temp directory.  Runs under an explicit base are preserved on crash
+        for debugging; see ``docs/out_of_core.md``.
+    memory_budget_mb:
+        Soft resident-memory budget for out-of-core runs: sizes the chunked
+        ingestion buffers of the ``"mmap"`` storage
+        (:func:`repro.relation.mmap_store.chunk_rows_for_budget`).  ``None``
+        (default) uses the fixed default chunk size.
     kernel:
         Compute kernel for the code-column hot loops (grouping, ``Q^C``/
         ``Q^V`` checks): ``"python"`` (the pure-Python reference),
@@ -196,10 +219,13 @@ class DetectionConfig:
     shard_count: Optional[int] = None
     storage: Optional[str] = None
     kernel: Optional[str] = None
+    spill_dir: Optional[str] = None
+    memory_budget_mb: Optional[int] = None
 
     def __post_init__(self) -> None:
         validate_storage(self.storage)
         validate_kernel(self.kernel)
+        _validate_memory_budget(self.memory_budget_mb)
         if self.strategy is not None and self.strategy not in SQL_STRATEGIES:
             raise ConfigError(
                 f"unknown SQL strategy {self.strategy!r}; expected one of "
@@ -267,6 +293,8 @@ class DetectionConfig:
             "shard_count": self.shard_count,
             "storage": self.storage,
             "kernel": self.kernel,
+            "spill_dir": self.spill_dir,
+            "memory_budget_mb": self.memory_budget_mb,
         }
 
 
@@ -304,8 +332,12 @@ class RepairConfig:
         Storage layer the columnar-capable engines (indexed, incremental,
         parallel) repair over — same semantics and default chain
         (``REPRO_STORAGE``, then ``"columnar"``) as on
-        :class:`DetectionConfig`.  The repaired relation comes back in this
-        storage; its rows are byte-identical either way.
+        :class:`DetectionConfig`, including the out-of-core ``"mmap"``
+        layer.  The repaired relation comes back in this storage; its rows
+        are byte-identical either way.
+    spill_dir, memory_budget_mb:
+        Out-of-core knobs for the ``"mmap"`` storage — same semantics as on
+        :class:`DetectionConfig`.
     kernel:
         Compute kernel for the code-column hot loops — same semantics and
         default chain (``REPRO_KERNEL``, then ``"auto"``) as on
@@ -326,10 +358,13 @@ class RepairConfig:
     shard_count: Optional[int] = None
     storage: Optional[str] = None
     kernel: Optional[str] = None
+    spill_dir: Optional[str] = None
+    memory_budget_mb: Optional[int] = None
 
     def __post_init__(self) -> None:
         validate_storage(self.storage)
         validate_kernel(self.kernel)
+        _validate_memory_budget(self.memory_budget_mb)
         if self.max_passes < 1:
             raise ConfigError(f"max_passes must be at least 1, got {self.max_passes}")
         if self.cache_size is not None and self.cache_size < 1:
@@ -367,4 +402,6 @@ class RepairConfig:
             "shard_count": self.shard_count,
             "storage": self.storage,
             "kernel": self.kernel,
+            "spill_dir": self.spill_dir,
+            "memory_budget_mb": self.memory_budget_mb,
         }

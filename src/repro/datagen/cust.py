@@ -10,7 +10,7 @@ violation.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterator, List, Tuple
 
 from repro.core.cfd import CFD, FD
 from repro.relation.relation import Relation
@@ -44,6 +44,16 @@ def cust_relation() -> Relation:
         ("44", "131", "4444444", "Ian", "High St.", "EDI", "EH4 1DT"),
     ]
     return Relation(cust_schema(), rows)
+
+
+def iter_cust_rows() -> Iterator[Tuple[str, ...]]:
+    """Stream the Figure 1 rows one at a time (the ``--stream`` emit path).
+
+    The instance is tiny, but exposing the same iterator protocol as
+    :meth:`TaxRecordGenerator.iter_rows` keeps the streaming CLI uniform
+    across datasets.
+    """
+    yield from cust_relation()
 
 
 def cust_relation_printed() -> Relation:

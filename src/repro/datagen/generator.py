@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Set, Tuple
 
 from repro.datagen.geo import GeoCatalog, Location, catalog as geo_catalog
 from repro.datagen.tax import TaxCatalog
@@ -164,16 +164,41 @@ class TaxRecordGenerator:
         return tuple(values), attribute
 
     # ------------------------------------------------------------------ API
-    def generate(self) -> GenerationResult:
-        """Generate the relation; deterministic for a fixed (size, noise, seed)."""
+    def _emit(self) -> Iterator[Tuple[Tuple, Optional[str]]]:
+        """Yield ``(row, corrupted_attribute_or_None)`` one tuple at a time.
+
+        Single source of the generation sequence: the RNG call order here is
+        exactly :meth:`generate`'s historical order (choice/randints per
+        clean row, one ``random()`` noise draw, then the corruption draws),
+        so streaming and materialised output are row-for-row identical for
+        equal ``(size, noise, seed)``.
+        """
         rng = random.Random(self.seed)
         locations = self.geo.locations
-        relation = Relation(tax_schema())
-        result = GenerationResult(relation=relation)
-        for index in range(self.size):
+        for _ in range(self.size):
             row = self._clean_row(rng, locations)
+            attribute: Optional[str] = None
             if rng.random() < self.noise:
                 row, attribute = self._corrupt(rng, row, locations)
+            yield row, attribute
+
+    def iter_rows(self) -> Iterator[Tuple]:
+        """Stream the generated rows without materialising the relation.
+
+        The out-of-core emit path: O(1) memory regardless of ``size``, rows
+        identical to ``generate().relation`` (same seed, same RNG order).
+        Feed it to a chunked ingester (``MmapColumnStore.extend``, the CLI's
+        ``generate --stream``) to build 10M-row inputs in bounded memory.
+        """
+        for row, _attribute in self._emit():
+            yield row
+
+    def generate(self) -> GenerationResult:
+        """Generate the relation; deterministic for a fixed (size, noise, seed)."""
+        relation = Relation(tax_schema())
+        result = GenerationResult(relation=relation)
+        for index, (row, attribute) in enumerate(self._emit()):
+            if attribute is not None:
                 result.dirty_indices.add(index)
                 result.corrupted_attributes[index] = attribute
             relation.insert(row)

@@ -135,7 +135,11 @@ def detect_violations(
     # byte-identical either way — storage and kernel are speed knobs, not
     # semantics knobs.
     relation = apply_storage(
-        relation, config.effective_storage, name in COLUMNAR_DETECTORS
+        relation,
+        config.effective_storage,
+        name in COLUMNAR_DETECTORS,
+        spill_dir=config.spill_dir,
+        memory_budget_mb=config.memory_budget_mb,
     )
     with apply_kernel(config.effective_kernel):
         return backend(relation, cfds, config.with_method(name))

@@ -141,6 +141,7 @@ def detect_stream(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     storage: Optional[str] = None,
     kernel: Optional[str] = None,
+    spill_dir: Optional[str] = None,
 ) -> ViolationReport:
     """Detect violations over a row *stream* without materialising full rows.
 
@@ -156,7 +157,10 @@ def detect_stream(
     is dictionary-encoded as it arrives and the indexes ingest the *codes* of
     the new rows (:meth:`PartitionIndex.add_encoded`), so a raw row is
     touched exactly once — projected, encoded, dropped — instead of being
-    re-hashed by every index.
+    re-hashed by every index.  ``storage="mmap"`` additionally spills the
+    encoded projection to memory-mapped files under ``spill_dir``
+    (:class:`~repro.relation.mmap_store.MmapColumnStore`), so even the
+    retained code columns stay out of the Python heap.
 
     ``kernel`` picks the hot-loop implementation (defaults to
     ``REPRO_KERNEL``, then ``"auto"``); see :mod:`repro.kernels`.  Every
@@ -180,8 +184,15 @@ def detect_stream(
         schema.validate_attributes(cfd.attributes)
     slim_schema = schema.project(needed)
     positions = schema.positions(needed)
-    columnar = storage == "columnar"
-    slim = ColumnStore(slim_schema) if columnar else Relation(slim_schema)
+    columnar = storage in ("columnar", "mmap")
+    if storage == "mmap":
+        from repro.relation.mmap_store import MmapColumnStore
+
+        slim: Relation = MmapColumnStore(slim_schema, spill_dir=spill_dir)
+    elif columnar:
+        slim = ColumnStore(slim_schema)
+    else:
+        slim = Relation(slim_schema)
 
     # One index per distinct @-free LHS attribute tuple across all patterns,
     # grown batch-by-batch alongside the projected relation.
@@ -290,17 +301,28 @@ def _pattern_violations(
             and lhs_free
             and rhs_free
             and not const_checks
-            and not any(cell.is_constant for cell in cells)
         ):
-            # Pure wildcard pattern on an array kernel: the fused Q^V scan
-            # (one sort + one reduction over the whole window) beats
-            # grouping through a partition index — unless an index already
-            # exists, in which case reusing it is cheaper still.
+            # Wildcard or mixed constant/wildcard pattern on an array
+            # kernel: the fused Q^V scan (one sort + one reduction over the
+            # whole window, with constant LHS cells applied as a row mask
+            # before the group-by) beats grouping through a partition index
+            # — unless an index already exists, in which case reusing it is
+            # cheaper still.
             index = cache.peek(lhs_free)
             if index is None:
+                mask: List[Tuple[Any, int]] = []
+                for attr, cell in zip(lhs_free, cells):
+                    if not cell.is_constant:
+                        continue
+                    code = relation.encode(attr, cell.value)
+                    if code is None:
+                        # No cell ever held the constant: nothing matches
+                        # this pattern, so it cannot be violated.
+                        return
+                    mask.append((relation.codes(attr), code))
                 lhs_columns = [relation.codes(attr) for attr in lhs_free]
                 for key_codes, members in kernel.variable_violation_groups(
-                    lhs_columns, rhs_columns, 0, len(relation)
+                    lhs_columns, rhs_columns, 0, len(relation), mask=mask or None
                 ):
                     yield VariableViolation(
                         cfd_name=cfd.name,

@@ -33,6 +33,7 @@ from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
 from repro.config import validate_storage
 from repro.errors import ReproError
 from repro.relation.columnar import ColumnStore
+from repro.relation.mmap_store import MmapColumnStore
 from repro.relation.relation import Relation, Row
 from repro.relation.schema import Schema
 
@@ -45,7 +46,11 @@ def _relation_class(storage: Optional[str]) -> type:
     everywhere a storage is named.
     """
     validate_storage(storage)
-    return ColumnStore if storage == "columnar" else Relation
+    if storage == "columnar":
+        return ColumnStore
+    if storage == "mmap":
+        return MmapColumnStore
+    return Relation
 
 
 class RowSource(abc.ABC):
@@ -60,15 +65,30 @@ class RowSource(abc.ABC):
     def __iter__(self) -> Iterator[Row]:
         """Yield rows as positional tuples in schema attribute order."""
 
-    def to_relation(self, storage: Optional[str] = None) -> Relation:
-        """Materialise the source into an in-memory relation.
+    def to_relation(
+        self,
+        storage: Optional[str] = None,
+        spill_dir: Optional[str] = None,
+        chunk_rows: Optional[int] = None,
+    ) -> Relation:
+        """Materialise the source into a relation.
 
         ``storage="columnar"`` dictionary-encodes the rows as they stream in
         (:class:`~repro.relation.columnar.ColumnStore`) — encoding at
         ingestion is what lets every later detection and repair pass run
-        over integer codes.  ``None``/``"rows"`` keeps the tuple-list layout.
+        over integer codes.  ``storage="mmap"`` streams the codes straight
+        into memory-mapped spill files
+        (:class:`~repro.relation.mmap_store.MmapColumnStore` under
+        ``spill_dir``, flushing every ``chunk_rows`` rows) so the full
+        relation is never held as Python rows — the out-of-core ingestion
+        path.  ``None``/``"rows"`` keeps the tuple-list layout.
         """
-        relation = _relation_class(storage)(self.schema)
+        if storage == "mmap":
+            relation: Relation = MmapColumnStore(
+                self.schema, spill_dir=spill_dir, chunk_rows=chunk_rows
+            )
+        else:
+            relation = _relation_class(storage)(self.schema)
         relation.extend(self)
         return relation
 
@@ -96,7 +116,12 @@ class RelationSource(RowSource):
     def __iter__(self) -> Iterator[Row]:
         return iter(self._relation)
 
-    def to_relation(self, storage: Optional[str] = None) -> Relation:
+    def to_relation(
+        self,
+        storage: Optional[str] = None,
+        spill_dir: Optional[str] = None,
+        chunk_rows: Optional[int] = None,
+    ) -> Relation:
         # No copy when the storage already matches: the pipeline copies
         # before mutating (repair works on a copy), so handing back the
         # original keeps ingestion free.  An explicit storage request that
@@ -104,6 +129,12 @@ class RelationSource(RowSource):
         validate_storage(storage)
         if storage is None:
             return self._relation
+        if storage == "mmap":
+            if isinstance(self._relation, MmapColumnStore):
+                return self._relation
+            return MmapColumnStore.from_relation(
+                self._relation, spill_dir=spill_dir, chunk_rows=chunk_rows
+            )
         if storage == "columnar":
             if isinstance(self._relation, ColumnStore):
                 return self._relation

@@ -28,7 +28,7 @@ both kernels produce identical output by contract.
 from __future__ import annotations
 
 from array import array
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -174,25 +174,43 @@ class NumpyKernel:
         rhs_columns: Sequence[CodeColumn],
         start: int,
         stop: int,
+        mask: Optional[Sequence[Tuple[CodeColumn, int]]] = None,
     ) -> List[CodeGroup]:
         """The fused ``Q^V`` scan, entirely in array passes.
 
         One stable sort groups the window by its LHS codes; per-group RHS
         disagreement is then ``max != min`` over each run via ``reduceat``
         (codes are plain ints, so any two distinct codes differ in min/max).
-        Only the violating groups are materialised back into python lists —
-        on mostly-clean data that is a tiny fraction of the relation, which
-        is where the fused path wins big over grouping through an index.
+        ``mask`` pairs (a pattern's constant LHS cells as ``(column, code)``)
+        are applied as one boolean reduction *before* the radix group-by, so
+        mixed constant/wildcard patterns stay on the fused path — the sort
+        then only touches the surviving rows.  Only the violating groups are
+        materialised back into python lists — on mostly-clean data that is a
+        tiny fraction of the relation, which is where the fused path wins
+        big over grouping through an index.
         """
         count = stop - start
         if count <= 0:
             return []
         if count < SMALL_INPUT_THRESHOLD:
             return PYTHON_KERNEL.variable_violation_groups(
-                lhs_columns, rhs_columns, start, stop
+                lhs_columns, rhs_columns, start, stop, mask=mask
             )
-        lhs = [_as_array(column)[start:stop] for column in lhs_columns]
-        rhs = [_as_array(column)[start:stop] for column in rhs_columns]
+        if mask:
+            keep = _as_array(mask[0][0])[start:stop] == mask[0][1]
+            for column, code in mask[1:]:
+                keep &= _as_array(column)[start:stop] == code
+            base = np.flatnonzero(keep)
+            count = len(base)
+            if count == 0:
+                return []
+            lhs = [_as_array(column)[start:stop][base] for column in lhs_columns]
+            rhs = [_as_array(column)[start:stop][base] for column in rhs_columns]
+            masked_members: Optional["np.ndarray"] = base + start if start else base
+        else:
+            lhs = [_as_array(column)[start:stop] for column in lhs_columns]
+            rhs = [_as_array(column)[start:stop] for column in rhs_columns]
+            masked_members = None
         order = _stable_order(lhs)
         sorted_lhs = [arr[order] for arr in lhs]
         starts, ends = _boundaries(sorted_lhs, count)
@@ -206,7 +224,10 @@ class NumpyKernel:
         violating = np.flatnonzero(disagree)
         if len(violating) == 0:
             return []
-        members = order + start if start else order
+        if masked_members is not None:
+            members = masked_members[order]
+        else:
+            members = order + start if start else order
         # Stable sort keeps each group's members ascending, so the first
         # member is the key's first occurrence; sorting the violating groups
         # by it recovers first-occurrence emission order.

@@ -167,17 +167,34 @@ class PythonKernel:
         rhs_columns: Sequence[CodeColumn],
         start: int,
         stop: int,
+        mask: Optional[Sequence[Tuple[CodeColumn, int]]] = None,
     ) -> List[CodeGroup]:
         """The fused ``Q^V`` scan: LHS groups whose RHS projection disagrees.
 
         Groups the rows of ``[start, stop)`` by their ``lhs_columns`` code
         projection and keeps exactly the groups a wildcard variable pattern
         violates: more than one member *and* more than one distinct
-        ``rhs_columns`` projection.  Same ordering contract as
-        :meth:`group_codes` — groups in first-occurrence order of their LHS
-        key, members ascending — so emitting one violation per returned
-        group reproduces the partition-index walk byte for byte.
+        ``rhs_columns`` projection.  ``mask`` — ``(column, code)`` pairs from
+        a pattern's constant LHS cells — restricts the scan to the rows whose
+        code equals the constant's in every pair, which is exactly the
+        partition subset ``PartitionIndex.matching`` would select.  Same
+        ordering contract as :meth:`group_codes` — groups in first-occurrence
+        order of their LHS key, members ascending — so emitting one violation
+        per returned group reproduces the partition-index walk byte for byte
+        (restricting to masked rows preserves first-occurrence order among
+        the surviving partitions, whose members are all masked rows).
         """
+        if mask:
+            indices = [
+                index
+                for index in range(start, stop)
+                if all(column[index] == code for column, code in mask)
+            ]
+            return [
+                (key_codes, members)
+                for key_codes, members in self.group_projections(lhs_columns, indices)
+                if len(members) > 1 and self.codes_disagree(rhs_columns, members)
+            ]
         return [
             (key_codes, members)
             for key_codes, members in self.group_codes(lhs_columns, start, stop)

@@ -19,6 +19,7 @@ CLI.
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -28,9 +29,17 @@ from repro.core.cfd import CFD
 from repro.core.violations import Violation, ViolationReport
 from repro.detection.indexed import find_violations_indexed
 from repro.parallel.executor import default_workers, resolve_workers, run_tasks
-from repro.parallel.sharding import Shard, ShardPlan, shard_relation
+from repro.parallel.sharding import (
+    Shard,
+    ShardPlan,
+    SpilledShardPlan,
+    shard_relation,
+    spill_shards,
+)
 from repro.registry import register_detector
+from repro.relation.mmap_store import MmapColumnStore
 from repro.relation.relation import Relation
+from repro.relation.schema import Schema
 from repro.repair.incremental import canonical_order
 
 
@@ -105,19 +114,104 @@ def _remap_to_global(violations: Sequence[Violation], shard: Shard) -> List[Viol
     ]
 
 
+def _detect_spilled_shard(
+    payload: Tuple[Schema, str, int, str, List[CFD]],
+) -> Tuple[List[Violation], float]:
+    """Worker body for a spilled shard: mmap the codes in place, then detect.
+
+    The payload carries only paths and metadata — the worker maps the
+    shard's code files directly off the spill directory (no pickled columns
+    cross the process boundary) and loads the shared dictionaries once.
+    """
+    schema, shard_dir, length, dicts_path, cfds = payload
+    start = time.perf_counter()
+    with open(dicts_path, "rb") as handle:
+        dictionaries = pickle.load(handle)
+    relation = MmapColumnStore.adopt_spilled(schema, shard_dir, length, dictionaries)
+    report = find_violations_indexed(relation, cfds)
+    return list(report.violations), time.perf_counter() - start
+
+
+def _spilled_payloads(
+    plan: SpilledShardPlan, cfds: List[CFD]
+) -> List[Tuple[Schema, str, int, str, List[CFD]]]:
+    dicts_path = str(plan.dictionaries_path)
+    return [
+        (plan.schema, shard.directory, shard.length, dicts_path, cfds)
+        for shard in plan.shards
+    ]
+
+
+def detect_sharded_spilled(
+    relation: MmapColumnStore,
+    cfds: Union[CFD, Sequence[CFD]],
+    shard_count: Optional[int] = None,
+    workers: Optional[int] = None,
+    spill_dir: Optional[str] = None,
+) -> ParallelDetectionRun:
+    """Sharded detection over a spilled plan (the out-of-core path).
+
+    Shard membership is identical to :func:`detect_sharded` (same component
+    closure and packing, pinned by the sharding tests), but shards travel to
+    workers as spill-directory paths instead of pickled relations, and each
+    worker memory-maps its code files read-locally.  The spill run directory
+    is removed when the merge succeeds and preserved on a crash, mirroring
+    the store lifecycle.
+    """
+    if isinstance(cfds, CFD):
+        cfds = [cfds]
+    cfds = list(cfds)
+    plan = spill_shards(
+        relation, cfds, resolve_shard_count(shard_count, workers), spill_dir
+    )
+    payloads = _spilled_payloads(plan, cfds)
+    outcomes, mode = run_tasks(_detect_spilled_shard, payloads, workers=workers)
+
+    merged: List[Violation] = []
+    timings: List[ShardTiming] = []
+    for shard, (violations, seconds) in zip(plan.shards, outcomes):
+        indices = shard.global_indices()
+        merged.extend(
+            replace(
+                violation,
+                tuple_indices=tuple(
+                    int(indices[index]) for index in violation.tuple_indices
+                ),
+            )
+            for violation in violations
+        )
+        timings.append(
+            ShardTiming(shard_id=shard.shard_id, rows=shard.length, seconds=seconds)
+        )
+        del indices  # drop the index mmap before the plan directory goes away
+    report = ViolationReport(canonical_order(merged, cfds))
+    stats = ParallelStats(
+        mode=mode,
+        workers=resolve_workers(workers, len(payloads)) if payloads else 1,
+        shard_count=len(plan.shards),
+        component_count=plan.component_count,
+        timings=tuple(timings),
+    )
+    plan.release()
+    return ParallelDetectionRun(report=report, stats=stats)
+
+
 def detect_sharded(
     relation: Relation,
     cfds: Union[CFD, Sequence[CFD]],
     shard_count: Optional[int] = None,
     workers: Optional[int] = None,
     plan: Optional[ShardPlan] = None,
+    spill_dir: Optional[str] = None,
 ) -> ParallelDetectionRun:
     """Sharded detection with full execution statistics.
 
     ``shard_count`` defaults to the worker count (one shard per worker keeps
     every process busy without over-splitting); ``workers`` defaults to the
     CPU count.  A pre-computed ``plan`` (for the same relation and CFDs) is
-    reused as-is.
+    reused as-is.  A memory-mapped relation (no pre-computed plan) routes
+    through :func:`detect_sharded_spilled`, keeping the whole run out of
+    core.
 
     >>> from repro.datagen.cust import cust_relation, cust_cfds
     >>> run = detect_sharded(cust_relation(), cust_cfds(), shard_count=3, workers=1)
@@ -127,6 +221,14 @@ def detect_sharded(
     if isinstance(cfds, CFD):
         cfds = [cfds]
     cfds = list(cfds)
+    if plan is None and isinstance(relation, MmapColumnStore):
+        return detect_sharded_spilled(
+            relation,
+            cfds,
+            shard_count=shard_count,
+            workers=workers,
+            spill_dir=spill_dir,
+        )
     if plan is None:
         plan = shard_relation(relation, cfds, resolve_shard_count(shard_count, workers))
     payloads = [(shard.relation, cfds) for shard in plan.shards]
@@ -155,6 +257,7 @@ def find_violations_parallel(
     cfds: Union[CFD, Sequence[CFD]],
     shard_count: Optional[int] = None,
     workers: Optional[int] = None,
+    spill_dir: Optional[str] = None,
 ) -> ViolationReport:
     """All violations of ``cfds`` in ``relation``, via sharded detection.
 
@@ -168,7 +271,7 @@ def find_violations_parallel(
     [0, 1, 2, 3]
     """
     return detect_sharded(
-        relation, cfds, shard_count=shard_count, workers=workers
+        relation, cfds, shard_count=shard_count, workers=workers, spill_dir=spill_dir
     ).report
 
 
@@ -177,5 +280,9 @@ def _detect_parallel(
     relation: Relation, cfds: Sequence[CFD], config: DetectionConfig
 ) -> ViolationReport:
     return find_violations_parallel(
-        relation, cfds, shard_count=config.shard_count, workers=config.workers
+        relation,
+        cfds,
+        shard_count=config.shard_count,
+        workers=config.workers,
+        spill_dir=config.spill_dir,
     )

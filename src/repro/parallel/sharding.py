@@ -31,15 +31,25 @@ argument and its limits under repair-induced value changes.
 
 from __future__ import annotations
 
+import pickle
+from array import array
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.cfd import CFD
 from repro.detection.indexed import lhs_free_attributes
 from repro.errors import ParallelExecutionError
 from repro.kernels import active_kernel
 from repro.relation.columnar import ColumnStore
+from repro.relation.mmap_store import (
+    MmapColumnStore,
+    _numpy,
+    create_run_dir,
+    resolve_spill_base,
+)
 from repro.relation.relation import Relation
+from repro.relation.schema import Schema
 
 
 @dataclass(frozen=True)
@@ -210,4 +220,288 @@ def shard_relation(
         shards=tuple(shards),
         component_count=len(member_lists),
         requested_shard_count=shard_count,
+    )
+
+
+# ---------------------------------------------------------------------------
+# out-of-core sharding (spill-to-disk plans)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpilledShard:
+    """One shard living on disk: code files plus the global-index map.
+
+    The shard's directory holds one ``col<p>.0.bin`` per schema position
+    (``length`` 32-bit codes each, the layout
+    :meth:`~repro.relation.mmap_store.MmapColumnStore.adopt_spilled` opens)
+    and ``indices.bin`` — the ascending global tuple indices as 64-bit
+    ints.  Workers mmap the code files read-locally instead of receiving
+    pickled columns; the parent maps ``indices.bin`` to translate shard-local
+    results back to global indices without holding ``O(rows)`` Python ints.
+    """
+
+    shard_id: int
+    directory: str
+    length: int
+
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def indices_path(self) -> Path:
+        return Path(self.directory) / "indices.bin"
+
+    def global_indices(self) -> Sequence[int]:
+        """The ascending global indices, memory-mapped when numpy is present."""
+        np_module = _numpy()
+        if np_module is not None and self.length:
+            return np_module.memmap(
+                str(self.indices_path),
+                dtype=np_module.int64,
+                mode="r",
+                shape=(self.length,),
+            )
+        indices = array("q")
+        if self.length:
+            with open(self.indices_path, "rb") as handle:
+                indices.frombytes(handle.read())
+        return indices
+
+    def open_relation(
+        self, schema: Schema, dictionaries: Sequence[Sequence[Any]]
+    ) -> MmapColumnStore:
+        """Map the shard's code files as a relation (the worker-side open)."""
+        return MmapColumnStore.adopt_spilled(
+            schema, self.directory, self.length, dictionaries
+        )
+
+
+@dataclass(frozen=True)
+class SpilledShardPlan:
+    """A :class:`ShardPlan` counterpart whose shards live in a spill directory.
+
+    The plan owns one run directory containing a ``shard<i>/`` per shard and
+    a single ``dictionaries.pkl`` (the per-position decode lists, shared by
+    every shard — shards carry full-width code columns over the *parent's*
+    dictionaries, which is what keeps per-shard repair decisions, including
+    the full-schema LHS fallback, byte-identical to a serial run).  Call
+    :meth:`release` when the run succeeded; a crash leaves the directory for
+    post-mortem inspection, mirroring the store lifecycle.
+    """
+
+    schema: Schema
+    shards: Tuple[SpilledShard, ...]
+    component_count: int
+    requested_shard_count: int
+    plan_dir: str
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def sizes(self) -> Tuple[int, ...]:
+        return tuple(shard.length for shard in self.shards)
+
+    @property
+    def dictionaries_path(self) -> Path:
+        return Path(self.plan_dir) / "dictionaries.pkl"
+
+    def load_dictionaries(self) -> List[List[Any]]:
+        with open(self.dictionaries_path, "rb") as handle:
+            return pickle.load(handle)
+
+    def release(self) -> None:
+        """Remove the plan's spill files (idempotent)."""
+        import shutil
+
+        shutil.rmtree(self.plan_dir, ignore_errors=True)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "shards": len(self.shards),
+            "requested_shards": self.requested_shard_count,
+            "components": self.component_count,
+            "sizes": list(self.sizes()),
+            "plan_dir": self.plan_dir,
+        }
+
+
+def _component_roots_vector(
+    relation: ColumnStore, cfds: Sequence[CFD], np_module: Any
+) -> Any:
+    """``roots[i]`` = the smallest tuple index of ``i``'s component (vectorised).
+
+    Per grouping attribute set, rows are labelled by their code projection
+    (dense labels via ``np.unique``); components are then the connected
+    closure over all labelings, computed by iterative min-propagation —
+    every label group pulls each member down to the group's current minimum,
+    and pointer-jumping (``roots = roots[roots]``) compresses chains — until
+    a fixpoint.  Monotone decreasing, so it terminates; the fixpoint is the
+    same partition the union-find in :func:`components` produces, with the
+    representative being the minimum member by construction.
+    """
+    count = len(relation)
+    labelings: List[Any] = []
+    for attributes in _grouping_attribute_sets(cfds):
+        if not attributes:
+            labelings.append(np_module.zeros(count, dtype=np_module.int64))
+            continue
+        labels: Optional[Any] = None
+        for column in relation.project_codes(attributes):
+            codes = np_module.asarray(column, dtype=np_module.int64)
+            if labels is None:
+                key = codes
+            else:
+                # labels < count and codes fit int32, so the composite stays
+                # far below 2**63; re-densifying per column keeps it there
+                # for any number of attributes.
+                key = labels * (int(codes.max()) + 1) + codes
+            _, labels = np_module.unique(key, return_inverse=True)
+        labelings.append(labels)
+    roots = np_module.arange(count, dtype=np_module.int64)
+    changed = True
+    while changed:
+        changed = False
+        for labels in labelings:
+            group_min = np_module.full(
+                int(labels.max()) + 1, count, dtype=np_module.int64
+            )
+            np_module.minimum.at(group_min, labels, roots)
+            pulled = np_module.minimum(roots, group_min[labels])
+            if not np_module.array_equal(pulled, roots):
+                roots = pulled
+                changed = True
+        while True:
+            jumped = roots[roots]
+            if np_module.array_equal(jumped, roots):
+                break
+            roots = jumped
+            changed = True
+    return roots
+
+
+def _pack_components(
+    ordered_sizes: Sequence[int], shard_count: int
+) -> Tuple[List[int], int]:
+    """Greedy size-balanced packing: component position → shard id.
+
+    Components must arrive largest-first (ties by smallest member), exactly
+    the order :func:`components` emits — the assignment is then identical to
+    :func:`shard_relation`'s, which is what makes a spilled plan's shard
+    membership byte-compatible with the in-memory plan for the same input.
+    """
+    bucket_count = max(1, min(shard_count, len(ordered_sizes)))
+    loads = [0] * bucket_count
+    assignment: List[int] = []
+    for size in ordered_sizes:
+        target = loads.index(min(loads))  # lowest id wins ties: deterministic
+        assignment.append(target)
+        loads[target] += size
+    return assignment, bucket_count
+
+
+def spill_shards(
+    relation: ColumnStore,
+    cfds: Sequence[CFD],
+    shard_count: int,
+    spill_dir: Optional[Union[str, Path]] = None,
+) -> SpilledShardPlan:
+    """Split an encoded relation into class-closed shards spilled to disk.
+
+    The out-of-core counterpart of :func:`shard_relation`: shard membership
+    is identical (same component closure, same ordering, same greedy
+    packing), but instead of materialising sub-relations for pickling, each
+    shard's full-width code columns are written under a spill run directory
+    from which workers mmap them read-locally
+    (:meth:`SpilledShard.open_relation`).  With numpy the component closure
+    is computed by vectorised min-propagation over dense label arrays — no
+    per-row Python objects; the pure-Python fallback routes through
+    :func:`components` (correct, but O(rows) Python ints, so no-numpy runs
+    should stay small).
+    """
+    if shard_count < 1:
+        raise ParallelExecutionError(
+            f"shard_count must be at least 1, got {shard_count}"
+        )
+    schema = relation.schema
+    width = len(schema)
+    count = len(relation)
+    base, _explicit = resolve_spill_base(spill_dir)
+    plan_dir = create_run_dir(base)
+    dictionaries = [list(relation.dictionary(name)) for name in schema.names]
+    with open(plan_dir / "dictionaries.pkl", "wb") as handle:
+        pickle.dump(dictionaries, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    np_module = _numpy()
+    shards: List[SpilledShard] = []
+    if count == 0:
+        component_count = 0
+    elif np_module is not None:
+        roots = _component_roots_vector(relation, cfds, np_module)
+        unique_roots, inverse, counts = np_module.unique(
+            roots, return_inverse=True, return_counts=True
+        )
+        component_count = len(unique_roots)
+        # Largest component first, ties by smallest member (the root *is*
+        # the smallest member) — the order components() emits.
+        order = np_module.lexsort((unique_roots, -counts))
+        assignment, bucket_count = _pack_components(
+            [int(counts[position]) for position in order], shard_count
+        )
+        shard_of_component = np_module.empty(component_count, dtype=np_module.int64)
+        shard_of_component[order] = np_module.asarray(assignment, dtype=np_module.int64)
+        shard_of_row = shard_of_component[inverse]
+        columns = [
+            np_module.asarray(relation.codes(name), dtype=np_module.intc)
+            for name in schema.names
+        ]
+        for shard_id in range(bucket_count):
+            indices = np_module.flatnonzero(shard_of_row == shard_id)
+            shard_dir = Path(plan_dir) / f"shard{shard_id}"
+            shard_dir.mkdir()
+            indices.astype(np_module.int64).tofile(str(shard_dir / "indices.bin"))
+            for position in range(width):
+                columns[position][indices].tofile(
+                    str(shard_dir / f"col{position}.0.bin")
+                )
+            shards.append(
+                SpilledShard(
+                    shard_id=shard_id,
+                    directory=str(shard_dir),
+                    length=int(len(indices)),
+                )
+            )
+    else:
+        member_lists = components(relation, cfds)
+        component_count = len(member_lists)
+        assignment, bucket_count = _pack_components(
+            [len(members) for members in member_lists], shard_count
+        )
+        buckets: List[List[int]] = [[] for _ in range(bucket_count)]
+        for members, target in zip(member_lists, assignment):
+            buckets[target].extend(members)
+        columns_seq = [relation.codes(name) for name in schema.names]
+        for shard_id, bucket in enumerate(buckets):
+            bucket.sort()
+            shard_dir = Path(plan_dir) / f"shard{shard_id}"
+            shard_dir.mkdir()
+            with open(shard_dir / "indices.bin", "wb") as handle:
+                handle.write(array("q", bucket).tobytes())
+            for position in range(width):
+                source = columns_seq[position]
+                with open(shard_dir / f"col{position}.0.bin", "wb") as handle:
+                    handle.write(
+                        array("i", (source[index] for index in bucket)).tobytes()
+                    )
+            shards.append(
+                SpilledShard(
+                    shard_id=shard_id, directory=str(shard_dir), length=len(bucket)
+                )
+            )
+    return SpilledShardPlan(
+        schema=schema,
+        shards=tuple(shards),
+        component_count=component_count,
+        requested_shard_count=shard_count,
+        plan_dir=str(plan_dir),
     )

@@ -43,6 +43,7 @@ from repro.registry import (
     resolve_repairer,
 )
 from repro.relation.columnar import ColumnStore
+from repro.relation.mmap_store import MmapColumnStore, chunk_rows_for_budget
 from repro.relation.relation import Relation
 from repro.relation.schema import Schema
 from repro.repair.heuristic import CellChange, RepairResult, repair
@@ -159,13 +160,18 @@ class Cleaner:
         source: Union[RowSource, Relation, str, Iterable],
         schema: Optional[Schema] = None,
         storage: Optional[str] = None,
+        spill_dir: Optional[str] = None,
     ) -> Relation:
         """Materialise any supported source into a relation.
 
-        ``storage="columnar"`` dictionary-encodes at ingestion; ``None``
-        keeps whatever layout the source naturally produces.
+        ``storage="columnar"`` dictionary-encodes at ingestion;
+        ``storage="mmap"`` additionally spills the code columns to
+        memory-mapped files under ``spill_dir``; ``None`` keeps whatever
+        layout the source naturally produces.
         """
-        return as_source(source, schema=schema).to_relation(storage=storage)
+        return as_source(source, schema=schema).to_relation(
+            storage=storage, spill_dir=spill_dir
+        )
 
     def detect(
         self,
@@ -194,6 +200,7 @@ class Cleaner:
                     chunk_size=self.detection.chunk_size,
                     storage=self.detection.effective_storage,
                     kernel=self.detection.effective_kernel,
+                    spill_dir=self.detection.spill_dir,
                 )
         relation = row_source.to_relation()
         return detect_violations(relation, cfds, config=self.detection)
@@ -214,9 +221,28 @@ class Cleaner:
         cfds = list(cfds)
         stage_seconds: Dict[str, float] = {}
 
+        detect_storage = self.detection.effective_storage
+        repair_storage = self.repair.effective_storage
+        spill_dir = self.detection.spill_dir or self.repair.spill_dir
+        memory_budget = self.detection.memory_budget_mb or self.repair.memory_budget_mb
+
         start = time.perf_counter()
         row_source = as_source(source, schema=schema)
-        relation = row_source.to_relation()
+        if "mmap" in (detect_storage, repair_storage):
+            # Out-of-core ingestion: stream the rows straight into spilled
+            # code columns so the relation is never materialised as Python
+            # tuples — the whole point of storage="mmap".
+            relation = row_source.to_relation(
+                storage="mmap",
+                spill_dir=spill_dir,
+                chunk_rows=(
+                    chunk_rows_for_budget(memory_budget, len(row_source.schema))
+                    if memory_budget is not None
+                    else None
+                ),
+            )
+        else:
+            relation = row_source.to_relation()
         stage_seconds["ingest"] = time.perf_counter() - start
 
         detect_name, _ = resolve_detector(self.detection.method, relation, cfds)
@@ -225,24 +251,42 @@ class Cleaner:
         # actually work columnar (a capable backend *and* that stage's
         # config asking for it); then detection, every repair round and the
         # audit share one encoded relation instead of re-encoding per stage.
+        # A stage asking for "mmap" escalates the shared target to the
+        # spilled backing (an MmapColumnStore satisfies "columnar" requests
+        # unchanged — see apply_storage).
         detect_columnar = (
             detect_name in COLUMNAR_DETECTORS
-            and self.detection.effective_storage == "columnar"
+            and detect_storage in ("columnar", "mmap")
         )
         repair_columnar = (
             repair_name in COLUMNAR_REPAIRERS
-            and self.repair.effective_storage == "columnar"
+            and repair_storage in ("columnar", "mmap")
         )
+        target = "columnar"
+        if (detect_columnar and detect_storage == "mmap") or (
+            repair_columnar and repair_storage == "mmap"
+        ):
+            target = "mmap"
         start = time.perf_counter()
         relation = apply_storage(
-            relation, "columnar", detect_columnar or repair_columnar
+            relation,
+            target,
+            detect_columnar or repair_columnar,
+            spill_dir=spill_dir,
+            memory_budget_mb=memory_budget,
         )
         stage_seconds["ingest"] += time.perf_counter() - start
+        if isinstance(relation, MmapColumnStore):
+            storage_name = "mmap"
+        elif isinstance(relation, ColumnStore):
+            storage_name = "columnar"
+        else:
+            storage_name = "rows"
         backends = {
             "detect": detect_name,
             "repair": repair_name,
             "verify": self.verify_method,
-            "storage": "columnar" if isinstance(relation, ColumnStore) else "rows",
+            "storage": storage_name,
             "kernel": resolve_kernel_name(self.detection.effective_kernel),
         }
 
@@ -287,6 +331,16 @@ class Cleaner:
 
         result.final_report = report
         result.clean = report.is_clean()
+        # The ingested spill store is dead once repair replaced it with its
+        # own copy — release its run directory now instead of waiting for
+        # GC (and never release a store the caller handed in, or the one
+        # the caller is about to read results from).
+        if (
+            isinstance(relation, MmapColumnStore)
+            and relation is not result.relation
+            and relation is not getattr(row_source, "_relation", None)
+        ):
+            relation.release()
         return result
 
 

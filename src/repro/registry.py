@@ -43,6 +43,7 @@ from repro.config import AUTO
 from repro.core.cfd import CFD
 from repro.errors import RegistryError
 from repro.relation.columnar import ColumnStore
+from repro.relation.mmap_store import MmapColumnStore, chunk_rows_for_budget
 from repro.relation.relation import Relation
 
 _Backend = TypeVar("_Backend", bound=Callable)
@@ -91,23 +92,44 @@ COLUMNAR_DETECTORS = frozenset({"indexed", "parallel"})
 COLUMNAR_REPAIRERS = frozenset({"indexed", "incremental", "parallel"})
 
 
-def apply_storage(relation: Relation, storage: str, columnar_capable: bool) -> Relation:
+def apply_storage(
+    relation: Relation,
+    storage: str,
+    columnar_capable: bool,
+    spill_dir: Optional[str] = None,
+    memory_budget_mb: Optional[int] = None,
+) -> Relation:
     """The relation in the storage layer the resolved backend should see.
 
     ``storage`` is an *effective* storage name
     (:attr:`repro.config.DetectionConfig.effective_storage`).  Columnar-
     capable backends get the requested layer — ``REPRO_STORAGE=rows``
-    genuinely pins the legacy path for cross-checking.  Row-reading backends
-    (the scan oracle, the SQL loader) always get materialised rows: one
-    decode pass here is far cheaper than the per-cell decode their full
-    scans would otherwise pay against an encoded relation.  When no
-    conversion is needed the relation is returned as-is (callers that must
-    not share state copy afterwards, as
+    genuinely pins the legacy path for cross-checking, and ``"mmap"``
+    spills the code columns to memory-mapped files under ``spill_dir``
+    (``memory_budget_mb`` sizes the ingestion chunks).  A
+    :class:`~repro.relation.mmap_store.MmapColumnStore` passes a
+    ``"columnar"`` request through unchanged — it *is* a column store, and
+    decoding it back into memory would defeat the out-of-core point.
+    Row-reading backends (the scan oracle, the SQL loader) always get
+    materialised rows: one decode pass here is far cheaper than the
+    per-cell decode their full scans would otherwise pay against an encoded
+    relation.  When no conversion is needed the relation is returned as-is
+    (callers that must not share state copy afterwards, as
     :func:`repro.repair.heuristic.repair` does).
     """
     if columnar_capable:
         if storage == "columnar" and not isinstance(relation, ColumnStore):
             return ColumnStore.from_relation(relation)
+        if storage == "mmap" and not isinstance(relation, MmapColumnStore):
+            return MmapColumnStore.from_relation(
+                relation,
+                spill_dir=spill_dir,
+                chunk_rows=(
+                    chunk_rows_for_budget(memory_budget_mb, len(relation.schema))
+                    if memory_budget_mb is not None
+                    else None
+                ),
+            )
         if storage == "rows" and isinstance(relation, ColumnStore):
             return Relation.from_validated_rows(relation.schema, relation)
         return relation

@@ -235,7 +235,11 @@ def repair(
     # copy — either way the caller's relation is never mutated.  The repaired
     # relation comes back in that storage; its rows are identical either way.
     converted = apply_storage(
-        relation, config.effective_storage, name in COLUMNAR_REPAIRERS
+        relation,
+        config.effective_storage,
+        name in COLUMNAR_REPAIRERS,
+        spill_dir=config.spill_dir,
+        memory_budget_mb=config.memory_budget_mb,
     )
     work = relation.copy() if converted is relation else converted
     # The configured kernel (see repro.kernels) is active for the whole

@@ -32,7 +32,9 @@ class TestDrivers:
     def test_fig9a_columns(self, config):
         rows = fig9a_cnf_vs_dnf_constants(config)
         assert len(rows) == len(config.sz_sweep())
-        assert set(rows[0]) == {"SZ", "cnf_seconds", "dnf_seconds", "dnf_speedup"}
+        assert set(rows[0]) == {
+            "SZ", "cnf_seconds", "dnf_seconds", "dnf_speedup", "peak_rss_mb",
+        }
 
     def test_fig9b_columns(self, config):
         rows = fig9b_cnf_vs_dnf_mixed(config)
@@ -40,11 +42,13 @@ class TestDrivers:
 
     def test_fig9c_columns(self, config):
         rows = fig9c_qc_vs_qv(config)
-        assert set(rows[0]) == {"SZ", "qc_seconds", "qv_seconds"}
+        assert set(rows[0]) == {"SZ", "qc_seconds", "qv_seconds", "peak_rss_mb"}
 
     def test_fig9d_columns(self, config):
         rows = fig9d_tabsz_scaling(config)
-        assert set(rows[0]) == {"TABSZ", "numattrs3_seconds", "numattrs4_seconds"}
+        assert set(rows[0]) == {
+            "TABSZ", "numattrs3_seconds", "numattrs4_seconds", "peak_rss_mb",
+        }
         assert [row["TABSZ"] for row in rows] == config.tabsz_sweep()
 
     def test_fig9e_columns(self, config):
@@ -58,13 +62,16 @@ class TestDrivers:
 
     def test_merged_vs_separate_columns(self, config):
         rows = merged_vs_separate(config, num_cfds=2)
-        assert set(rows[0]) == {"SZ", "num_cfds", "separate_seconds", "merged_seconds"}
+        assert set(rows[0]) == {
+            "SZ", "num_cfds", "separate_seconds", "merged_seconds", "peak_rss_mb",
+        }
 
     def test_backend_ablation_columns_and_speedup_sanity(self, config):
         rows = backend_ablation(config, tabsz=50)
         assert len(rows) == len(config.sz_sweep())
         assert set(rows[0]) == {
-            "SZ", "indexed_seconds", "inmemory_seconds", "sql_seconds", "indexed_speedup",
+            "SZ", "indexed_seconds", "inmemory_seconds", "sql_seconds",
+            "indexed_speedup", "peak_rss_mb",
         }
         assert all(row["indexed_seconds"] > 0 for row in rows)
 
@@ -73,7 +80,7 @@ class TestDrivers:
         assert len(rows) == len(config.sz_sweep())
         assert set(rows[0]) == {
             "SZ", "incremental_seconds", "indexed_seconds", "scan_seconds",
-            "changes", "passes", "incremental_speedup",
+            "changes", "passes", "incremental_speedup", "peak_rss_mb",
         }
         assert all(row["incremental_seconds"] > 0 for row in rows)
 
@@ -81,6 +88,7 @@ class TestDrivers:
         assert set(ALL_EXPERIMENTS) == {
             "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "merged",
             "backends", "repair", "pipeline", "parallel", "columnar", "kernels",
+            "outofcore",
         }
 
     def test_parallel_scaling_columns_and_agreement(self, config):
@@ -92,6 +100,7 @@ class TestDrivers:
             "SZ", "workers", "shards", "mode",
             "detect_serial_seconds", "detect_parallel_seconds", "detect_speedup",
             "repair_serial_seconds", "repair_parallel_seconds", "repair_speedup",
+            "peak_rss_mb",
         }
         assert rows[0]["mode"] == "serial"  # workers=1 never pays for a pool
         assert all(row["repair_parallel_seconds"] > 0 for row in rows)
@@ -103,7 +112,7 @@ class TestDrivers:
         assert len(rows) == len(config.sz_sweep())
         assert set(rows[0]) == {
             "SZ", "auto_seconds", "pinned_seconds", "auto_tuples_per_second",
-            "auto_backends", "changes", "passes",
+            "auto_backends", "changes", "passes", "peak_rss_mb",
         }
         assert all(row["auto_seconds"] > 0 for row in rows)
 
@@ -118,6 +127,7 @@ class TestDrivers:
         assert len(rows) == len(config.sz_sweep())
         assert set(rows[0]) == {
             "SZ", "python_detect_seconds", "numpy_detect_seconds", "numpy_speedup",
+            "peak_rss_mb",
         }
         assert all(row["numpy_detect_seconds"] > 0 for row in rows)
 

@@ -1,4 +1,4 @@
-"""Property-based equivalence of the row and columnar storage layers.
+"""Property-based equivalence of the row, columnar and mmap storage layers.
 
 Three nets, per the columnar acceptance criteria:
 
@@ -7,9 +7,11 @@ Three nets, per the columnar acceptance criteria:
   it (insert/update/delete/project/select/group_by);
 * **detection agreement** — for random relations and CFD sets, every
   detection method reports the identical violation sequence under
-  ``storage="rows"`` and ``storage="columnar"``;
+  ``storage="rows"``, ``storage="columnar"`` and ``storage="mmap"`` (the
+  memory-mapped backing additionally swept across kernels, pinning the
+  mmap × kernel × method grid of the out-of-core acceptance criteria);
 * **repair agreement** — every repair engine produces the byte-identical
-  repaired relation, change list and cost under both storages.
+  repaired relation, change list and cost under every storage.
 """
 
 from __future__ import annotations
@@ -21,7 +23,9 @@ from repro.config import DetectionConfig, RepairConfig
 from repro.core.cfd import CFD
 from repro.detection.engine import detect_violations
 from repro.errors import RepairError
+from repro.kernels import numpy_available
 from repro.relation.columnar import ColumnStore
+from repro.relation.mmap_store import MmapColumnStore
 from repro.relation.relation import Relation
 from repro.relation.schema import Schema
 from repro.reasoning.consistency import is_consistent
@@ -40,6 +44,10 @@ DETECTION_METHODS = ("inmemory", "sql", "indexed", "parallel")
 
 #: Every built-in repair engine exercised against both storages.
 REPAIR_METHODS = ("scan", "indexed", "incremental", "parallel")
+
+#: Kernels the mmap grid sweeps (the python reference always; numpy when
+#: installed — the no-numpy CI job covers the raw-mmap fallback instead).
+KERNELS = ("python", "numpy") if numpy_available() else ("python",)
 
 
 @st.composite
@@ -63,18 +71,24 @@ def relations(draw):
     return Relation(Schema("r", ATTRIBUTES), rows)
 
 
-def _detection_config(method, storage):
+def _detection_config(method, storage, kernel=None):
     if method == "parallel":
-        return DetectionConfig(method=method, storage=storage, workers=1)
-    return DetectionConfig(method=method, storage=storage)
+        return DetectionConfig(method=method, storage=storage, workers=1, kernel=kernel)
+    return DetectionConfig(method=method, storage=storage, kernel=kernel)
 
 
-def _repair_config(method, storage):
+def _repair_config(method, storage, kernel=None):
     if method == "parallel":
         return RepairConfig(
-            method=method, storage=storage, workers=1, check_consistency=False
+            method=method,
+            storage=storage,
+            workers=1,
+            check_consistency=False,
+            kernel=kernel,
         )
-    return RepairConfig(method=method, storage=storage, check_consistency=False)
+    return RepairConfig(
+        method=method, storage=storage, check_consistency=False, kernel=kernel
+    )
 
 
 @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
@@ -88,6 +102,14 @@ def test_detection_agrees_across_storages(relation, cfd_list):
             relation, cfd_list, config=_detection_config(method, "columnar")
         )
         assert list(rows_report.violations) == list(columnar_report.violations), method
+        for kernel in KERNELS:
+            mmap_report = detect_violations(
+                relation, cfd_list, config=_detection_config(method, "mmap", kernel)
+            )
+            assert list(rows_report.violations) == list(mmap_report.violations), (
+                method,
+                kernel,
+            )
 
 
 @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
@@ -95,23 +117,32 @@ def test_detection_agrees_across_storages(relation, cfd_list):
 def test_repair_agrees_across_storages(relation, cfd_list):
     if not is_consistent(cfd_list):
         return
+    grid = [("rows", None), ("columnar", None)]
+    grid += [("mmap", kernel) for kernel in KERNELS]
     for method in REPAIR_METHODS:
         outcomes = {}
-        for storage in ("rows", "columnar"):
+        for storage, kernel in grid:
             try:
-                outcomes[storage] = repair(
-                    relation, cfd_list, config=_repair_config(method, storage)
+                outcomes[(storage, kernel)] = repair(
+                    relation, cfd_list, config=_repair_config(method, storage, kernel)
                 )
             except RepairError:
-                outcomes[storage] = "no-progress"
-        rows_result, columnar_result = outcomes["rows"], outcomes["columnar"]
-        if rows_result == "no-progress" or columnar_result == "no-progress":
-            assert rows_result == columnar_result, method
-            continue
-        assert rows_result.relation.rows == columnar_result.relation.rows, method
-        assert rows_result.changes == columnar_result.changes, method
-        assert rows_result.clean == columnar_result.clean, method
-        assert rows_result.total_cost == columnar_result.total_cost, method
+                outcomes[(storage, kernel)] = "no-progress"
+        baseline = outcomes[("rows", None)]
+        for (storage, kernel), result in outcomes.items():
+            if baseline == "no-progress" or result == "no-progress":
+                assert baseline == result, (method, storage, kernel)
+                continue
+            assert baseline.relation.rows == result.relation.rows, (
+                method,
+                storage,
+                kernel,
+            )
+            assert baseline.changes == result.changes, (method, storage, kernel)
+            assert baseline.clean == result.clean, (method, storage, kernel)
+            assert baseline.total_cost == result.total_cost, (method, storage, kernel)
+            if isinstance(result.relation, MmapColumnStore):
+                result.relation.release()
 
 
 @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])

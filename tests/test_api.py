@@ -18,6 +18,7 @@ EXPECTED_REPRO_ALL = [
     "FD",
     "IndexedDetector",
     "IterableSource",
+    "MmapColumnStore",
     "PatternTableau",
     "PatternTuple",
     "PatternValue",
@@ -49,6 +50,7 @@ EXPECTED_REPRO_ALL = [
     "repair",
     "select_detection_method",
     "select_repair_method",
+    "spill_run",
     "use_kernel",
     "__version__",
 ]

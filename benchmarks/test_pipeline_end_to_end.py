@@ -85,6 +85,8 @@ def test_cleaner_output_is_oracle_clean_and_method_independent(tax_workload):
 def test_pipeline_stage_timings_cover_the_run(tax_workload):
     seconds, result = time_clean(tax_workload)
     assert result.clean
-    assert set(result.stage_seconds) == {"ingest", "detect", "repair", "verify"}
+    assert set(result.stage_seconds) == {
+        "analyze", "ingest", "detect", "repair", "verify",
+    }
     # The staged timings account for (almost all of) the measured wall clock.
     assert 0 < result.total_seconds <= seconds * 1.05

@@ -40,6 +40,7 @@ Quickstart
 True
 """
 
+from repro.analysis import AnalysisReport, AnalysisWarning, Diagnostic, analyze
 from repro.config import DetectionConfig, RepairConfig
 from repro.core.cfd import CFD, FD
 from repro.core.pattern import DONTCARE, WILDCARD, PatternValue
@@ -68,6 +69,7 @@ from repro.reasoning.consistency import is_consistent
 from repro.reasoning.implication import implies
 from repro.reasoning.mincover import minimal_cover
 from repro.registry import (
+    register_analysis_check,
     register_detector,
     register_repairer,
     select_detection_method,
@@ -81,9 +83,11 @@ from repro.relation.schema import Schema
 from repro.repair.heuristic import repair
 from repro.sql.engine import SQLDetector
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
+    "AnalysisReport",
+    "AnalysisWarning",
     "Attribute",
     "CFD",
     "Cleaner",
@@ -92,6 +96,7 @@ __all__ = [
     "ConstantViolation",
     "CSVSource",
     "DetectionConfig",
+    "Diagnostic",
     "DONTCARE",
     "FD",
     "IndexedDetector",
@@ -111,6 +116,7 @@ __all__ = [
     "Violation",
     "ViolationReport",
     "WILDCARD",
+    "analyze",
     "as_source",
     "clean",
     "cross_check",
@@ -123,6 +129,7 @@ __all__ = [
     "kernel_names",
     "minimal_cover",
     "numpy_available",
+    "register_analysis_check",
     "register_detector",
     "register_repairer",
     "repair",

@@ -145,7 +145,7 @@ class CIND:
         target_condition: Sequence[str] = (),
         pattern_rows: Iterable[Sequence[CellSpec]] = (),
         name: Optional[str] = None,
-    ) -> "CIND":
+    ) -> CIND:
         """Build a CIND from raw pattern rows (source condition cells, then target's).
 
         >>> cind = CIND.build(["book_id"], ["id"], ["type"], ["format"],

@@ -9,6 +9,8 @@ The CLI turns the library into a small standalone data-cleaning tool::
     python -m repro generate --dataset tax --size 10000 --output tax.csv --rules tax.cfd
     python -m repro bench    backends --scale 0.1
     python -m repro discover --data customers.csv --min-support 5 --output mined.cfd
+    python -m repro lint     --cfds rules.cfd --json
+    python -m repro lint     --cfds rules.cfd --optimize minimal.cfd
     python -m repro check    --cfds rules.cfd
     python -m repro show     --cfds rules.cfd --json
 
@@ -42,10 +44,9 @@ from repro.errors import ReproError
 from repro.io.json_format import cfds_from_json, cfds_to_json
 from repro.io.sources import CSVSource, RowSource, SQLiteSource
 from repro.io.text_format import format_cfds, read_cfd_file, write_cfd_file
+from repro.analysis import analyze
 from repro.pipeline import Cleaner
-from repro.reasoning.consistency import is_consistent
 from repro.relation.mmap_store import MmapColumnStore
-from repro.reasoning.mincover import minimal_cover
 from repro.registry import detector_names, repairer_names
 from repro.relation.relation import Relation
 from repro.repair.heuristic import repair
@@ -394,14 +395,55 @@ def cmd_discover(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    cfds = load_cfds(args.cfds)
+    schema = None
+    if args.data or args.sqlite:
+        # An optional data source contributes only its *schema* — the
+        # conformance checks (CFD006/CFD007) need attribute names and
+        # domains, never the rows.
+        schema = _data_source(args).schema
+    report = analyze(
+        cfds,
+        schema,
+        detection=DetectionConfig(method=args.detect_method),
+        repair=RepairConfig(method=args.repair_method),
+        deep=not args.fast,
+        optimize=bool(args.optimize),
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(f"{len(cfds)} CFDs loaded from {args.cfds}")
+        print(report.render())
+    if args.optimize:
+        # Status lines go to stderr so --json output stays parseable.
+        status = sys.stderr if args.json else sys.stdout
+        if report.optimized is None:
+            print("cannot optimize an inconsistent rule set", file=sys.stderr)
+        else:
+            write_cfd_file(args.optimize, report.optimized)
+            before = sum(len(cfd.tableau) for cfd in cfds)
+            after = sum(len(cfd.tableau) for cfd in report.optimized)
+            print(
+                f"Wrote minimal cover ({after} patterns, down from {before}) "
+                f"to {args.optimize}.",
+                file=status,
+            )
+    return 1 if report.has_errors else 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     cfds = load_cfds(args.cfds)
-    consistent = is_consistent(cfds)
+    # The same analysis the pipeline gate and `repro lint` run — the CLI can
+    # never disagree with them about what "consistent" means.
+    report = analyze(cfds, deep=False, optimize=args.mincover)
+    consistent = not report.by_code("CFD001")
     print(f"{len(cfds)} CFDs loaded from {args.cfds}; consistent: {consistent}")
     if not consistent:
         return 1
     if args.mincover:
-        cover = minimal_cover(cfds)
+        cover = report.optimized or []
         print(f"Minimal cover: {len(cover)} normal-form CFDs.")
         print(format_cfds(cover))
     return 0
@@ -531,6 +573,45 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--output", help="write the mined rules to this path")
     discover.add_argument("--json", action="store_true", help="emit JSON instead of the text format")
     discover.set_defaults(handler=cmd_discover)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically analyse a rule file: consistency (with a "
+        "counterexample witness), implication-based redundancy, and "
+        "engine-specific hazards, as stable CFD0xx/CFD1xx diagnostics",
+    )
+    lint.add_argument("--cfds", required=True, help=".cfd or .json rule file")
+    _add_data_arguments(lint)
+    lint.add_argument(
+        "--detect-method",
+        choices=detect_choices,
+        default=AUTO,
+        help="detection backend the rules are destined for; engine-specific "
+        "hazards become warnings when their engine is explicitly requested",
+    )
+    lint.add_argument(
+        "--repair-method",
+        choices=repair_choices,
+        default=AUTO,
+        help="repair engine the rules are destined for (same effect as "
+        "--detect-method on hazard severity)",
+    )
+    lint.add_argument(
+        "--fast",
+        action="store_true",
+        help="skip the deep implication checks (CFD002/CFD003) — the same "
+        "reduced pass the pipeline pre-flight gate runs",
+    )
+    lint.add_argument(
+        "--optimize",
+        metavar="OUT",
+        help="also rewrite the rule set to its minimal cover (Figure 4 of "
+        "the paper) and write it to this rule file",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    lint.set_defaults(handler=cmd_lint)
 
     check = subparsers.add_parser("check", help="check a rule file for consistency")
     check.add_argument("--cfds", required=True)

@@ -27,6 +27,9 @@ if TYPE_CHECKING:  # pragma: no cover - import only for annotations
 #: Sentinel method name meaning "let the registry pick a backend per workload".
 AUTO = "auto"
 
+#: Name of the sharded process-pool backend (registered for both kinds).
+PARALLEL = "parallel"
+
 #: SQL WHERE-clause formulations accepted by the SQL backend.
 SQL_FORMS = ("cnf", "dnf")
 
@@ -56,6 +59,20 @@ KERNELS = ("python", "numpy")
 #: The kernel used when nothing pins one: ``"auto"`` resolves to ``"numpy"``
 #: when numpy is importable and degrades to ``"python"`` otherwise.
 DEFAULT_KERNEL = AUTO
+
+#: Pre-flight static-analysis levels for the pipeline gate
+#: (:meth:`repro.pipeline.Cleaner.clean`): ``"strict"`` refuses to clean when
+#: the rule set has error-severity diagnostics, ``"warn"`` surfaces findings
+#: as :class:`~repro.analysis.AnalysisWarning` warnings and proceeds, and
+#: ``"off"`` skips the pass entirely.  The gate runs the cheap structural and
+#: consistency checks only (``deep=False``) — its cost depends on the rule
+#: set, never on the data.
+ANALYSIS_LEVELS = ("strict", "warn", "off")
+
+#: The analysis level used when nothing pins one.  ``"warn"`` never changes
+#: cleaning results (warnings do not block), and the repair path already
+#: checks consistency by default — pre-flighting it merely fails *earlier*.
+DEFAULT_ANALYSIS = "warn"
 
 
 def storage_from_env(default: str = DEFAULT_STORAGE) -> str:
@@ -111,6 +128,40 @@ def validate_kernel(kernel: Optional[str]) -> None:
             f"unknown kernel {kernel!r}; expected one of "
             f"{', '.join(map(repr, KERNELS + (AUTO,)))}"
         )
+
+
+def analysis_from_env(default: str = DEFAULT_ANALYSIS) -> str:
+    """The analysis level named by ``REPRO_ANALYSIS``, falling back on garbage.
+
+    Mirrors :func:`storage_from_env`: read at every resolution (not at
+    import) and forgiving — an unknown value keeps the default rather than
+    crashing whatever imported us.  Exporting ``REPRO_ANALYSIS=strict``
+    turns every cleaning run that did not set ``analysis=`` explicitly into
+    a gated one; ``REPRO_ANALYSIS=off`` pins the pre-PR-8 behaviour.
+    """
+    raw = os.environ.get("REPRO_ANALYSIS")
+    if not raw:
+        return default
+    value = raw.strip().lower()
+    return value if value in ANALYSIS_LEVELS else default
+
+
+def validate_analysis(analysis: Optional[str]) -> None:
+    if analysis is not None and analysis not in ANALYSIS_LEVELS:
+        raise ConfigError(
+            f"unknown analysis level {analysis!r}; expected one of "
+            f"{', '.join(map(repr, ANALYSIS_LEVELS))}"
+        )
+
+
+def strictest_analysis(*levels: str) -> str:
+    """The strictest of several effective analysis levels.
+
+    The pipeline gate honours whichever of the detection and repair configs
+    asks for more scrutiny: ``strict`` beats ``warn`` beats ``off``.
+    """
+    order = {level: rank for rank, level in enumerate(ANALYSIS_LEVELS)}
+    return min(levels, key=lambda level: order[level])
 
 
 def _validate_parallel_knobs(
@@ -201,6 +252,15 @@ class DetectionConfig:
         (default) defers to the ``REPRO_KERNEL`` environment variable, then
         to ``"auto"``.  Kernels only matter on columnar storage; outputs are
         byte-identical across kernels.
+    analysis:
+        Pre-flight static-analysis level for the pipeline gate:
+        ``"strict"`` (refuse to clean a rule set with error-severity
+        diagnostics, raising :class:`~repro.errors.AnalysisError` with the
+        report before any detection work), ``"warn"`` (surface findings as
+        warnings and proceed) or ``"off"``.  ``None`` (default) defers to
+        the ``REPRO_ANALYSIS`` environment variable, then to ``"warn"``.
+        The gate never changes cleaning *results* — only whether a doomed
+        run starts at all.
 
     >>> DetectionConfig(method="sql", strategy="merged").effective_strategy
     'merged'
@@ -221,10 +281,12 @@ class DetectionConfig:
     kernel: Optional[str] = None
     spill_dir: Optional[str] = None
     memory_budget_mb: Optional[int] = None
+    analysis: Optional[str] = None
 
     def __post_init__(self) -> None:
         validate_storage(self.storage)
         validate_kernel(self.kernel)
+        validate_analysis(self.analysis)
         _validate_memory_budget(self.memory_budget_mb)
         if self.strategy is not None and self.strategy not in SQL_STRATEGIES:
             raise ConfigError(
@@ -270,7 +332,12 @@ class DetectionConfig:
         """
         return self.kernel if self.kernel is not None else kernel_from_env()
 
-    def with_method(self, method: str) -> "DetectionConfig":
+    @property
+    def effective_analysis(self) -> str:
+        """The analysis level with ``REPRO_ANALYSIS`` and the default applied."""
+        return self.analysis if self.analysis is not None else analysis_from_env()
+
+    def with_method(self, method: str) -> DetectionConfig:
         """A copy with ``method`` pinned (used after ``"auto"`` resolution).
 
         Pinning ``"auto"`` to a serial backend drops the parallel-only knobs:
@@ -295,6 +362,7 @@ class DetectionConfig:
             "kernel": self.kernel,
             "spill_dir": self.spill_dir,
             "memory_budget_mb": self.memory_budget_mb,
+            "analysis": self.analysis,
         }
 
 
@@ -342,6 +410,11 @@ class RepairConfig:
         Compute kernel for the code-column hot loops — same semantics and
         default chain (``REPRO_KERNEL``, then ``"auto"``) as on
         :class:`DetectionConfig`.  Repairs are byte-identical across kernels.
+    analysis:
+        Pre-flight static-analysis level for the pipeline gate — same
+        semantics and default chain (``REPRO_ANALYSIS``, then ``"warn"``)
+        as on :class:`DetectionConfig`.  The gate honours the *strictest*
+        of the two configs' levels.
 
     >>> RepairConfig(max_passes=0)
     Traceback (most recent call last):
@@ -352,7 +425,7 @@ class RepairConfig:
     method: str = AUTO
     max_passes: int = 25
     check_consistency: bool = True
-    cost_model: Optional["CostModel"] = None
+    cost_model: Optional[CostModel] = None
     cache_size: Optional[int] = None
     workers: Optional[int] = None
     shard_count: Optional[int] = None
@@ -360,10 +433,12 @@ class RepairConfig:
     kernel: Optional[str] = None
     spill_dir: Optional[str] = None
     memory_budget_mb: Optional[int] = None
+    analysis: Optional[str] = None
 
     def __post_init__(self) -> None:
         validate_storage(self.storage)
         validate_kernel(self.kernel)
+        validate_analysis(self.analysis)
         _validate_memory_budget(self.memory_budget_mb)
         if self.max_passes < 1:
             raise ConfigError(f"max_passes must be at least 1, got {self.max_passes}")
@@ -371,7 +446,7 @@ class RepairConfig:
             raise ConfigError(f"cache_size must be at least 1, got {self.cache_size}")
         _validate_parallel_knobs(self.method, self.workers, self.shard_count)
 
-    def with_method(self, method: str) -> "RepairConfig":
+    def with_method(self, method: str) -> RepairConfig:
         """A copy with ``method`` pinned (used after ``"auto"`` resolution).
 
         As on :meth:`DetectionConfig.with_method`, pinning to a serial engine
@@ -393,6 +468,11 @@ class RepairConfig:
         """The kernel with ``REPRO_KERNEL`` and the default applied."""
         return self.kernel if self.kernel is not None else kernel_from_env()
 
+    @property
+    def effective_analysis(self) -> str:
+        """The analysis level with ``REPRO_ANALYSIS`` and the default applied."""
+        return self.analysis if self.analysis is not None else analysis_from_env()
+
     def summary(self) -> Dict[str, Any]:
         return {
             "method": self.method,
@@ -404,4 +484,5 @@ class RepairConfig:
             "kernel": self.kernel,
             "spill_dir": self.spill_dir,
             "memory_budget_mb": self.memory_budget_mb,
+            "analysis": self.analysis,
         }

@@ -44,7 +44,7 @@ class FD:
         if not self.rhs:
             raise CFDError("an FD must have at least one RHS attribute")
 
-    def to_cfd(self, name: Optional[str] = None) -> "CFD":
+    def to_cfd(self, name: Optional[str] = None) -> CFD:
         """Express the FD as a CFD with a single all-wildcard pattern tuple."""
         pattern = ["_"] * (len(self.lhs) + len(self.rhs))
         return CFD.build(self.lhs, self.rhs, [pattern], name=name)
@@ -116,7 +116,7 @@ class CFD:
         patterns: Iterable[Union[Sequence[CellSpec], Mapping[str, CellSpec]]],
         name: Optional[str] = None,
         schema: Optional[Schema] = None,
-    ) -> "CFD":
+    ) -> CFD:
         """Build a CFD from raw pattern rows (see :meth:`PatternTableau.build`).
 
         >>> phi1 = CFD.build(["CC", "ZIP"], ["STR"], [["44", "_", "_"]], name="phi1")
@@ -129,7 +129,7 @@ class CFD:
         return cls(lhs, rhs, tableau, name=name, schema=schema)
 
     @classmethod
-    def from_fd(cls, fd: FD, name: Optional[str] = None, schema: Optional[Schema] = None) -> "CFD":
+    def from_fd(cls, fd: FD, name: Optional[str] = None, schema: Optional[Schema] = None) -> CFD:
         """Wrap a standard FD as a CFD (single all-wildcard pattern tuple)."""
         pattern = ["_"] * (len(fd.lhs) + len(fd.rhs))
         return cls.build(fd.lhs, fd.rhs, [pattern], name=name, schema=schema)
@@ -197,7 +197,7 @@ class CFD:
         return False
 
     # ------------------------------------------------------------------ transforms
-    def normalize(self) -> List["CFD"]:
+    def normalize(self) -> List[CFD]:
         """Split into normal-form CFDs ``(X → A, tp)`` — one per (RHS attribute, pattern row).
 
         The resulting set ``Σφ`` is equivalent to the original CFD
@@ -215,7 +215,7 @@ class CFD:
                 parts.append(CFD(self._lhs, (attr,), tableau, name=suffix, schema=self._schema))
         return parts
 
-    def with_schema(self, schema: Schema) -> "CFD":
+    def with_schema(self, schema: Schema) -> CFD:
         """Attach (and validate against) a schema."""
         return CFD(self._lhs, self._rhs, self._tableau, name=self._name, schema=schema)
 

@@ -48,12 +48,12 @@ class PatternValue:
 
     # ------------------------------------------------------------ constructors
     @classmethod
-    def constant(cls, value: Any) -> "PatternValue":
+    def constant(cls, value: Any) -> PatternValue:
         """A constant pattern cell holding ``value``."""
         return cls(CONSTANT_KIND, value)
 
     @classmethod
-    def coerce(cls, raw: Union["PatternValue", Any]) -> "PatternValue":
+    def coerce(cls, raw: Union[PatternValue, Any]) -> PatternValue:
         """Turn a raw cell spec into a :class:`PatternValue`.
 
         Accepts an existing :class:`PatternValue`, the tokens ``"_"`` and
@@ -103,7 +103,7 @@ class PatternValue:
             return data_value == self._value
         return True
 
-    def subsumed_by(self, other: "PatternValue") -> bool:
+    def subsumed_by(self, other: PatternValue) -> bool:
         """The order relation ``self ⪯ other`` from Section 3.2.
 
         ``η1 ⪯ η2`` holds iff ``η2`` is the wildcard, or both are the same

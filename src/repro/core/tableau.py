@@ -109,7 +109,7 @@ class PatternTuple:
         """Whether a data tuple (given by name) matches the RHS pattern cells."""
         return all(cell.matches(values[attr]) for attr, cell in self._rhs.items())
 
-    def subsumed_by(self, other: "PatternTuple") -> bool:
+    def subsumed_by(self, other: PatternTuple) -> bool:
         """Pointwise ``⪯`` over the shared attributes (both sides must share keys)."""
         if set(self._lhs) != set(other._lhs) or set(self._rhs) != set(other._rhs):
             return False
@@ -118,24 +118,24 @@ class PatternTuple:
         return lhs_ok and rhs_ok
 
     # ------------------------------------------------------------------ transforms
-    def with_lhs_cell(self, attribute: str, cell: CellSpec) -> "PatternTuple":
+    def with_lhs_cell(self, attribute: str, cell: CellSpec) -> PatternTuple:
         """A copy with one LHS cell replaced."""
         lhs = dict(self._lhs)
         lhs[attribute] = PatternValue.coerce(cell)
         return PatternTuple(lhs, self._rhs)
 
-    def with_rhs_cell(self, attribute: str, cell: CellSpec) -> "PatternTuple":
+    def with_rhs_cell(self, attribute: str, cell: CellSpec) -> PatternTuple:
         """A copy with one RHS cell replaced."""
         rhs = dict(self._rhs)
         rhs[attribute] = PatternValue.coerce(cell)
         return PatternTuple(self._lhs, rhs)
 
-    def without_lhs_attribute(self, attribute: str) -> "PatternTuple":
+    def without_lhs_attribute(self, attribute: str) -> PatternTuple:
         """A copy with one LHS attribute dropped (used by MinCover / FD4)."""
         lhs = {attr: cell for attr, cell in self._lhs.items() if attr != attribute}
         return PatternTuple(lhs, self._rhs)
 
-    def restrict(self, lhs_attrs: Sequence[str], rhs_attrs: Sequence[str]) -> "PatternTuple":
+    def restrict(self, lhs_attrs: Sequence[str], rhs_attrs: Sequence[str]) -> PatternTuple:
         """Project the pattern tuple onto the given LHS / RHS attribute lists."""
         lhs = {attr: self.lhs_cell(attr) for attr in lhs_attrs}
         rhs = {attr: self.rhs_cell(attr) for attr in rhs_attrs}
@@ -245,7 +245,7 @@ class PatternTableau:
         lhs_attrs: Sequence[str],
         rhs_attrs: Sequence[str],
         pattern_rows: Iterable[Union[Sequence[CellSpec], Mapping[str, CellSpec]]],
-    ) -> "PatternTableau":
+    ) -> PatternTableau:
         """Build a tableau from raw cell specs.
 
         ``pattern_rows`` may contain sequences (cells in ``X`` order followed

@@ -92,7 +92,7 @@ class ViolationReport:
     def extend(self, violations: Iterable[Violation]) -> None:
         self._violations.extend(violations)
 
-    def merge(self, other: "ViolationReport") -> "ViolationReport":
+    def merge(self, other: ViolationReport) -> ViolationReport:
         """A new report containing the violations of both reports."""
         return ViolationReport(self._violations + other._violations)
 

@@ -76,7 +76,7 @@ class PartitionIndex:
 
     # ------------------------------------------------------------------ construction
     @classmethod
-    def from_relation(cls, relation: Relation, attributes: Sequence[str]) -> "PartitionIndex":
+    def from_relation(cls, relation: Relation, attributes: Sequence[str]) -> PartitionIndex:
         """Build an index over ``relation`` in one pass.
 
         A :class:`~repro.relation.columnar.ColumnStore` is ingested through

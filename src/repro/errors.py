@@ -29,6 +29,18 @@ class ReasoningError(ReproError):
     """An inference rule was applied to premises that do not satisfy its preconditions."""
 
 
+class AnalysisError(ReproError):
+    """The pre-flight static analysis refused a rule set (``analysis="strict"``).
+
+    Carries the full :class:`~repro.analysis.AnalysisReport` as ``report``
+    so callers can inspect every diagnostic, not just the message.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class ConfigError(ReproError):
     """A pipeline configuration object combines options that cannot go together."""
 

@@ -41,7 +41,7 @@ SMALL_INPUT_THRESHOLD = 32
 _INT_CODES = np.dtype(np.intc)
 
 
-def _as_array(column: CodeColumn) -> "np.ndarray":
+def _as_array(column: CodeColumn) -> np.ndarray:
     """A read-only ndarray view of a code column (zero-copy for ``array('i')``).
 
     ``array('i')`` exposes the buffer protocol, so the view costs nothing;
@@ -55,7 +55,7 @@ def _as_array(column: CodeColumn) -> "np.ndarray":
     return np.asarray(column, dtype=_INT_CODES)
 
 
-def _boundaries(sorted_cols: List["np.ndarray"], count: int):
+def _boundaries(sorted_cols: List[np.ndarray], count: int):
     """Start offsets of each run of equal keys in lexsorted columns."""
     change = np.zeros(count, dtype=bool)
     change[0] = True
@@ -68,7 +68,7 @@ def _boundaries(sorted_cols: List["np.ndarray"], count: int):
     return starts, ends
 
 
-def _stable_order(arrays: List["np.ndarray"]) -> "np.ndarray":
+def _stable_order(arrays: List[np.ndarray]) -> np.ndarray:
     """A stable sort order over multi-column keys.
 
     Fuses the columns into one ``int64`` composite key (codes are dense and
@@ -98,7 +98,7 @@ def _stable_order(arrays: List["np.ndarray"]) -> "np.ndarray":
 
 
 def _grouped(
-    arrays: List["np.ndarray"], base: "np.ndarray"
+    arrays: List[np.ndarray], base: "np.ndarray"
 ) -> Iterable[CodeGroup]:
     """Group positions ``0..n-1`` of ``arrays`` and map them through ``base``.
 
@@ -206,7 +206,7 @@ class NumpyKernel:
                 return []
             lhs = [_as_array(column)[start:stop][base] for column in lhs_columns]
             rhs = [_as_array(column)[start:stop][base] for column in rhs_columns]
-            masked_members: Optional["np.ndarray"] = base + start if start else base
+            masked_members: Optional[np.ndarray] = base + start if start else base
         else:
             lhs = [_as_array(column)[start:stop] for column in lhs_columns]
             rhs = [_as_array(column)[start:stop] for column in rhs_columns]

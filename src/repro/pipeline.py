@@ -24,10 +24,12 @@ or automatically with ``method="auto"`` (the default).
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.config import AUTO, DetectionConfig, RepairConfig
+from repro.analysis import AnalysisReport, AnalysisWarning, analyze, require_clean
+from repro.config import AUTO, DetectionConfig, RepairConfig, strictest_analysis
 from repro.core.cfd import CFD
 from repro.core.violations import ViolationReport
 from repro.detection.engine import detect_violations
@@ -86,6 +88,8 @@ class CleaningResult:
     backends: Dict[str, str] = field(default_factory=dict)
     #: Human-readable description of the ingested source.
     source: str = ""
+    #: The pre-flight static-analysis report (``None`` when ``analysis="off"``).
+    analysis_report: Optional[AnalysisReport] = None
 
     @property
     def total_seconds(self) -> float:
@@ -155,6 +159,40 @@ class Cleaner:
         self.max_rounds = max_rounds
 
     # ------------------------------------------------------------------ stages
+    def _preflight(
+        self, cfds: Sequence[CFD], schema: Optional[Schema]
+    ) -> Optional[AnalysisReport]:
+        """The pre-flight static-analysis gate (see ``docs/analysis.md``).
+
+        Runs :func:`repro.analysis.analyze` with ``deep=False`` — the cheap
+        structural, consistency and hazard checks whose cost depends only on
+        the rule set, never on the data — at the *strictest* of the two
+        configs' ``analysis`` levels.  ``"strict"`` raises
+        :class:`~repro.errors.AnalysisError` on error-severity diagnostics
+        before any ingestion or detection work; ``"warn"`` surfaces findings
+        as :class:`~repro.analysis.AnalysisWarning` warnings and proceeds
+        (results are untouched — the gate never mutates anything);
+        ``"off"`` skips the pass and returns ``None``.
+        """
+        level = strictest_analysis(
+            self.detection.effective_analysis, self.repair.effective_analysis
+        )
+        if level == "off":
+            return None
+        report = analyze(
+            cfds,
+            schema,
+            detection=self.detection,
+            repair=self.repair,
+            deep=False,
+        )
+        if level == "strict":
+            require_clean(report)
+        else:
+            for diagnostic in report.errors() + report.warnings():
+                warnings.warn(diagnostic.render(), AnalysisWarning, stacklevel=4)
+        return report
+
     def ingest(
         self,
         source: Union[RowSource, Relation, str, Iterable],
@@ -226,8 +264,17 @@ class Cleaner:
         spill_dir = self.detection.spill_dir or self.repair.spill_dir
         memory_budget = self.detection.memory_budget_mb or self.repair.memory_budget_mb
 
-        start = time.perf_counter()
         row_source = as_source(source, schema=schema)
+
+        # Pre-flight gate: statically analyse the rule set against the
+        # source schema and the engine configs *before* ingesting a single
+        # row — a 10M-row mmap ingest is exactly the work an inconsistent
+        # rule set must not be allowed to waste.
+        start = time.perf_counter()
+        analysis_report = self._preflight(cfds, row_source.schema)
+        stage_seconds["analyze"] = time.perf_counter() - start
+
+        start = time.perf_counter()
         if "mmap" in (detect_storage, repair_storage):
             # Out-of-core ingestion: stream the rows straight into spilled
             # code columns so the relation is never materialised as Python
@@ -304,6 +351,7 @@ class Cleaner:
             stage_seconds=stage_seconds,
             backends=backends,
             source=row_source.describe(),
+            analysis_report=analysis_report,
         )
         stage_seconds["repair"] = 0.0
         stage_seconds["verify"] = 0.0

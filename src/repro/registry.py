@@ -50,6 +50,7 @@ _Backend = TypeVar("_Backend", bound=Callable)
 
 _DETECTORS: Dict[str, Callable] = {}
 _REPAIRERS: Dict[str, Callable] = {}
+_ANALYSIS_CHECKS: Dict[str, Callable] = {}
 
 #: Workload size (rows x pattern tuples) below which full re-scans win.
 #: Detection: the in-memory oracle beats building partition maps on tiny
@@ -165,6 +166,11 @@ def _ensure_builtins() -> None:
     import repro.repair.heuristic  # noqa: F401
 
 
+def _ensure_analysis_builtins() -> None:
+    """Import the built-in analysis checks (deferred: they import back here)."""
+    import repro.analysis.checks  # noqa: F401
+
+
 def _register(table: Dict[str, Callable], kind: str, name: str, replace: bool):
     if name == AUTO:
         raise RegistryError(f'"{AUTO}" is reserved for automatic backend selection')
@@ -189,6 +195,47 @@ def register_detector(name: str, *, replace: bool = False):
 def register_repairer(name: str, *, replace: bool = False):
     """Decorator registering a repair engine factory under ``name``."""
     return _register(_REPAIRERS, "repairer", name, replace)
+
+
+def register_analysis_check(name: str, *, replace: bool = False):
+    """Decorator registering a static-analysis check under ``name``.
+
+    A check is a callable ``check(ctx)`` taking an
+    :class:`repro.analysis.AnalysisContext` and yielding
+    :class:`repro.analysis.Diagnostic` findings.  The built-in checks
+    (``repro.analysis.checks``) register themselves this way; backends that
+    ship their own hazard analyses use the same decorator:
+
+    >>> from repro.registry import register_analysis_check, unregister_analysis_check
+    >>> @register_analysis_check("my-hazard")
+    ... def my_hazard(ctx):
+    ...     return []
+    >>> unregister_analysis_check("my-hazard")
+    """
+    return _register(_ANALYSIS_CHECKS, "analysis check", name, replace)
+
+
+def unregister_analysis_check(name: str) -> None:
+    """Remove a registered analysis check (primarily for tests)."""
+    _ANALYSIS_CHECKS.pop(name, None)
+
+
+def analysis_check_names() -> Tuple[str, ...]:
+    """Every registered analysis check name, sorted."""
+    _ensure_analysis_builtins()
+    return tuple(sorted(_ANALYSIS_CHECKS))
+
+
+def get_analysis_check(name: str) -> Callable:
+    """The analysis check registered under ``name``."""
+    _ensure_analysis_builtins()
+    try:
+        return _ANALYSIS_CHECKS[name]
+    except KeyError:
+        raise RegistryError(
+            f"unknown analysis check {name!r}; expected one of "
+            f"{', '.join(map(repr, analysis_check_names()))}"
+        ) from None
 
 
 def unregister_detector(name: str) -> None:

@@ -390,7 +390,7 @@ class ColumnStore(Relation):
             )
 
     # ------------------------------------------------------------------ algebra
-    def project(self, attributes: Sequence[str], distinct: bool = False) -> "ColumnStore":
+    def project(self, attributes: Sequence[str], distinct: bool = False) -> ColumnStore:
         """Project onto ``attributes``; optionally de-duplicate the result."""
         projected_schema = self._schema.project(attributes)
         positions = self._schema.positions(attributes)
@@ -422,7 +422,7 @@ class ColumnStore(Relation):
     def _copy_column(
         self,
         position: int,
-        target_store: "ColumnStore",
+        target_store: ColumnStore,
         target_position: int,
         indices: Optional[Sequence[int]],
     ) -> None:
@@ -458,7 +458,7 @@ class ColumnStore(Relation):
             column = list(raw) if indices is None else [raw[index] for index in indices]
         target_store._raw[target_position] = column
 
-    def copy(self) -> "ColumnStore":
+    def copy(self) -> ColumnStore:
         """An independent copy sharing no mutable state.
 
         Column states are preserved: copying must not force a split or an
@@ -466,7 +466,7 @@ class ColumnStore(Relation):
         """
         return self._gather(None)
 
-    def take(self, indices: Sequence[int]) -> "ColumnStore":
+    def take(self, indices: Sequence[int]) -> ColumnStore:
         """The rows at ``indices``, in that order, as a new column store.
 
         Encoded columns are gathered code-wise with their dictionaries copied
@@ -477,7 +477,7 @@ class ColumnStore(Relation):
         """
         return self._gather(list(indices))
 
-    def _gather(self, indices: Optional[List[int]]) -> "ColumnStore":
+    def _gather(self, indices: Optional[List[int]]) -> ColumnStore:
         """A new store with all rows (``None``) or the rows at ``indices``,
         every column keeping its current state."""
         clone = ColumnStore(self._schema)
@@ -508,7 +508,7 @@ class ColumnStore(Relation):
         return clone
 
     @classmethod
-    def from_validated_rows(cls, schema: Schema, rows: Iterable[Row]) -> "ColumnStore":
+    def from_validated_rows(cls, schema: Schema, rows: Iterable[Row]) -> ColumnStore:
         """Adopt positional rows already validated for ``schema``.
 
         Adoption is O(1) per row (the block is kept pending); each column is
@@ -532,7 +532,7 @@ class ColumnStore(Relation):
         return store
 
     @classmethod
-    def from_relation(cls, relation: Relation) -> "ColumnStore":
+    def from_relation(cls, relation: Relation) -> ColumnStore:
         """Columnar view of an existing relation (rows trusted, no re-coercion)."""
         if isinstance(relation, ColumnStore):
             return relation.copy()

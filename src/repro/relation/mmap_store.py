@@ -391,7 +391,7 @@ class MmapColumnStore(ColumnStore):
             stale.unlink()
 
     # ------------------------------------------------------------------ algebra
-    def _gather(self, indices: Optional[List[int]]) -> "MmapColumnStore":
+    def _gather(self, indices: Optional[List[int]]) -> MmapColumnStore:
         """A new mapped store (own run dir, same base) with the chosen rows."""
         clone = self._spawn()
         width = len(self._schema)
@@ -429,7 +429,7 @@ class MmapColumnStore(ColumnStore):
             clone._remap()
         return clone
 
-    def _spawn(self) -> "MmapColumnStore":
+    def _spawn(self) -> MmapColumnStore:
         return MmapColumnStore(
             self._schema,
             spill_dir=str(self._base) if self._explicit else None,
@@ -466,7 +466,7 @@ class MmapColumnStore(ColumnStore):
         *,
         spill_dir: Optional[Union[str, Path]] = None,
         chunk_rows: Optional[int] = None,
-    ) -> "MmapColumnStore":
+    ) -> MmapColumnStore:
         """Adopt positional rows already validated for ``schema`` (chunked)."""
         store = cls(schema, spill_dir=spill_dir, chunk_rows=chunk_rows)
         store._ingest(rows, coerce=False)
@@ -479,7 +479,7 @@ class MmapColumnStore(ColumnStore):
         *,
         spill_dir: Optional[Union[str, Path]] = None,
         chunk_rows: Optional[int] = None,
-    ) -> "MmapColumnStore":
+    ) -> MmapColumnStore:
         """Mapped view of an existing relation (rows trusted, no re-coercion).
 
         An encoded :class:`ColumnStore` transfers column-wise — its code
@@ -517,7 +517,7 @@ class MmapColumnStore(ColumnStore):
         dictionaries: Sequence[Sequence[Any]],
         *,
         chunk_rows: Optional[int] = None,
-    ) -> "MmapColumnStore":
+    ) -> MmapColumnStore:
         """Open shard files written by :func:`repro.parallel.sharding.spill_shards`.
 
         The directory must hold one ``col<p>.0.bin`` per schema position

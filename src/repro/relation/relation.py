@@ -205,7 +205,7 @@ class Relation:
             yield dict(zip(names, row))
 
     # ------------------------------------------------------------------ algebra
-    def select(self, predicate: Callable[[Mapping[str, Any]], bool]) -> "Relation":
+    def select(self, predicate: Callable[[Mapping[str, Any]], bool]) -> Relation:
         """Return a new relation with the rows whose mapping satisfies ``predicate``.
 
         The predicate receives a read-only by-name mapping over each row.
@@ -221,7 +221,7 @@ class Relation:
         ]
         return self.take(matching)
 
-    def project(self, attributes: Sequence[str], distinct: bool = False) -> "Relation":
+    def project(self, attributes: Sequence[str], distinct: bool = False) -> Relation:
         """Project onto ``attributes``; optionally de-duplicate the result."""
         projected_schema = self._schema.project(attributes)
         positions = self._schema.positions(attributes)
@@ -245,13 +245,13 @@ class Relation:
             groups.setdefault(key, []).append(index)
         return groups
 
-    def copy(self) -> "Relation":
+    def copy(self) -> Relation:
         """A shallow copy (rows are immutable tuples, so this is safe)."""
         clone = Relation(self._schema)
         clone._rows = list(self._rows)
         return clone
 
-    def take(self, indices: Sequence[int]) -> "Relation":
+    def take(self, indices: Sequence[int]) -> Relation:
         """The rows at ``indices``, in that order, as a new relation.
 
         Preserves the storage class: a row relation yields a row relation, a
@@ -264,7 +264,7 @@ class Relation:
         )
 
     @classmethod
-    def from_validated_rows(cls, schema: Schema, rows: Iterable[Row]) -> "Relation":
+    def from_validated_rows(cls, schema: Schema, rows: Iterable[Row]) -> Relation:
         """Build a relation from positional rows already validated for ``schema``.
 
         Skips the per-row coercion of :meth:`insert` — the fast path for
@@ -294,7 +294,7 @@ class Relation:
             writer.writerows(self)
 
     @classmethod
-    def from_csv(cls, schema: Schema, path: Union[str, Path]) -> "Relation":
+    def from_csv(cls, schema: Schema, path: Union[str, Path]) -> Relation:
         """Load a relation from a CSV file whose header matches ``schema``.
 
         Cells are parsed through the schema's attribute types and checked
@@ -335,6 +335,6 @@ class Relation:
         return cls.from_validated_rows(schema, rows)
 
     @classmethod
-    def from_dicts(cls, schema: Schema, rows: Iterable[Mapping[str, Any]]) -> "Relation":
+    def from_dicts(cls, schema: Schema, rows: Iterable[Mapping[str, Any]]) -> Relation:
         """Build a relation from an iterable of attribute-name → value mappings."""
         return cls(schema, rows)

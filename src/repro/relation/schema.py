@@ -95,7 +95,7 @@ class Schema:
                 raise SchemaError(f"schema {self._name!r} has no attribute {name!r}")
         return resolved
 
-    def project(self, names: Sequence[str]) -> "Schema":
+    def project(self, names: Sequence[str]) -> Schema:
         """Return a new schema containing only ``names`` (in the given order)."""
         self.validate_attributes(names)
         return Schema(self._name, [self[name] for name in names])

@@ -102,7 +102,7 @@ class SQLDetector:
     def close(self) -> None:
         self.connection.close()
 
-    def __enter__(self) -> "SQLDetector":
+    def __enter__(self) -> SQLDetector:
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
@@ -138,7 +138,7 @@ class SQLDetector:
         strategy: str = "per_cfd",
         form: str = "dnf",
         expand_variable_violations: bool = True,
-        config: Optional["DetectionConfig"] = None,
+        config: Optional[DetectionConfig] = None,
     ) -> DetectionRun:
         """Detect all violations of ``cfds`` in the loaded relation.
 

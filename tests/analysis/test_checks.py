@@ -1,0 +1,240 @@
+"""The built-in checks: one scenario per diagnostic code CFD001–CFD102."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.analysis.checks import DEEP_CHECK_LIMIT
+from repro.config import DetectionConfig, RepairConfig
+from repro.core.cfd import CFD
+from repro.relation.attribute import Attribute
+from repro.relation.schema import Schema
+
+
+def clash():
+    """Two CFDs no nonempty instance can satisfy (Example 4 of the paper)."""
+    return [
+        CFD.build(["A"], ["B"], [["_", "b"]], name="p1"),
+        CFD.build(["A"], ["B"], [["_", "c"]], name="p2"),
+    ]
+
+
+class TestConsistencyCFD001:
+    def test_inconsistent_pair_yields_error_with_witness(self):
+        report = analyze(clash())
+        (diagnostic,) = report.by_code("CFD001")
+        assert diagnostic.severity == "error"
+        assert diagnostic.witness["conflicting_cfds"] == ["p1", "p2"]
+        assert diagnostic.witness["core_size"] == 2
+        assert len(diagnostic.witness["core"]) == 2
+
+    def test_core_is_minimised_out_of_a_larger_set(self):
+        bystanders = [
+            CFD.build(["B"], ["C"], [["_", "_"]], name=f"ok{i}") for i in range(5)
+        ]
+        report = analyze(bystanders + clash())
+        (diagnostic,) = report.by_code("CFD001")
+        assert diagnostic.witness["conflicting_cfds"] == ["p1", "p2"]
+
+    def test_consistent_set_is_silent(self, cust_constraints):
+        assert not analyze(cust_constraints).by_code("CFD001")
+
+    def test_inconsistency_suppresses_deep_redundancy(self):
+        # Everything is implied by a contradiction; CFD002/CFD003 from an
+        # inconsistent premise would be noise.
+        report = analyze(clash() + clash())
+        assert not report.by_code("CFD002")
+        assert not report.by_code("CFD003")
+
+
+class TestRedundancyCFD002:
+    def test_equivalent_twins_are_both_reported(self):
+        twins = [
+            CFD.build(["A"], ["B"], [["_", "b"]], name="twin1"),
+            CFD.build(["A"], ["B"], [["_", "b"]], name="twin2"),
+        ]
+        report = analyze(twins)
+        assert [d.cfd for d in report.by_code("CFD002")] == ["twin1", "twin2"]
+        assert all(d.severity == "warning" for d in report.by_code("CFD002"))
+
+    def test_independent_rules_are_silent(self):
+        independent = [
+            CFD.build(["A"], ["B"], [["_", "b"]], name="r1"),
+            CFD.build(["B"], ["C"], [["_", "c"]], name="r2"),
+        ]
+        assert not analyze(independent).by_code("CFD002")
+
+    def test_shallow_analysis_skips_the_chase(self):
+        twins = [
+            CFD.build(["A"], ["B"], [["_", "b"]], name="twin1"),
+            CFD.build(["A"], ["B"], [["_", "b"]], name="twin2"),
+        ]
+        assert not analyze(twins, deep=False).by_code("CFD002")
+
+
+class TestRedundantLhsAttributeCFD003:
+    def test_trivial_dependency_flags_spurious_lhs_attribute(self):
+        # [A, B] -> [B] holds without A: reflexivity makes A dead weight.
+        trivial = CFD.build(["A", "B"], ["B"], [["_", "_", "_"]], name="t")
+        report = analyze([trivial])
+        (diagnostic,) = report.by_code("CFD003")
+        assert diagnostic.attribute == "A"
+        assert diagnostic.severity == "warning"
+
+    def test_minimal_lhs_is_silent(self):
+        # A pure FD A -> B: dropping A would claim every tuple shares one B.
+        minimal = CFD.build(["A"], ["B"], [["_", "_"]], name="m")
+        assert not analyze([minimal]).by_code("CFD003")
+
+    def test_constant_pattern_with_wildcard_lhs_is_flagged(self):
+        # [A] -> [B = b] with a wildcard LHS cell binds *every* tuple (each
+        # tuple pairs with itself), so the dependency holds without A.
+        constant = CFD.build(["A"], ["B"], [["_", "b"]], name="c")
+        (diagnostic,) = analyze([constant]).by_code("CFD003")
+        assert diagnostic.attribute == "A"
+
+
+class TestDuplicateNamesCFD004:
+    def test_explicit_duplicate_names(self):
+        rules = [
+            CFD.build(["A"], ["B"], [["_", "b"]], name="phi"),
+            CFD.build(["B"], ["C"], [["_", "c"]], name="phi"),
+        ]
+        (diagnostic,) = analyze(rules).by_code("CFD004")
+        assert diagnostic.severity == "error"
+        assert diagnostic.witness == {"name": "phi", "count": 2}
+
+    def test_unnamed_cfds_on_the_same_fd_collide(self):
+        # Auto-derived names are a function of the embedded FD, so two
+        # anonymous CFDs over the same FD silently share one.
+        rules = [
+            CFD.build(["A"], ["B"], [["_", "b"]]),
+            CFD.build(["A"], ["B"], [["a", "_"]]),
+        ]
+        assert analyze(rules).by_code("CFD004")
+
+    def test_distinct_names_are_silent(self, cust_constraints):
+        assert not analyze(cust_constraints).by_code("CFD004")
+
+
+class TestNormalFormCFD005:
+    def test_multi_pattern_tableau_is_informational(self):
+        wide = CFD.build(["A"], ["B"], [["a", "b"], ["c", "d"]], name="w")
+        (diagnostic,) = analyze([wide]).by_code("CFD005")
+        assert diagnostic.severity == "info"
+        assert diagnostic.cfd == "w"
+
+    def test_normal_form_is_silent(self):
+        assert not analyze([CFD.build(["A"], ["B"], [["_", "b"]])]).by_code("CFD005")
+
+
+class TestSchemaChecksCFD006CFD007:
+    @pytest.fixture
+    def schema(self):
+        return Schema(
+            "r", [Attribute("A"), Attribute("B", domain=("b", "c")), Attribute("C")]
+        )
+
+    def test_constant_outside_finite_domain(self, schema):
+        rule = CFD.build(["A"], ["B"], [["_", "zz"]], name="bad")
+        (diagnostic,) = analyze([rule], schema).by_code("CFD006")
+        assert diagnostic.severity == "error"
+        assert diagnostic.attribute == "B"
+        assert diagnostic.witness["value"] == "zz"
+        assert diagnostic.witness["domain"] == ["b", "c"]
+
+    def test_constant_inside_domain_is_silent(self, schema):
+        rule = CFD.build(["A"], ["B"], [["_", "b"]], name="ok")
+        assert not analyze([rule], schema).by_code("CFD006")
+
+    def test_unknown_attribute(self, schema):
+        rule = CFD.build(["A"], ["D"], [["_", "_"]], name="ghost")
+        (diagnostic,) = analyze([rule], schema).by_code("CFD007")
+        assert diagnostic.severity == "error"
+        assert diagnostic.attribute == "D"
+        assert diagnostic.witness["schema"] == ["A", "B", "C"]
+
+    def test_missing_attribute_suppresses_domain_check(self, schema):
+        # A rule that is not even over the schema gets CFD007, not a
+        # follow-on domain error for cells we cannot interpret.
+        rule = CFD.build(["D"], ["B"], [["_", "zz"]], name="ghost")
+        report = analyze([rule], schema)
+        assert report.by_code("CFD007")
+        assert not report.by_code("CFD006")
+
+    def test_without_a_schema_both_are_silent(self):
+        rule = CFD.build(["A"], ["D"], [["_", "zz"]], name="ghost")
+        report = analyze([rule])
+        assert not report.by_code("CFD006")
+        assert not report.by_code("CFD007")
+
+
+class TestDuplicatePatternsCFD008:
+    def test_repeated_row_is_flagged_once_with_count(self):
+        rule = CFD.build(["A"], ["B"], [["a", "b"], ["a", "b"], ["c", "d"]], name="d")
+        (diagnostic,) = analyze([rule]).by_code("CFD008")
+        assert diagnostic.severity == "warning"
+        assert diagnostic.witness["count"] == 2
+
+    def test_distinct_rows_are_silent(self):
+        rule = CFD.build(["A"], ["B"], [["a", "b"], ["c", "d"]], name="d")
+        assert not analyze([rule]).by_code("CFD008")
+
+
+class TestDeepCheckLimitCFD009:
+    def test_oversized_rule_set_skips_the_chase(self):
+        many = [
+            CFD.build(["A"], ["B"], [[f"x{i}", "y"]], name=f"c{i}")
+            for i in range(DEEP_CHECK_LIMIT + 1)
+        ]
+        report = analyze(many)
+        (diagnostic,) = report.by_code("CFD009")
+        assert diagnostic.severity == "info"
+        assert not report.by_code("CFD002")
+        assert not report.by_code("CFD003")
+
+
+class TestParallelHazardsCFD101CFD102:
+    def overlap_rules(self):
+        # phi2 groups by B, which phi1 may rewrite: repairs can move tuples
+        # between shards (the engine's serial reconcile predicate).
+        return [
+            CFD.build(["A"], ["B"], [["_", "b"]], name="phi1"),
+            CFD.build(["B"], ["C"], [["_", "c"]], name="phi2"),
+        ]
+
+    def test_rhs_lhs_overlap_is_info_by_default(self):
+        (diagnostic,) = analyze(self.overlap_rules(), deep=False).by_code("CFD101")
+        assert diagnostic.severity == "info"
+        assert diagnostic.witness == {"overlap": ["B"]}
+
+    @pytest.mark.parametrize(
+        "configs",
+        [
+            {"detection": DetectionConfig(method="parallel")},
+            {"repair": RepairConfig(method="parallel")},
+        ],
+    )
+    def test_overlap_escalates_when_parallel_requested(self, configs):
+        report = analyze(self.overlap_rules(), deep=False, **configs)
+        assert report.by_code("CFD101")[0].severity == "warning"
+
+    def test_disjoint_rules_are_silent(self):
+        rules = [CFD.build(["A"], ["B"], [["_", "b"]], name="only")]
+        assert not analyze(rules, deep=False).by_code("CFD101")
+
+    def test_dontcare_lhs_row_degenerates_to_one_shard(self):
+        rule = CFD.build(["A"], ["B"], [["@", "b"]], name="k")
+        (diagnostic,) = analyze([rule], deep=False).by_code("CFD102")
+        assert diagnostic.severity == "info"
+        assert diagnostic.cfd == "k"
+        assert diagnostic.witness == {"pattern_row": 0}
+
+    def test_degenerate_escalates_when_parallel_requested(self):
+        rule = CFD.build(["A"], ["B"], [["@", "b"]], name="k")
+        report = analyze([rule], deep=False, detection=DetectionConfig(method="parallel"))
+        assert report.by_code("CFD102")[0].severity == "warning"
+
+    def test_constant_lhs_still_groups(self):
+        # A constant LHS cell is @-free: it still partitions the relation.
+        rule = CFD.build(["A"], ["B"], [["a", "b"]], name="k")
+        assert not analyze([rule], deep=False).by_code("CFD102")

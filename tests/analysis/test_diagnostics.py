@@ -1,0 +1,129 @@
+"""Diagnostic and AnalysisReport data types: rendering, ordering, JSON."""
+
+import json
+
+import pytest
+
+from repro.analysis import AnalysisReport, Diagnostic, sort_diagnostics
+
+
+def diag(**overrides):
+    base = {"code": "CFD001", "severity": "error", "message": "boom"}
+    base.update(overrides)
+    return Diagnostic(**base)
+
+
+class TestDiagnostic:
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            diag(severity="fatal")
+
+    def test_is_error(self):
+        assert diag().is_error
+        assert not diag(severity="warning").is_error
+
+    def test_render_plain(self):
+        assert diag().render() == "CFD001 error: boom"
+
+    def test_render_with_cfd_attribute_and_hint(self):
+        rendered = diag(
+            code="CFD003",
+            severity="warning",
+            cfd="phi1",
+            attribute="ZIP",
+            hint="drop it",
+        ).render()
+        assert rendered == "CFD003 warning [phi1.ZIP]: boom (hint: drop it)"
+
+    def test_render_cfd_only_location(self):
+        assert "[phi1]:" in diag(cfd="phi1").render()
+
+    def test_to_dict_omits_absent_fields(self):
+        payload = diag().to_dict()
+        assert payload == {
+            "code": "CFD001",
+            "severity": "error",
+            "message": "boom",
+            "check": "",
+        }
+
+    def test_to_dict_includes_witness(self):
+        payload = diag(witness={"core_size": 2}).to_dict()
+        assert payload["witness"] == {"core_size": 2}
+
+    def test_sort_orders_errors_before_warnings_before_infos(self):
+        ordered = sort_diagnostics(
+            [
+                diag(code="CFD005", severity="info"),
+                diag(code="CFD002", severity="warning"),
+                diag(code="CFD004", severity="error"),
+                diag(code="CFD001", severity="error"),
+            ]
+        )
+        assert [d.code for d in ordered] == ["CFD001", "CFD004", "CFD002", "CFD005"]
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            diag().severity = "info"
+
+
+class TestAnalysisReport:
+    @pytest.fixture
+    def report(self):
+        return AnalysisReport(
+            diagnostics=sort_diagnostics(
+                [
+                    diag(code="CFD005", severity="info", cfd="phi1"),
+                    diag(code="CFD004", severity="error", cfd="phi1"),
+                    diag(code="CFD002", severity="warning", cfd="phi2"),
+                ]
+            ),
+            checks_run=("names", "normal-form", "redundancy"),
+            deep=True,
+        )
+
+    def test_container_protocol(self, report):
+        assert len(report) == 3
+        assert bool(report)
+        assert not AnalysisReport()
+        assert [d.code for d in report] == ["CFD004", "CFD002", "CFD005"]
+
+    def test_severity_views(self, report):
+        assert [d.code for d in report.errors()] == ["CFD004"]
+        assert [d.code for d in report.warnings()] == ["CFD002"]
+        assert [d.code for d in report.infos()] == ["CFD005"]
+
+    def test_ok_and_has_errors(self, report):
+        assert report.has_errors and not report.ok
+        warnings_only = AnalysisReport([diag(code="CFD002", severity="warning")])
+        assert warnings_only.ok
+
+    def test_codes_and_by_code(self, report):
+        assert report.codes() == ("CFD002", "CFD004", "CFD005")
+        assert [d.cfd for d in report.by_code("CFD004")] == ["phi1"]
+        assert report.by_code("CFD999") == []
+
+    def test_summary_counts(self, report):
+        summary = report.summary()
+        assert summary["diagnostics"] == 3
+        assert summary["errors"] == 1
+        assert summary["warnings"] == 1
+        assert summary["infos"] == 1
+        assert summary["deep"] is True
+
+    def test_to_json_round_trips(self, report):
+        payload = json.loads(report.to_json())
+        assert payload["summary"]["codes"] == ["CFD002", "CFD004", "CFD005"]
+        assert [d["code"] for d in payload["diagnostics"]] == [
+            "CFD004",
+            "CFD002",
+            "CFD005",
+        ]
+
+    def test_render_footer(self, report):
+        rendered = report.render()
+        assert "1 error(s), 1 warning(s), 1 info(s)" in rendered
+        assert "skipped" not in rendered
+
+    def test_render_notes_skipped_deep_checks(self):
+        assert "(deep implication checks skipped)" in AnalysisReport().render()

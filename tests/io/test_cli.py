@@ -273,3 +273,103 @@ class TestCheckAndShowCommands:
         output = capsys.readouterr().out
         assert code == 0
         assert json.loads(output)["cfds"]
+
+
+class TestLintCommand:
+    @pytest.fixture
+    def bad_rules(self, tmp_path):
+        bad = tmp_path / "bad.cfd"
+        bad.write_text("[A] -> [B = b]\n[A] -> [B = c]\n")
+        return str(bad)
+
+    def test_lint_clean_rules_exit_0(self, workspace, capsys):
+        code = main(["lint", "--cfds", workspace["rules"]])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "0 error(s)" in output
+
+    def test_lint_inconsistent_rules_exit_1(self, bad_rules, capsys):
+        code = main(["lint", "--cfds", bad_rules])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "CFD001" in output
+
+    def test_lint_json_payload(self, bad_rules, capsys):
+        code = main(["lint", "--cfds", bad_rules, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert "CFD001" in payload["summary"]["codes"]
+        witness = next(
+            d for d in payload["diagnostics"] if d["code"] == "CFD001"
+        )["witness"]
+        assert witness["core_size"] == 2
+
+    def test_lint_fast_skips_deep_checks(self, workspace, capsys):
+        code = main(["lint", "--cfds", workspace["rules"], "--fast"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "(deep implication checks skipped)" in output
+
+    def test_lint_with_data_enables_schema_checks(self, workspace, tmp_path, capsys):
+        ghost = tmp_path / "ghost.cfd"
+        ghost.write_text("cfd ghost on cust: [NOPE] -> [STR]\n")
+        code = main(["lint", "--cfds", str(ghost), "--data", workspace["data"]])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "CFD007" in output
+
+    def test_lint_optimize_writes_an_equivalent_cover(self, tmp_path, capsys):
+        from repro.core.cfd import CFD
+        from repro.reasoning.implication import equivalent
+
+        dup = tmp_path / "dup.cfd"
+        write_cfd_file(dup, [
+            CFD.build(["ZIP"], ["ST"], [["_", "_"]], name="twin1"),
+            CFD.build(["ZIP"], ["ST"], [["_", "_"]], name="twin2"),
+        ])
+        out = tmp_path / "minimal.cfd"
+        code = main(["lint", "--cfds", str(dup), "--optimize", str(out)])
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert "Wrote minimal cover" in stdout
+        cover = load_cfds(str(out))
+        assert equivalent(cover, load_cfds(str(dup)))
+
+    def test_lint_optimize_refuses_inconsistent_rules(self, bad_rules, tmp_path, capsys):
+        out = tmp_path / "minimal.cfd"
+        code = main(["lint", "--cfds", bad_rules, "--optimize", str(out)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert not out.exists()
+        assert "cannot optimize" in captured.err
+
+    def test_lint_json_stdout_stays_parseable_with_optimize(
+        self, workspace, tmp_path, capsys
+    ):
+        out = tmp_path / "minimal.cfd"
+        code = main([
+            "lint", "--cfds", workspace["rules"], "--optimize", str(out), "--json",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)  # status line went to stderr
+        assert payload["optimized_cfds"] >= 1
+        assert "Wrote minimal cover" in captured.err
+
+    def test_lint_parallel_method_escalates_hazards(self, tmp_path, capsys):
+        from repro.core.cfd import CFD
+
+        rules = tmp_path / "chain.cfd"
+        write_cfd_file(rules, [
+            CFD.build(["A"], ["B"], [["_", "b"]], name="phi1"),
+            CFD.build(["B"], ["C"], [["_", "c"]], name="phi2"),
+        ])
+        main(["lint", "--cfds", str(rules), "--fast", "--json"])
+        default = json.loads(capsys.readouterr().out)
+        main([
+            "lint", "--cfds", str(rules), "--fast", "--json",
+            "--repair-method", "parallel",
+        ])
+        parallel = json.loads(capsys.readouterr().out)
+        assert default["summary"]["warnings"] == 0
+        assert parallel["summary"]["warnings"] >= 1

@@ -33,7 +33,13 @@ class TestCleanOnCust:
         assert result.rounds == 1
         assert result.passes >= 1
         assert result.changes and result.total_cost > 0
-        assert set(result.stage_seconds) == {"ingest", "detect", "repair", "verify"}
+        assert set(result.stage_seconds) == {
+            "analyze",
+            "ingest",
+            "detect",
+            "repair",
+            "verify",
+        }
         assert result.total_seconds >= 0
         assert result.backends["verify"] == "inmemory"
         summary = result.summary()

@@ -1,0 +1,121 @@
+"""Reasoning edge cases the linter leans on, plus a mincover equivalence property.
+
+The static analyser (``repro.analysis``) routes every verdict through
+``is_consistent`` / ``implies`` / ``minimal_cover``; these tests pin the edge
+shapes it must survive — duplicate rule names, wildcard-only vs constant-only
+tableaux, and empty rule sets — and close with the property the ``optimize``
+mode relies on: the minimal cover is logically equivalent to its input.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cfd import CFD
+from repro.reasoning.consistency import is_consistent
+from repro.reasoning.implication import equivalent, implies
+from repro.reasoning.mincover import minimal_cover
+from repro.relation.attribute import Attribute
+from repro.relation.schema import Schema
+
+
+class TestDuplicateNames:
+    """Reasoning is name-blind: provenance is the linter's job (CFD004)."""
+
+    def test_consistency_ignores_names(self):
+        same_name = [
+            CFD.build(["A"], ["B"], [["_", "b"]], name="phi"),
+            CFD.build(["A"], ["B"], [["_", "c"]], name="phi"),
+        ]
+        assert not is_consistent(same_name)
+
+    def test_implication_ignores_names(self):
+        sigma = [CFD.build(["A"], ["B"], [["_", "_"]], name="phi")]
+        phi = CFD.build(["A"], ["B"], [["_", "_"]], name="completely-different")
+        assert implies(sigma, phi)
+
+    def test_cover_of_identical_rules_under_different_names(self):
+        twins = [
+            CFD.build(["A"], ["B"], [["_", "b"]], name="twin1"),
+            CFD.build(["A"], ["B"], [["_", "b"]], name="twin2"),
+        ]
+        cover = minimal_cover(twins)
+        assert len(cover) == 1
+        assert equivalent(cover, twins)
+
+
+class TestWildcardOnlyVsConstantOnly:
+    def test_wildcard_only_rules_are_plain_fds(self):
+        # No constants, no finite domains: always consistent, any size.
+        fds = [
+            CFD.build(["A"], ["B"], [["_", "_"]], name="f1"),
+            CFD.build(["B"], ["A"], [["_", "_"]], name="f2"),
+            CFD.build(["A", "B"], ["C"], [["_", "_", "_"]], name="f3"),
+        ]
+        assert is_consistent(fds)
+        assert equivalent(minimal_cover(fds), fds)
+
+    def test_constant_only_clash_needs_a_forced_match(self):
+        # Contradicting constant rules on LHS value "a" stay *consistent*
+        # over an unbounded domain: a tuple with A != "a" satisfies both
+        # vacuously.  Only a finite domain that forces the match flips it.
+        clashing = [
+            CFD.build(["A"], ["B"], [["a", "b"]], name="k1"),
+            CFD.build(["A"], ["B"], [["a", "x"]], name="k2"),
+        ]
+        assert is_consistent(clashing)
+        forced = Schema("r", [Attribute("A", domain=("a",)), Attribute("B")])
+        assert not is_consistent(clashing, forced)
+
+    def test_constant_rule_does_not_imply_its_wildcard_generalisation(self):
+        constant = [CFD.build(["A"], ["B"], [["a", "b"]], name="k")]
+        wildcard = CFD.build(["A"], ["B"], [["_", "_"]], name="f")
+        assert not implies(constant, wildcard)
+        assert implies([wildcard], wildcard)
+
+
+class TestEmptyRuleSets:
+    def test_empty_sigma_is_consistent_with_empty_cover(self):
+        assert is_consistent([])
+        assert minimal_cover([]) == []
+
+    def test_empty_sigma_implies_only_trivialities(self):
+        assert not implies([], CFD.build(["A"], ["B"], [["_", "_"]]))
+        # Reflexive dependencies hold in every instance, premises or not.
+        assert implies([], CFD.build(["A"], ["A"], [["_", "_"]]))
+
+    def test_empty_sigma_is_equivalent_to_itself(self):
+        assert equivalent([], [])
+
+
+ATTRIBUTES = ("A", "B", "C")
+cell = st.one_of(st.sampled_from(("v0", "v1")), st.just("_"))
+
+
+@st.composite
+def normal_form_cfds(draw):
+    rhs_attr = draw(st.sampled_from(ATTRIBUTES))
+    lhs_size = draw(st.integers(min_value=0, max_value=2))
+    lhs_attrs = [attr for attr in ATTRIBUTES if attr != rhs_attr][:lhs_size]
+    pattern = {attr: draw(cell) for attr in lhs_attrs}
+    pattern[rhs_attr] = draw(cell)
+    return CFD.build(lhs_attrs, [rhs_attr], [pattern])
+
+
+class TestMinimalCoverProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(normal_form_cfds(), min_size=0, max_size=4))
+    def test_cover_is_equivalent_to_its_input(self, sigma):
+        """Σ ≡ MinCover(Σ) — the contract behind ``analyze(optimize=True)``."""
+        if not is_consistent(sigma):
+            return
+        cover = minimal_cover(sigma)
+        assert equivalent(cover, sigma)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(normal_form_cfds(), min_size=0, max_size=4))
+    def test_cover_never_grows(self, sigma):
+        if not is_consistent(sigma):
+            return
+        normalised = [part for cfd in sigma for part in cfd.normalize()]
+        assert len(minimal_cover(sigma)) <= len(normalised)

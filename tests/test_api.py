@@ -6,6 +6,8 @@ import repro.pipeline
 #: The advertised surface of ``repro``.  This list is a *contract*: additions
 #: belong at the right place alphabetically, removals are breaking changes.
 EXPECTED_REPRO_ALL = [
+    "AnalysisReport",
+    "AnalysisWarning",
     "Attribute",
     "CFD",
     "Cleaner",
@@ -14,6 +16,7 @@ EXPECTED_REPRO_ALL = [
     "ConstantViolation",
     "CSVSource",
     "DetectionConfig",
+    "Diagnostic",
     "DONTCARE",
     "FD",
     "IndexedDetector",
@@ -33,6 +36,7 @@ EXPECTED_REPRO_ALL = [
     "Violation",
     "ViolationReport",
     "WILDCARD",
+    "analyze",
     "as_source",
     "clean",
     "cross_check",
@@ -45,6 +49,7 @@ EXPECTED_REPRO_ALL = [
     "kernel_names",
     "minimal_cover",
     "numpy_available",
+    "register_analysis_check",
     "register_detector",
     "register_repairer",
     "repair",

@@ -22,6 +22,7 @@ from repro.bench.harness import (
     time_clean,
     time_detection,
     time_kernel_detection,
+    time_kernel_repair,
     time_parallel_detection,
     time_parallel_repair,
     time_query_split,
@@ -599,6 +600,63 @@ def kernels_ablation(
 
 
 # ---------------------------------------------------------------------------
+# Ablation: numpy vs pure-python kernels on the repair fixpoint
+# ---------------------------------------------------------------------------
+def repair_kernels_ablation(
+    config: Optional[BenchConfig] = None,
+    noise: float = 0.01,
+    verbose: bool = False,
+) -> List[Dict[str, Any]]:
+    """Numpy vs pure-python kernels for the columnar incremental repair fixpoint.
+
+    The repair-side twin of :func:`kernels_ablation`: the same pre-encoded
+    store contract (:func:`time_kernel_repair`), the same incremental engine,
+    the only variable being the kernel behind the batched class re-evaluation,
+    partition-delta and candidate-pricing primitives.  Change logs must agree
+    byte for byte, checked outright.  Each row also carries a
+    ``method="parallel"`` point — the sharded repairer whose per-shard
+    incremental fixpoints ride the same batched kernels — timed under the
+    numpy kernel for reference (no speedup is derived from it; on one core it
+    mostly measures sharding overhead).
+
+    Returns an empty series (with a note when verbose) if numpy is not
+    installed — the python path is then the only kernel, so there is
+    nothing to compare.
+    """
+    config = config or default_config()
+    if not numpy_available():
+        if verbose:
+            print(
+                "repair_kernels ablation skipped: numpy is not installed "
+                "([fast] extra)"
+            )
+        return []
+    rows: List[Dict[str, Any]] = []
+    for size in config.sz_sweep():
+        workload = build_fd_workload(size=size, noise=noise, seed=config.seed)
+        python_seconds, python_result = time_kernel_repair(workload, "python")
+        numpy_seconds, numpy_result = time_kernel_repair(workload, "numpy")
+        if list(python_result.changes) != list(numpy_result.changes):
+            raise AssertionError(
+                f"kernels disagree on repair at SZ={size}: "
+                f"{len(python_result.changes)} vs {len(numpy_result.changes)} changes"
+            )
+        parallel_seconds, _ = time_kernel_repair(workload, "numpy", method="parallel")
+        rows.append(
+            {
+                "SZ": size,
+                "python_repair_seconds": python_seconds,
+                "numpy_repair_seconds": numpy_seconds,
+                "parallel_repair_seconds": parallel_seconds,
+                "numpy_speedup": (
+                    python_seconds / numpy_seconds if numpy_seconds else float("inf")
+                ),
+            }
+        )
+    return _emit(rows, "Ablation: numpy vs python repair kernels", verbose)
+
+
+# ---------------------------------------------------------------------------
 # Ablation (beyond the paper): out-of-core cleaning in bounded memory
 # ---------------------------------------------------------------------------
 def outofcore_scaling(
@@ -828,6 +886,7 @@ ALL_EXPERIMENTS = {
     "parallel": parallel_scaling,
     "columnar": columnar_ablation,
     "kernels": kernels_ablation,
+    "repair_kernels": repair_kernels_ablation,
     "outofcore": outofcore_scaling,
     "analysis": analysis_ablation,
 }

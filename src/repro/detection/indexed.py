@@ -339,41 +339,13 @@ def _pattern_violations(
             index = cache.get(lhs_free)
         for key, indices in index.matching(cells):
             if const_checks:
-                # Emission stays tuple-major (all checks of tuple i before
-                # any check of tuple i+1): each check contributes its
-                # mismatching subset, and the union is re-walked in index
-                # order — `indices` is ascending, so sorted() restores it.
-                if len(const_checks) == 1:
-                    attr, column, expected_code, expected = const_checks[0]
-                    for tuple_index in kernel.constant_mismatches(
-                        column, indices, expected_code
-                    ):
-                        yield ConstantViolation(
-                            cfd_name=cfd.name,
-                            pattern_index=pattern_index,
-                            tuple_indices=(tuple_index,),
-                            attribute=attr,
-                            expected=expected,
-                            actual=relation.decode(attr, column[tuple_index]),
-                        )
-                else:
-                    dirty: set = set()
-                    for _attr, column, expected_code, _expected in const_checks:
-                        dirty.update(
-                            kernel.constant_mismatches(column, indices, expected_code)
-                        )
-                    for tuple_index in sorted(dirty):
-                        for attr, column, expected_code, expected in const_checks:
-                            code = column[tuple_index]
-                            if code != expected_code:
-                                yield ConstantViolation(
-                                    cfd_name=cfd.name,
-                                    pattern_index=pattern_index,
-                                    tuple_indices=(tuple_index,),
-                                    attribute=attr,
-                                    expected=expected,
-                                    actual=relation.decode(attr, code),
-                                )
+                mismatches = [
+                    kernel.constant_mismatches(column, indices, expected_code)
+                    for _attr, column, expected_code, _expected in const_checks
+                ]
+                yield from constant_code_violations(
+                    relation, cfd.name, pattern_index, const_checks, mismatches
+                )
             if rhs_free and len(indices) > 1 and kernel.codes_disagree(rhs_columns, indices):
                 yield VariableViolation(
                     cfd_name=cfd.name,
@@ -413,6 +385,54 @@ def _pattern_violations(
                     tuple_indices=tuple(indices),
                     attributes=lhs_free,
                     group_key=tuple(key),
+                )
+
+
+def constant_code_violations(
+    store: ColumnStore,
+    cfd_name: str,
+    pattern_index: int,
+    checks: Sequence[Tuple[str, Any, Optional[int], Any]],
+    per_check_mismatches: Sequence[Sequence[int]],
+) -> Iterator[ConstantViolation]:
+    """Emit ``Q^C`` violations of one class from per-check mismatch subsets.
+
+    ``checks`` holds one ``(attribute, code column, expected code, expected
+    value)`` entry per constant RHS cell and ``per_check_mismatches`` the
+    aligned mismatching member subsets (each ascending).  Emission is
+    tuple-major — all checks of tuple ``i`` before any check of tuple
+    ``i+1`` — matching the scan oracle: the single-check case walks its
+    subset directly, the multi-check case re-walks the sorted union against
+    every check.  This is the one shared emission path of the indexed
+    detector and the incremental repair state (both sequential and batched),
+    so their reports cannot drift apart.
+    """
+    if len(checks) == 1:
+        attr, column, _expected_code, expected = checks[0]
+        for tuple_index in per_check_mismatches[0]:
+            yield ConstantViolation(
+                cfd_name=cfd_name,
+                pattern_index=pattern_index,
+                tuple_indices=(tuple_index,),
+                attribute=attr,
+                expected=expected,
+                actual=store.decode(attr, column[tuple_index]),
+            )
+        return
+    dirty: set = set()
+    for mismatches in per_check_mismatches:
+        dirty.update(mismatches)
+    for tuple_index in sorted(dirty):
+        for attr, column, expected_code, expected in checks:
+            code = column[tuple_index]
+            if code != expected_code:
+                yield ConstantViolation(
+                    cfd_name=cfd_name,
+                    pattern_index=pattern_index,
+                    tuple_indices=(tuple_index,),
+                    attribute=attr,
+                    expected=expected,
+                    actual=store.decode(attr, code),
                 )
 
 

@@ -428,3 +428,246 @@ class PartitionIndexCache:
             f"PartitionIndexCache({stats['size']}/{stats['maxsize']} indexes, "
             f"{stats['hits']} hits, {stats['misses']} misses)"
         )
+
+
+class CodePartitionIndex:
+    """An array-backed partition map over a :class:`ColumnStore`'s code columns.
+
+    The repair engine's batched counterpart of :class:`PartitionIndex`: where
+    the dict index materialises one python list per equivalence class (10K+
+    list allocations on a 50K relation, the dominant cost of building a
+    :class:`~repro.repair.incremental.RepairState`), this one keeps the whole
+    partition in three arrays — a stable sort order over a fused composite
+    code key, per-class start offsets into it, and the per-class composite
+    keys.  Members materialise into python lists only for classes that
+    actually report a violation, and a repair pass applies its cell changes
+    as **one scatter per touched LHS** (:meth:`apply_moves`) instead of a
+    bisect per tuple.
+
+    Ordering contract: classes ascending by code-key tuple (the composite is
+    built first-attribute-most-significant, so composite order *is* key-tuple
+    order), members ascending within each class — exactly the flat form the
+    kernels' ``partition_classes``/``evaluate_classes`` primitives speak.
+
+    Only ever constructed when the active kernel advertises
+    ``fused_repair_scan`` (numpy is importable then); construction raises
+    :class:`~repro.errors.DetectionError` in the astronomical case where the
+    composite key cannot fit ``int64``, and the repair state falls back to
+    the dict-backed reference path.
+    """
+
+    #: Dictionary-growth headroom baked into the composite strides: repairs
+    #: intern fresh values, and rebuilding the whole index on every new
+    #: dictionary entry would defeat the delta path.  Growth beyond the
+    #: headroom triggers a full (rare) rebuild in :meth:`apply_moves`.
+    HEADROOM = 64
+
+    __slots__ = (
+        "_store",
+        "_attributes",
+        "_np",
+        "_views",
+        "_capacities",
+        "_strides",
+        "_comp",
+        "_order",
+        "_starts",
+        "_ends",
+        "_group_comps",
+    )
+
+    def __init__(self, store: ColumnStore, attributes: Sequence[str]) -> None:
+        import numpy
+
+        self._np = numpy
+        self._store = store
+        self._attributes: Tuple[str, ...] = tuple(attributes)
+        self._rebuild()
+
+    # ------------------------------------------------------------------ construction
+    def _rebuild(self) -> None:
+        """(Re)build the composite keys, sort order and class boundaries."""
+        from repro.kernels.numpy_kernels import _as_array
+
+        np = self._np
+        store = self._store
+        self._views = tuple(_as_array(store.codes(attr)) for attr in self._attributes)
+        capacities: List[int] = []
+        strides: List[int] = []
+        stride = 1
+        for attribute in reversed(self._attributes):
+            capacity = store.dictionary_size(attribute) + self.HEADROOM
+            capacities.append(capacity)
+            strides.append(stride)
+            if stride > (2**62) // capacity:
+                raise DetectionError(
+                    "composite partition key over "
+                    f"{self._attributes} would overflow int64; use the "
+                    "dict-backed PartitionIndex instead"
+                )
+            stride *= capacity
+        self._capacities = tuple(reversed(capacities))
+        self._strides = tuple(reversed(strides))
+        comp = np.zeros(len(store), dtype=np.int64)
+        for view, attr_stride in zip(self._views, self._strides):
+            comp += view.astype(np.int64) * attr_stride
+        self._comp = comp
+        self._order = np.argsort(comp, kind="stable").astype(np.intp, copy=False)
+        self._refresh_boundaries()
+
+    def _refresh_boundaries(self) -> None:
+        np = self._np
+        comp_sorted = self._comp[self._order]
+        count = len(comp_sorted)
+        if count == 0:
+            self._starts = np.empty(0, dtype=np.intp)
+            self._ends = np.empty(0, dtype=np.intp)
+            self._group_comps = np.empty(0, dtype=np.int64)
+            return
+        change = np.empty(count, dtype=bool)
+        change[0] = True
+        change[1:] = comp_sorted[1:] != comp_sorted[:-1]
+        starts = np.flatnonzero(change)
+        ends = np.empty_like(starts)
+        ends[:-1] = starts[1:]
+        ends[-1] = count
+        self._starts = starts
+        self._ends = ends
+        self._group_comps = comp_sorted[starts]
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return self._attributes
+
+    @property
+    def class_count(self) -> int:
+        return len(self._starts)
+
+    def class_table(self):
+        """``(order, offsets)`` over every class — the kernels' flat form.
+
+        Zero materialisation: the returned arrays are the index's internals,
+        consumed directly by ``evaluate_classes`` for a whole-relation scan.
+        Treat as read-only.
+        """
+        return self._order, self._starts
+
+    def members_at(self, position: int) -> List[int]:
+        """The member tuple indices of class ``position``, ascending."""
+        return self._order[self._starts[position] : self._ends[position]].tolist()
+
+    def key_codes_at(self, position: int) -> Tuple[int, ...]:
+        """The code-key tuple of class ``position`` (read off its first member)."""
+        first = self._order[self._starts[position]]
+        return tuple(int(view[first]) for view in self._views)
+
+    def find(self, key_codes: Sequence[Optional[int]]) -> int:
+        """The class position of a code key, or ``-1`` when no row holds it.
+
+        A ``None`` code (the value is absent from its dictionary) can match
+        nothing; a code beyond the stride capacity likewise belongs to no
+        live row (rows acquiring such codes force a rebuild first), so both
+        short-circuit without touching the arrays.
+        """
+        comp = 0
+        for code, attr_stride, capacity in zip(
+            key_codes, self._strides, self._capacities
+        ):
+            if code is None or code >= capacity:
+                return -1
+            comp += code * attr_stride
+        np = self._np
+        position = int(np.searchsorted(self._group_comps, comp))
+        if position < len(self._group_comps) and int(self._group_comps[position]) == comp:
+            return position
+        return -1
+
+    def matching_positions(self, constants: Sequence[Tuple[int, int]]):
+        """Class positions whose key honours ``(attribute offset, code)`` pins.
+
+        The batched form of :meth:`PartitionIndex.matching` for mixed
+        constant/wildcard patterns: one vectorised comparison over the
+        per-class first members instead of a python filter over keys.
+        """
+        np = self._np
+        firsts = self._order[self._starts]
+        keep = np.ones(len(firsts), dtype=bool)
+        for offset, code in constants:
+            keep &= self._views[offset][firsts] == code
+        return np.flatnonzero(keep)
+
+    def gather(self, positions: Sequence[int]):
+        """``(indices, offsets)`` concatenating the given classes' members.
+
+        The flat form ``evaluate_classes`` consumes, for an arbitrary dirty
+        class subset; each class's members stay ascending.
+        """
+        np = self._np
+        pos = np.asarray(positions, dtype=np.intp)
+        starts = self._starts[pos]
+        ends = self._ends[pos]
+        sizes = ends - starts
+        offsets = np.zeros(len(pos), dtype=np.intp)
+        if len(pos) > 1:
+            np.cumsum(sizes[:-1], out=offsets[1:])
+        parts = [self._order[start:end] for start, end in zip(starts, ends)]
+        indices = np.concatenate(parts) if parts else np.empty(0, dtype=np.intp)
+        return indices, offsets
+
+    # ------------------------------------------------------------------ the delta
+    def apply_moves(self, tuple_indices: Iterable[int]) -> None:
+        """Re-place a batch of tuples after their cells changed — one scatter.
+
+        Call after the store's cells were updated in place.  The moved
+        tuples' composite keys are recomputed from the live code columns in
+        one vectorised pass; tuples whose key did not change are dropped, and
+        the rest are deleted from and re-inserted into the sort order with a
+        single ``isin`` mask plus a single ``insert`` — per-batch cost, not
+        per-tuple dict surgery.  A tuple whose new code outgrew the stride
+        headroom triggers a full rebuild instead (rare: it takes
+        :data:`HEADROOM` fresh-value internments on one attribute).
+        """
+        if not self._attributes:
+            return
+        np = self._np
+        moved = np.asarray(sorted(set(tuple_indices)), dtype=np.intp)
+        if len(moved) == 0:
+            return
+        new_comp = np.zeros(len(moved), dtype=np.int64)
+        for view, attr_stride, capacity in zip(
+            self._views, self._strides, self._capacities
+        ):
+            codes = view[moved]
+            if int(codes.max()) >= capacity:
+                self._rebuild()
+                return
+            new_comp += codes.astype(np.int64) * attr_stride
+        changed = new_comp != self._comp[moved]
+        if not bool(changed.any()):
+            return
+        moved = moved[changed]
+        new_comp = new_comp[changed]
+        keep = ~np.isin(self._order, moved)
+        kept_order = self._order[keep]
+        self._comp[moved] = new_comp
+        kept_comp = self._comp[kept_order]
+        # Insertion points against the *kept* order, processed in (comp,
+        # tuple index) order so equal keys land ascending: `moved` is already
+        # ascending, so a stable sort by comp yields exactly that order.
+        reorder = np.argsort(new_comp, kind="stable")
+        moved = moved[reorder]
+        new_comp = new_comp[reorder]
+        slots = np.empty(len(moved), dtype=np.intp)
+        for at, (comp, tuple_index) in enumerate(zip(new_comp, moved)):
+            low = int(np.searchsorted(kept_comp, comp, side="left"))
+            high = int(np.searchsorted(kept_comp, comp, side="right"))
+            slots[at] = low + int(np.searchsorted(kept_order[low:high], tuple_index))
+        self._order = np.insert(kept_order, slots, moved)
+        self._refresh_boundaries()
+
+    def __repr__(self) -> str:
+        return (
+            f"CodePartitionIndex({list(self._attributes)}, "
+            f"{self.class_count} classes over {len(self._store)} tuples)"
+        )

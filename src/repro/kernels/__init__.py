@@ -1,10 +1,13 @@
 """Kernel dispatch: pluggable implementations of the code-column hot loops.
 
 PR 5 reduced detection and repair over a
-:class:`~repro.relation.columnar.ColumnStore` to four integer primitives —
-group-by over code columns, group-by over an index subset, the ``Q^V``
-disagreement check and the ``Q^C`` constant-mismatch scan.  This package
-gives those primitives swappable implementations:
+:class:`~repro.relation.columnar.ColumnStore` to a family of integer
+primitives — group-by over code columns, group-by over an index subset, the
+``Q^V`` disagreement check, the ``Q^C`` constant-mismatch scan, the fused
+variable-pattern scan, and the repair-side batch pair (``partition_classes``
+to flatten a relation into equivalence classes, ``evaluate_classes`` to
+resolve all ``Q^C``/``Q^V`` checks of a dirty class set in one call).  This
+package gives those primitives swappable implementations:
 
 * ``"python"`` — the pure-Python reference
   (:mod:`repro.kernels.python_kernels`), always available, defines the

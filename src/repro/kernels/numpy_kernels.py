@@ -32,7 +32,12 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.kernels.python_kernels import PYTHON_KERNEL, CodeColumn, CodeGroup
+from repro.kernels.python_kernels import (
+    PYTHON_KERNEL,
+    ClassFinding,
+    CodeColumn,
+    CodeGroup,
+)
 
 #: Below this many elements the python loop wins; results are identical
 #: either way, so the threshold is a pure speed knob.
@@ -128,6 +133,12 @@ class NumpyKernel:
     #: disagreement reduction into whole-column array passes, so for a pure
     #: wildcard pattern it beats building a partition index first.
     fused_variable_scan = True
+
+    #: The repair-side batch primitives run as one gather + ``reduceat``
+    #: pass over all dirty classes at once, so the incremental repair state
+    #: should drive its fixpoint through them (and through the array-backed
+    #: partition index) instead of the per-class dict walk.
+    fused_repair_scan = True
 
     def group_codes(
         self,
@@ -252,6 +263,87 @@ class NumpyKernel:
         gather = np.asarray(indices, dtype=np.intp)
         taken = _as_array(column)[gather]
         return gather[taken != expected_code].tolist()
+
+    # ------------------------------------------------------------------ repair-side batch primitives
+    def partition_classes(
+        self, columns: Sequence[CodeColumn], length: int
+    ) -> Tuple[Sequence[int], Sequence[int]]:
+        """One stable radix sort instead of a hash table per row.
+
+        The composite-key argsort of :func:`_stable_order` is monotone in the
+        code-key tuple (first column most significant), so ascending sorted
+        position *is* ascending key order — the reference class order falls
+        out of the sort with no reordering pass, and stability keeps members
+        ascending within each class.
+        """
+        if length <= 0:
+            return [], []
+        if length < SMALL_INPUT_THRESHOLD:
+            return PYTHON_KERNEL.partition_classes(columns, length)
+        if not columns:
+            return np.arange(length, dtype=np.intp), np.zeros(1, dtype=np.intp)
+        arrays = [_as_array(column)[:length] for column in columns]
+        order = _stable_order(arrays).astype(np.intp, copy=False)
+        sorted_cols = [array_[order] for array_ in arrays]
+        starts, _ends = _boundaries(sorted_cols, length)
+        return order, starts
+
+    def evaluate_classes(
+        self,
+        rhs_columns: Sequence[CodeColumn],
+        indices: Sequence[int],
+        offsets: Sequence[int],
+        const_columns: Sequence[Tuple[CodeColumn, Optional[int]]] = (),
+    ) -> List[ClassFinding]:
+        """The batch re-evaluation primitive as whole-array reductions.
+
+        The caller already hands the dirty classes over contiguously, so no
+        sort is needed at all: each RHS column is gathered once and per-class
+        disagreement is ``max != min`` over each run via ``reduceat``; each
+        constant check is one gathered comparison whose per-class ``any`` is
+        a ``logical_or.reduceat``.  Only the flagged classes materialise
+        python lists — on mostly-clean data almost nothing does.
+        """
+        count = len(indices)
+        class_count = len(offsets)
+        if count == 0 or class_count == 0:
+            return []
+        if count < SMALL_INPUT_THRESHOLD:
+            return PYTHON_KERNEL.evaluate_classes(
+                rhs_columns,
+                [int(index) for index in indices],
+                [int(offset) for offset in offsets],
+                const_columns,
+            )
+        gather = np.asarray(indices, dtype=np.intp)
+        starts = np.asarray(offsets, dtype=np.intp)
+        ends = np.empty_like(starts)
+        ends[:-1] = starts[1:]
+        ends[-1] = count
+        disagree = np.zeros(class_count, dtype=bool)
+        for column in rhs_columns:
+            taken = _as_array(column)[gather]
+            disagree |= np.maximum.reduceat(taken, starts) != np.minimum.reduceat(
+                taken, starts
+            )
+        disagree &= (ends - starts) > 1
+        report = disagree.copy()
+        masks: List[np.ndarray] = []
+        for column, expected_code in const_columns:
+            if expected_code is None:
+                mask = np.ones(count, dtype=bool)
+            else:
+                mask = _as_array(column)[gather] != expected_code
+            masks.append(mask)
+            report |= np.logical_or.reduceat(mask, starts)
+        findings: List[ClassFinding] = []
+        for position in np.flatnonzero(report):
+            start, end = starts[position], ends[position]
+            mismatches = tuple(
+                gather[start:end][mask[start:end]].tolist() for mask in masks
+            )
+            findings.append((int(position), bool(disagree[position]), mismatches))
+        return findings
 
 
 #: The module singleton the dispatcher hands out.

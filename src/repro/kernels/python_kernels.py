@@ -27,6 +27,12 @@ CodeColumn = Sequence[int]
 #: One group: the key's code tuple plus the member indices (ascending).
 CodeGroup = Tuple[Tuple[int, ...], List[int]]
 
+#: One evaluated class with something to report: its position in the caller's
+#: class sequence, whether the ``Q^V`` projection disagrees, and — aligned
+#: with the caller's constant checks — each check's mismatching member subset
+#: (ascending).
+ClassFinding = Tuple[int, bool, Tuple[List[int], ...]]
+
 
 class PythonKernel:
     """Reference implementations of the code-column hot loops."""
@@ -39,6 +45,14 @@ class PythonKernel:
     #: building reusable indexes; array kernels that fuse the sort and the
     #: disagreement reduction set this to ``True``.
     fused_variable_scan = False
+
+    #: Whether the repair-side batch primitives (:meth:`partition_classes`,
+    #: :meth:`evaluate_classes`) beat the per-class dict walk of the
+    #: incremental repair state.  For the reference kernel they do not (they
+    #: *are* that walk, re-expressed), so :class:`RepairState` keeps its
+    #: dict-backed partition indexes; array kernels that turn the walk into
+    #: one gather + ``reduceat`` pass set this to ``True``.
+    fused_repair_scan = False
 
     def group_codes(
         self,
@@ -217,9 +231,99 @@ class PythonKernel:
             return list(indices)
         return [index for index in indices if column[index] != expected_code]
 
+    # ------------------------------------------------------------------ repair-side batch primitives
+    def partition_classes(
+        self, columns: Sequence[CodeColumn], length: int
+    ) -> Tuple[Sequence[int], Sequence[int]]:
+        """Partition rows ``0..length-1`` into equivalence classes, flat form.
+
+        Returns ``(order, offsets)``: ``order`` lists every row index grouped
+        class by class — classes in **ascending code-key order**, members
+        **ascending** within each class — and ``offsets[c]`` is the start of
+        class ``c`` in ``order`` (``len(offsets)`` is the class count; class
+        ``c`` ends where class ``c+1`` starts, the last at ``length``).  The
+        flat form is exactly what :meth:`evaluate_classes` consumes, so a
+        whole-relation repair scan is one partition + one evaluation call.
+        Note the class order differs from :meth:`group_codes` deliberately:
+        key order is what a delta-maintained sorted index preserves cheaply,
+        and the repair state re-sorts its report canonically anyway.  With no
+        columns every row falls into one class; with no rows there are none.
+        """
+        if length <= 0:
+            return [], []
+        if not columns:
+            return list(range(length)), [0]
+        groups: dict = {}
+        if len(columns) == 1:
+            column = columns[0]
+            for index in range(length):
+                key = (column[index],)
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = [index]
+                else:
+                    group.append(index)
+        else:
+            for index in range(length):
+                key = tuple(column[index] for column in columns)
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = [index]
+                else:
+                    group.append(index)
+        order: List[int] = []
+        offsets: List[int] = []
+        for key in sorted(groups):
+            offsets.append(len(order))
+            order.extend(groups[key])
+        return order, offsets
+
+    def evaluate_classes(
+        self,
+        rhs_columns: Sequence[CodeColumn],
+        indices: Sequence[int],
+        offsets: Sequence[int],
+        const_columns: Sequence[Tuple[CodeColumn, Optional[int]]] = (),
+    ) -> List[ClassFinding]:
+        """The batch re-evaluation primitive: ``Q^C`` + ``Q^V`` over many classes.
+
+        ``indices`` concatenates the members of every dirty class (each class
+        contiguous and non-empty, members ascending) and ``offsets`` holds the
+        class start positions — the flat form :meth:`partition_classes`
+        produces.  Each class is checked for ``Q^V`` disagreement over
+        ``rhs_columns`` (more than one member and more than one distinct
+        projection) and, per ``(column, expected_code)`` pair in
+        ``const_columns``, for ``Q^C`` mismatches (``None`` meaning the
+        expected constant occurs nowhere, so every member mismatches).  Only
+        the classes with something to report come back — as
+        ``(class_position, rhs_disagree, per_check_mismatches)`` in ascending
+        class position, mismatch subsets in member (ascending index) order —
+        so on mostly-clean data the result is a tiny fraction of the input.
+        An empty dirty-set returns an empty list.
+        """
+        findings: List[ClassFinding] = []
+        count = len(indices)
+        class_count = len(offsets)
+        for position in range(class_count):
+            start = offsets[position]
+            stop = offsets[position + 1] if position + 1 < class_count else count
+            members = indices[start:stop]
+            disagree = bool(
+                rhs_columns
+                and stop - start > 1
+                and self.codes_disagree(rhs_columns, members)
+            )
+            mismatches = tuple(
+                self.constant_mismatches(column, members, expected_code)
+                for column, expected_code in const_columns
+            )
+            if disagree or any(mismatches):
+                findings.append((position, disagree, mismatches))
+        return findings
+
 
 #: The module singleton the dispatcher hands out.
 PYTHON_KERNEL = PythonKernel()
 
 
-__all__ = ["CodeColumn", "CodeGroup", "PythonKernel", "PYTHON_KERNEL"]
+__all__ = ["ClassFinding", "CodeColumn", "CodeGroup", "PythonKernel", "PYTHON_KERNEL"]

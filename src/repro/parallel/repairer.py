@@ -163,6 +163,12 @@ class ParallelRepairEngine:
         :class:`~repro.relation.columnar.ColumnStore` slices already), a
         pinned kernel is honoured inside each worker process, and
         ``storage="rows"`` cross-checking stays rows all the way down.
+
+        Because each worker runs the stock incremental engine on a columnar
+        shard, it adopts the *batched* fixpoint automatically whenever the
+        active kernel advertises ``fused_repair_scan`` — the per-shard
+        re-evaluation, partition-delta and candidate-pricing hot loops all go
+        through the fused kernels with no parallel-specific wiring here.
         """
         return RepairConfig(
             method="incremental",

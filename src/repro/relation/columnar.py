@@ -353,6 +353,18 @@ class ColumnStore(Relation):
         self._ensure_encoded(position)
         return len(self._values[position])
 
+    def dictionary_version(self, attribute: str) -> int:
+        """A counter that changes exactly when ``attribute``'s dictionary grows.
+
+        Dictionaries are append-only (codes are never renumbered), so the
+        entry count *is* a version: any cached artifact derived from the
+        dictionary — an encoded constant, a code-pair distance memo — stays
+        valid while this number stands still, and existing entries stay
+        valid even across growth.  The repair layer keys its per-evaluation
+        caches on this instead of re-encoding every call.
+        """
+        return self.dictionary_size(attribute)
+
     def group_indices(
         self,
         attributes: Sequence[str],

@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Any, Dict, Sequence
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.relation.columnar import ColumnStore
 
 #: Size of the memo for repeated string comparisons.  Plurality voting in the
 #: repair heuristic compares the same few candidate values against every group
@@ -108,7 +110,14 @@ class CostModel:
         byte-identity contract across storage layers and kernels requires
         every implementation to produce the exact same partial sums — so the
         summation order is part of the interface: ascending tuple index.
+
+        One shortcut *is* exact: with no per-tuple weights and the default
+        weight of 1.0, the running sum is an integer at every step, and
+        integers up to 2**53 are represented exactly — ``float(len(indices))``
+        is bit-identical to the loop.
         """
+        if not self.tuple_weights and self.default_weight == 1.0:
+            return float(len(indices))
         total = 0.0
         for tuple_index in indices:
             total += self.weight(tuple_index)
@@ -134,3 +143,77 @@ class CostModel:
         return weight * sum(
             normalized_distance(old, new) for old, new in zip(old_values, new_values)
         )
+
+
+class CodeDistanceCache:
+    """Per-attribute distance matrix over dictionary *codes*, version-cached.
+
+    The columnar repair path prices candidate projections over code tuples;
+    decoding every code back to its value just to hit the string-keyed
+    distance memo costs a dictionary lookup plus a value hash per pair, every
+    time.  This cache keys the memo on ``(attribute, code pair)`` instead —
+    two int comparisons — and holds the decoded value list per attribute so a
+    miss decodes by plain list indexing.  Codes are never renumbered
+    (:class:`~repro.relation.columnar.ColumnStore`'s append-only dictionary),
+    so memo entries stay valid forever; the value snapshot alone refreshes
+    when :meth:`ColumnStore.dictionary_version` reports growth — the lazily
+    built distance matrix of the tentpole, filled batch by batch as the
+    heuristic prices candidates.
+
+    Distances come from :func:`normalized_distance` (symmetric), so each
+    unordered code pair is computed once.
+    """
+
+    __slots__ = ("_store", "_versions", "_values", "_memo")
+
+    def __init__(self, store: ColumnStore) -> None:
+        self._store = store
+        self._versions: Dict[str, int] = {}
+        self._values: Dict[str, Tuple[Any, ...]] = {}
+        self._memo: Dict[str, Dict[Tuple[int, int], float]] = {}
+
+    def _dictionary(self, attribute: str) -> Tuple[Any, ...]:
+        version = self._store.dictionary_version(attribute)
+        if self._versions.get(attribute) != version:
+            self._versions[attribute] = version
+            self._values[attribute] = self._store.dictionary(attribute)
+            # Existing memo entries survive growth: old codes keep their
+            # values, so their distances are unchanged.
+            self._memo.setdefault(attribute, {})
+        return self._values[attribute]
+
+    def distance(self, attribute: str, old_code: int, new_code: int) -> float:
+        """``normalized_distance`` between two of ``attribute``'s codes."""
+        if old_code == new_code:
+            return 0.0
+        pair = (old_code, new_code) if old_code < new_code else (new_code, old_code)
+        memo = self._memo.get(attribute)
+        if memo is None:
+            self._dictionary(attribute)
+            memo = self._memo[attribute]
+        cached = memo.get(pair)
+        if cached is None:
+            values = self._dictionary(attribute)
+            cached = memo[pair] = normalized_distance(
+                values[old_code], values[new_code]
+            )
+        return cached
+
+    def projection_cost(
+        self,
+        weight: float,
+        attributes: Sequence[str],
+        old_codes: Sequence[int],
+        new_codes: Sequence[int],
+    ) -> float:
+        """:meth:`CostModel.projection_cost` over code tuples.
+
+        Accumulates per-attribute distances left to right before the weight
+        multiply — the exact float operation order of the value-level
+        reference, so candidate costs (and therefore repair decisions) are
+        bit-identical.
+        """
+        total = 0.0
+        for attribute, old_code, new_code in zip(attributes, old_codes, new_codes):
+            total += self.distance(attribute, old_code, new_code)
+        return weight * total

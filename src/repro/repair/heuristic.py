@@ -61,7 +61,7 @@ from repro.reasoning.consistency import is_consistent
 from repro.registry import COLUMNAR_REPAIRERS, apply_storage, register_repairer, resolve_repairer
 from repro.relation.columnar import ColumnStore
 from repro.relation.relation import Relation
-from repro.repair.cost import CostModel
+from repro.repair.cost import CodeDistanceCache, CostModel
 from repro.repair.incremental import RepairState, canonical_order
 
 #: The built-in engines (the ``"auto"`` selector is not an engine).  Kept
@@ -167,6 +167,15 @@ class _IncrementalEngine:
     def update(self, tuple_index: int, attribute: str, new_value: Any) -> None:
         self._state.apply_change(tuple_index, attribute, new_value)
 
+    def update_many(self, changes: Sequence[Tuple[int, str, Any]]) -> None:
+        """Apply one violation's cell changes as a single delta batch.
+
+        On the batched repair path this is where the per-violation fan-out
+        collapses: the state re-evaluates each dirty (pattern, class) pair
+        once per *batch* instead of once per cell.
+        """
+        self._state.apply_changes(changes)
+
 
 register_repairer("scan")(_ScanEngine)
 register_repairer("indexed")(_IndexedEngine)
@@ -256,6 +265,9 @@ def repair(
             return runner(cost_model)
         result = RepairResult(relation=work)
         modification_counts: Dict[Tuple[int, str], int] = defaultdict(int)
+        # Candidate pricing over dictionary codes, memoised across the whole
+        # fixpoint (codes are stable, so entries never invalidate).
+        code_costs = CodeDistanceCache(work) if isinstance(work, ColumnStore) else None
 
         for pass_number in range(1, config.max_passes + 1):
             result.passes = pass_number
@@ -277,7 +289,13 @@ def repair(
                 return result
             for violation in report.variable_violations():
                 progressed |= _fix_variable_violation(
-                    engine, violation, cfds, cost_model, result, modification_counts
+                    engine,
+                    violation,
+                    cfds,
+                    cost_model,
+                    result,
+                    modification_counts,
+                    code_costs=code_costs,
                 )
             if not progressed:
                 raise RepairError(
@@ -313,11 +331,19 @@ def _record_change(
     new_value: Any,
     cost_model: CostModel,
     reason: str,
+    pending: Optional[List[Tuple[int, str, Any]]] = None,
 ) -> bool:
     old_value = engine.relation.value(tuple_index, attribute)
     if old_value == new_value:
         return False
-    engine.update(tuple_index, attribute, new_value)
+    if pending is None:
+        engine.update(tuple_index, attribute, new_value)
+    else:
+        # Plan-then-apply: the caller flushes the whole violation's cells in
+        # one _apply_planned batch.  Safe to defer because one violation
+        # never plans the same cell twice, so the live reads above (and the
+        # bookkeeping below) see exactly what sequential application would.
+        pending.append((tuple_index, attribute, new_value))
     counts[(tuple_index, attribute)] += 1
     result.changes.append(
         CellChange(
@@ -330,6 +356,25 @@ def _record_change(
         )
     )
     return True
+
+
+def _apply_planned(engine, pending: List[Tuple[int, str, Any]]) -> None:
+    """Flush one violation's planned cell changes into the engine.
+
+    Engines exposing ``update_many`` (the incremental state) ingest the
+    batch as a single delta — on the batched kernel path that means one
+    partition-index scatter and one ``evaluate_classes`` call per dirty
+    pattern for the whole violation.  Stateless engines apply cell by cell,
+    which is equivalent because a violation's planned cells are distinct.
+    """
+    if not pending:
+        return
+    update_many = getattr(engine, "update_many", None)
+    if callable(update_many):
+        update_many(pending)
+        return
+    for tuple_index, attribute, new_value in pending:
+        engine.update(tuple_index, attribute, new_value)
 
 
 def _fix_constant_violation(
@@ -398,6 +443,7 @@ def _fix_variable_violation(
     cost_model: CostModel,
     result: RepairResult,
     counts: Dict[Tuple[int, str], int],
+    code_costs: Optional[CodeDistanceCache] = None,
 ) -> bool:
     work = engine.relation
     cfd = _resolve_variable_cfd(violation, cfds)
@@ -415,59 +461,85 @@ def _fix_variable_violation(
     # distance computation per *distinct* current value (per dictionary
     # entry pair on columnar storage) times the group's summed weight — not
     # one per cell.
-    projections: Dict[int, Tuple[Any, ...]] = {}
-    weight_by_projection: Dict[Tuple[Any, ...], float] = {}
     if isinstance(work, ColumnStore):
         # Distinct-projection pass over codes: the active kernel groups the
         # member indices by RHS code projection (first-occurrence order,
-        # members ascending — exactly the row branch's insertion order), each
-        # distinct projection decodes once, and group weights accumulate in
-        # ascending member order (CostModel.group_weight), so every float
-        # partial sum matches the row branch bit for bit.
+        # members ascending — exactly the row branch's insertion order) and
+        # group weights accumulate in ascending member order
+        # (CostModel.group_weight).  Candidates are priced as *code* tuples
+        # through the version-cached distance matrix — codes biject onto
+        # values, so the grouping, the accumulation order and every distance
+        # match the row branch bit for bit; only the winning projection
+        # decodes.
+        if code_costs is None:
+            code_costs = CodeDistanceCache(work)
         columns = list(work.project_codes(rhs_free))
-        groups = [
-            (
-                tuple(work.decode(attr, code) for attr, code in zip(rhs_free, key_codes)),
-                members,
-            )
-            for key_codes, members in active_kernel().group_projections(columns, indices)
-        ]
-        for projection, members in groups:
+        groups = list(active_kernel().group_projections(columns, indices))
+        weight_by_codes: Dict[Tuple[int, ...], float] = {}
+        code_by_index: Dict[int, Tuple[int, ...]] = {}
+        for key_codes, members in groups:
             for index in members:
-                projections[index] = projection
-            weight_by_projection[projection] = cost_model.group_weight(members)
+                code_by_index[index] = key_codes
+            weight_by_codes[key_codes] = cost_model.group_weight(members)
         # Stable sort by descending group size reproduces
         # Counter.most_common(): ties stay in first-occurrence order.
         candidates = [
-            projection for projection, _members in sorted(groups, key=lambda g: -len(g[1]))
+            key_codes for key_codes, _members in sorted(groups, key=lambda g: -len(g[1]))
         ]
+        best_codes = None
+        best_cost = None
+        for candidate_codes in candidates:
+            candidate_cost = 0.0
+            for key_codes, weight in weight_by_codes.items():
+                candidate_cost += code_costs.projection_cost(
+                    weight, rhs_free, key_codes, candidate_codes
+                )
+            if best_cost is None or candidate_cost < best_cost:
+                best_cost = candidate_cost
+                best_codes = candidate_codes
+        assert best_codes is not None
+        best_value: Tuple[Any, ...] = tuple(
+            work.decode(attr, code) for attr, code in zip(rhs_free, best_codes)
+        )
+        settled = {
+            index for index, key_codes in code_by_index.items() if key_codes == best_codes
+        }
     else:
         projections = {index: work.project_row(index, rhs_free) for index in indices}
         frequency = Counter(projections.values())
+        weight_by_projection: Dict[Tuple[Any, ...], float] = {}
         for index, projection in projections.items():
             weight_by_projection[projection] = (
                 weight_by_projection.get(projection, 0.0) + cost_model.weight(index)
             )
-        candidates = [value for value, _count in frequency.most_common()]
-    best_value = None
-    best_cost = None
-    for candidate_value in candidates:
-        candidate_cost = 0.0
-        for projection, weight in weight_by_projection.items():
-            candidate_cost += cost_model.projection_cost(
-                weight, projection, candidate_value
-            )
-        if best_cost is None or candidate_cost < best_cost:
-            best_cost = candidate_cost
-            best_value = candidate_value
+        value_candidates = [value for value, _count in frequency.most_common()]
+        chosen = None
+        best_cost = None
+        for candidate_value in value_candidates:
+            candidate_cost = 0.0
+            for projection, weight in weight_by_projection.items():
+                candidate_cost += cost_model.projection_cost(
+                    weight, projection, candidate_value
+                )
+            if best_cost is None or candidate_cost < best_cost:
+                best_cost = candidate_cost
+                chosen = candidate_value
+        assert chosen is not None
+        best_value = chosen
+        settled = {
+            index for index, projection in projections.items() if projection == best_value
+        }
 
     progressed = False
-    assert best_value is not None
+    pending: List[Tuple[int, str, Any]] = []
     for index in indices:
-        if projections[index] == best_value:
+        if index in settled:
             continue
         if any(counts[(index, attribute)] >= 3 for attribute in rhs_free):
-            progressed |= _break_lhs_match(engine, index, cfd.name, cost_model, result, counts, cfd=cfd)
+            progressed |= _break_lhs_match(
+                engine, index, cfd.name, cost_model, result, counts, cfd=cfd,
+                pending=pending,
+            )
             continue
         for attribute, new_value in zip(rhs_free, best_value):
             progressed |= _record_change(
@@ -479,7 +551,9 @@ def _fix_variable_violation(
                 new_value,
                 cost_model,
                 reason=f"variable violation of {cfd.name}",
+                pending=pending,
             )
+    _apply_planned(engine, pending)
     return progressed
 
 
@@ -491,6 +565,7 @@ def _break_lhs_match(
     result: RepairResult,
     counts: Dict[Tuple[int, str], int],
     cfd: Optional[CFD] = None,
+    pending: Optional[List[Tuple[int, str, Any]]] = None,
 ) -> bool:
     """Last-resort fix: move an LHS value to a fresh constant to break the match."""
     attributes: Sequence[str]
@@ -514,4 +589,5 @@ def _break_lhs_match(
         fresh,
         cost_model,
         reason=f"LHS modification to break the match of {cfd_name}",
+        pending=pending,
     )

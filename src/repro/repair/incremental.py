@@ -12,28 +12,39 @@ only affect
 * within such a pattern, the tuples of the changed tuple's *old* and *new*
   equivalence classes under the pattern's LHS partition.
 
-:class:`RepairState` exploits exactly that: it ingests the relation once into
-the :class:`~repro.detection.partition_index.PartitionIndex` maps of PR 1,
-computes the initial :class:`~repro.core.violations.ViolationReport` the way
-the indexed backend does, and then keeps the report correct under
-:meth:`RepairState.apply_change` by
+:class:`RepairState` exploits exactly that, through one of two execution
+modes picked at construction:
 
-1. moving the changed tuple between equivalence classes in the affected
-   partition indexes (:meth:`PartitionIndex.reindex_tuple` — in place, no
-   rebuild), and
-2. re-evaluating only the affected patterns over only the old and new
-   classes of the changed tuple (a dirty-set delta, not a rescan).
+* the **reference path** (rows storage, or the python kernel) ingests the
+  relation once into the dict-backed
+  :class:`~repro.detection.partition_index.PartitionIndex` maps of PR 1 and
+  maintains them under :meth:`RepairState.apply_change` by moving the
+  changed tuple between equivalence classes
+  (:meth:`PartitionIndex.reindex_tuple`) and re-evaluating only the old and
+  new classes of the changed tuple;
+* the **batched path** (a :class:`~repro.relation.columnar.ColumnStore`
+  under a kernel advertising ``fused_repair_scan``) replaces the dict
+  indexes with the array-backed
+  :class:`~repro.detection.partition_index.CodePartitionIndex` and resolves
+  the *entire dirty class set* of a change batch with one
+  ``evaluate_classes`` kernel call per pattern
+  (:meth:`RepairState.apply_changes`) — gather the affected members into
+  one array, reduce, materialise only what reports.
 
-Reports are emitted in the *canonical order* — the order the scan oracle
-produces — so the greedy repair heuristic makes identical decisions no
-matter which detection engine feeds it.  See ``docs/repair.md`` for the
-complexity analysis.
+Both modes produce byte-identical reports: the python reference kernel
+defines the semantics, and evaluating every dirtied class once at the
+post-batch state yields exactly what change-by-change re-evaluation yields
+(a later change that could alter a class's verdict necessarily re-dirties
+that class).  Reports are emitted in the *canonical order* — the order the
+scan oracle produces — so the greedy repair heuristic makes identical
+decisions no matter which detection engine (or mode) feeds it.  See
+``docs/repair.md`` for the complexity analysis.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cfd import CFD
 from repro.core.pattern import PatternValue
@@ -43,8 +54,8 @@ from repro.core.violations import (
     Violation,
     ViolationReport,
 )
-from repro.detection.indexed import codes_disagree
-from repro.detection.partition_index import PartitionIndexCache
+from repro.detection.indexed import constant_code_violations
+from repro.detection.partition_index import CodePartitionIndex, PartitionIndexCache
 from repro.errors import DetectionError
 from repro.kernels import active_kernel
 from repro.relation.columnar import ColumnStore
@@ -147,12 +158,14 @@ class RepairState:
     The relation is ingested once (one partition index per distinct ``@``-free
     LHS attribute tuple, shared across patterns and CFDs); the initial report
     is computed from those indexes exactly as the ``method="indexed"``
-    detection backend would.  From then on :meth:`apply_change` keeps both the
-    indexes and the per-partition violation store correct in time proportional
-    to the *touched* partitions, not the relation.
+    detection backend would.  From then on :meth:`apply_change` /
+    :meth:`apply_changes` keep both the indexes and the per-partition
+    violation store correct in time proportional to the *touched* partitions,
+    not the relation (see the module docstring for the two execution modes).
 
     The state owns ``relation`` operationally: every mutation must flow
-    through :meth:`apply_change`, or the maintained report goes stale.
+    through :meth:`apply_change` or :meth:`apply_changes`, or the maintained
+    report goes stale.
 
     >>> from repro.datagen.cust import cust_relation, cust_cfds
     >>> state = RepairState(cust_relation(), cust_cfds())
@@ -186,27 +199,107 @@ class RepairState:
         self._cache = PartitionIndexCache(
             relation, maxsize=max(auto_size, cache_size or 0)
         )
-        # Pre-build every index: with maxsize >= the number of distinct LHS
-        # tuples nothing is ever evicted, so apply_update sees them all.
-        for lhs_free in distinct_lhs:
-            self._cache.get(lhs_free)
 
         # spec_id -> partition key -> violations of that pattern in that class.
         self._store: List[Dict[Tuple[Any, ...], List[Violation]]] = [
             {} for _ in self._specs
         ]
-        for spec in self._specs:
-            store = self._store[spec.spec_id]
-            index = self._cache.get(spec.lhs_free)
-            for key, indices in index.matching(spec.cells):
-                violations = self._evaluate(spec, tuple(key), indices)
-                if violations:
-                    store[tuple(key)] = violations
+        # spec_id -> (dictionary versions, encoded Q^C checks) — see
+        # _const_checks.
+        self._const_cache: Dict[int, Tuple[Tuple[int, ...], List[Tuple[str, Any, Optional[int], Any]]]] = {}
+
+        # The batched path needs both columnar codes and a kernel whose batch
+        # primitives actually win (fused_repair_scan); anything else — rows
+        # storage, the python reference kernel — takes the dict-indexed path.
+        self._batched = isinstance(relation, ColumnStore) and bool(
+            getattr(active_kernel(), "fused_repair_scan", False)
+        )
+        self._code_indexes: Dict[Tuple[str, ...], CodePartitionIndex] = {}
+        if self._batched:
+            try:
+                for lhs_free in distinct_lhs:
+                    self._code_indexes[lhs_free] = CodePartitionIndex(relation, lhs_free)
+            except DetectionError:
+                # Composite-key overflow (astronomically wide dictionaries):
+                # the array index cannot represent the partition, so run the
+                # dict-backed reference path instead.
+                self._batched = False
+                self._code_indexes.clear()
+
+        if self._batched:
+            self._build_initial_batched()
+        else:
+            # Pre-build every index: with maxsize >= the number of distinct
+            # LHS tuples nothing is ever evicted, so apply_update sees them
+            # all.
+            for lhs_free in distinct_lhs:
+                self._cache.get(lhs_free)
+            for spec in self._specs:
+                store = self._store[spec.spec_id]
+                index = self._cache.get(spec.lhs_free)
+                for key, indices in index.matching(spec.cells):
+                    violations = self._evaluate(spec, tuple(key), indices)
+                    if violations:
+                        store[tuple(key)] = violations
 
         self._changes_applied = 0
         self._patterns_reevaluated = 0
         self._partitions_reevaluated = 0
         self._expected_version = relation.version
+
+    def _build_initial_batched(self) -> None:
+        """The initial report as one ``evaluate_classes`` call per pattern.
+
+        The per-LHS :class:`CodePartitionIndex` hands every class over in
+        flat array form (zero per-class materialisation); patterns with
+        constant LHS cells first narrow the class set with one vectorised
+        key comparison.  Only the classes the kernel flags materialise
+        members and decode their keys.
+        """
+        kernel = active_kernel()
+        store = self._relation
+        assert isinstance(store, ColumnStore)
+        for spec in self._specs:
+            spec_store = self._store[spec.spec_id]
+            index = self._code_indexes[spec.lhs_free]
+            checks = self._const_checks(spec)
+            const_pairs = [(column, code) for _attr, column, code, _expected in checks]
+            rhs_columns = store.project_codes(spec.rhs_free) if spec.rhs_free else ()
+            constants: List[Tuple[int, int]] = []
+            dead = False
+            for offset, cell in enumerate(spec.cells):
+                if cell.is_constant:
+                    code = store.encode(spec.lhs_free[offset], cell.value)
+                    if code is None:
+                        # No cell ever held the constant: nothing matches
+                        # this pattern, so it cannot be violated.
+                        dead = True
+                        break
+                    constants.append((offset, code))
+            if dead:
+                continue
+            if constants:
+                positions = index.matching_positions(constants)
+                indices, offsets = index.gather(positions)
+            else:
+                positions = None
+                indices, offsets = index.class_table()
+            for local, disagree, mismatches in kernel.evaluate_classes(
+                rhs_columns, indices, offsets, const_pairs
+            ):
+                class_position = int(positions[local]) if positions is not None else local
+                key = tuple(
+                    store.decode(attr, code)
+                    for attr, code in zip(spec.lhs_free, index.key_codes_at(class_position))
+                )
+                spec_store[key] = self._class_violations(
+                    spec,
+                    checks,
+                    key,
+                    index.members_at(class_position),
+                    disagree,
+                    mismatches,
+                )
 
     # ------------------------------------------------------------------ queries
     @property
@@ -217,6 +310,11 @@ class RepairState:
     @property
     def cfds(self) -> Tuple[CFD, ...]:
         return tuple(self._cfds)
+
+    @property
+    def batched(self) -> bool:
+        """Whether this state runs the array-backed batched path."""
+        return self._batched
 
     def _check_synchronized(self) -> None:
         """Raise when the relation mutated outside :meth:`apply_change`.
@@ -273,6 +371,8 @@ class RepairState:
         mentioning ``attribute`` are re-evaluated — over only the tuple's old
         and new classes.
         """
+        if self._batched:
+            return self.apply_changes([(tuple_index, attribute, new_value)]) > 0
         self._check_synchronized()
         position = self._relation.schema.position(attribute)
         old_row = self._relation[tuple_index]
@@ -295,6 +395,132 @@ class RepairState:
                 self._reevaluate(spec, new_key)
         return True
 
+    def apply_changes(self, changes: Sequence[Tuple[int, str, Any]]) -> int:
+        """Apply a batch of cell changes and repair the state in one delta.
+
+        Semantically identical to calling :meth:`apply_change` per entry, in
+        order (no-op entries included); returns how many entries actually
+        changed a cell.  On the batched path the whole batch costs three
+        bulk steps instead of per-change work: the cell updates themselves
+        (collecting each change's old/new partition keys as the dirty set),
+        **one scatter per touched partition index** re-placing the moved
+        tuples, and **one ``evaluate_classes`` kernel call per dirty
+        pattern** over all of its dirty classes at once.  Evaluating each
+        dirtied class once against the final state is exactly equivalent to
+        the sequential delta: any intermediate change that could alter a
+        class's verdict also dirties that class.
+        """
+        if not self._batched:
+            applied = 0
+            for tuple_index, attribute, new_value in changes:
+                if self.apply_change(tuple_index, attribute, new_value):
+                    applied += 1
+            return applied
+        self._check_synchronized()
+        relation = self._relation
+        schema = relation.schema
+        # Evolving row snapshots: each change's old/new keys are computed
+        # against the rows as they stand mid-batch, mirroring the sequential
+        # path (a tuple changed twice dirties its intermediate class too).
+        rows_now: Dict[int, List[Any]] = {}
+        changed_attrs: Dict[int, Set[str]] = {}
+        dirty: Dict[int, Dict[Tuple[Any, ...], None]] = {}
+        applied = 0
+        for tuple_index, attribute, new_value in changes:
+            position = schema.position(attribute)
+            row = rows_now.get(tuple_index)
+            if row is None:
+                row = list(relation[tuple_index])
+            if row[position] == new_value:
+                continue
+            old_row = tuple(row)
+            relation.update(tuple_index, attribute, new_value)
+            row[position] = new_value
+            rows_now[tuple_index] = row
+            changed_attrs.setdefault(tuple_index, set()).add(attribute)
+            applied += 1
+            for spec in self._specs_by_attr.get(attribute, ()):
+                self._patterns_reevaluated += 1
+                keys = dirty.setdefault(spec.spec_id, {})
+                keys[tuple(old_row[p] for p in spec.lhs_positions)] = None
+                keys[tuple(row[p] for p in spec.lhs_positions)] = None
+        if not applied:
+            return 0
+        self._changes_applied += applied
+        self._expected_version = relation.version
+        for lhs_free, index in self._code_indexes.items():
+            if not lhs_free:
+                continue
+            moved = [
+                tuple_index
+                for tuple_index, attrs in changed_attrs.items()
+                if attrs.intersection(lhs_free)
+            ]
+            if moved:
+                index.apply_moves(moved)
+        for spec in self._specs:
+            keys = dirty.get(spec.spec_id)
+            if keys:
+                self._reevaluate_batched(spec, list(keys))
+        return applied
+
+    def _reevaluate_batched(self, spec: _PatternSpec, keys: List[Tuple[Any, ...]]) -> None:
+        """Recompute one pattern over its dirty classes — one kernel call."""
+        store = self._relation
+        assert isinstance(store, ColumnStore)
+        spec_store = self._store[spec.spec_id]
+        index = self._code_indexes[spec.lhs_free]
+        live: List[Tuple[Tuple[Any, ...], int]] = []
+        for key in keys:
+            self._partitions_reevaluated += 1
+            if not spec.key_matches(key):
+                # The class fell outside the pattern's LHS constants (e.g.
+                # the changed tuple moved into a non-matching class): nothing
+                # of this pattern can be violated there.
+                spec_store.pop(key, None)
+                continue
+            position = index.find(
+                tuple(store.encode(attr, value) for attr, value in zip(spec.lhs_free, key))
+            )
+            if position < 0:
+                # The class emptied out (every member moved away).
+                spec_store.pop(key, None)
+                continue
+            live.append((key, position))
+        if not live:
+            return
+        checks = self._const_checks(spec)
+        const_pairs = [(column, code) for _attr, column, code, _expected in checks]
+        rhs_columns = store.project_codes(spec.rhs_free) if spec.rhs_free else ()
+        positions = [position for _key, position in live]
+        if len(positions) <= 8:
+            # The typical mid-fixpoint batch dirties one or two small classes;
+            # flattening them as python lists here skips the numpy gather
+            # round-trip the kernel's small-input fallback would undo anyway.
+            flat: List[int] = []
+            offs: List[int] = []
+            for position in positions:
+                offs.append(len(flat))
+                flat.extend(index.members_at(position))
+            indices, offsets = flat, offs
+        else:
+            indices, offsets = index.gather(positions)
+        findings = {
+            local: (disagree, mismatches)
+            for local, disagree, mismatches in active_kernel().evaluate_classes(
+                rhs_columns, indices, offsets, const_pairs
+            )
+        }
+        for local, (key, position) in enumerate(live):
+            finding = findings.get(local)
+            if finding is None:
+                spec_store.pop(key, None)
+                continue
+            disagree, mismatches = finding
+            spec_store[key] = self._class_violations(
+                spec, checks, key, index.members_at(position), disagree, mismatches
+            )
+
     def _reevaluate(self, spec: _PatternSpec, key: Tuple[Any, ...]) -> None:
         """Recompute one pattern's violations over one equivalence class."""
         self._partitions_reevaluated += 1
@@ -312,6 +538,70 @@ class RepairState:
         else:
             store.pop(key, None)
 
+    def _const_checks(self, spec: _PatternSpec) -> List[Tuple[str, Any, Optional[int], Any]]:
+        """The pattern's encoded ``Q^C`` checks, cached per dictionary version.
+
+        Each entry is ``(attribute, code column, expected code, expected
+        value)``.  The dictionary grows under repair — an expected constant
+        absent at one evaluation can be interned by a later fix — so the
+        encode is not stable across the whole run; but it *is* stable while
+        the constant attributes' dictionary versions stand still, which is
+        virtually every evaluation.  Columnar storage only.
+        """
+        if not spec.constant_rhs:
+            return []
+        store = self._relation
+        assert isinstance(store, ColumnStore)
+        versions = tuple(
+            store.dictionary_version(attr) for attr, _position, _expected in spec.constant_rhs
+        )
+        cached = self._const_cache.get(spec.spec_id)
+        if cached is not None and cached[0] == versions:
+            return cached[1]
+        checks = [
+            (attr, store.codes(attr), store.encode(attr, expected), expected)
+            for attr, _position, expected in spec.constant_rhs
+        ]
+        self._const_cache[spec.spec_id] = (versions, checks)
+        return checks
+
+    def _class_violations(
+        self,
+        spec: _PatternSpec,
+        checks: Sequence[Tuple[str, Any, Optional[int], Any]],
+        key: Tuple[Any, ...],
+        members: Sequence[int],
+        disagree: bool,
+        mismatches: Sequence[Sequence[int]],
+    ) -> List[Violation]:
+        """Materialise one reported class's violations from kernel output.
+
+        Emission matches the reference :meth:`_evaluate` exactly: ``Q^C``
+        violations tuple-major through the shared
+        :func:`~repro.detection.indexed.constant_code_violations` helper,
+        then the single ``Q^V`` violation over the full member list.
+        """
+        store = self._relation
+        assert isinstance(store, ColumnStore)
+        violations: List[Violation] = []
+        if checks:
+            violations.extend(
+                constant_code_violations(
+                    store, spec.cfd.name, spec.pattern_index, checks, mismatches
+                )
+            )
+        if disagree:
+            violations.append(
+                VariableViolation(
+                    cfd_name=spec.cfd.name,
+                    pattern_index=spec.pattern_index,
+                    tuple_indices=tuple(members),
+                    attributes=spec.lhs_free,
+                    group_key=key,
+                )
+            )
+        return violations
+
     def _evaluate(
         self, spec: _PatternSpec, key: Tuple[Any, ...], indices: Sequence[int]
     ) -> List[Violation]:
@@ -319,10 +609,12 @@ class RepairState:
 
         On a :class:`~repro.relation.columnar.ColumnStore` both checks run
         over dictionary codes, mirroring the indexed detection backend:
-        expected constants encode once per evaluation (the dictionary grows
-        under repair, so codes are not cached across calls) and RHS agreement
-        is code-projection cardinality — values decode only into emitted
-        violations.
+        expected constants come pre-encoded from the version-keyed
+        :meth:`_const_checks` cache, RHS agreement is code-projection
+        cardinality through the active kernel, and values decode only into
+        emitted violations (via the shared
+        :func:`~repro.detection.indexed.constant_code_violations` emission
+        helper, which also serves indexed detection and the batched path).
         """
         relation = self._relation
         violations: List[Violation] = []
@@ -330,49 +622,16 @@ class RepairState:
         if spec.constant_rhs:
             if store is not None:
                 kernel = active_kernel()
-                checks = [
-                    (attr, store.codes(attr), store.encode(attr, expected), expected)
-                    for attr, _position, expected in spec.constant_rhs
+                checks = self._const_checks(spec)
+                mismatches = [
+                    kernel.constant_mismatches(column, indices, expected_code)
+                    for _attr, column, expected_code, _expected in checks
                 ]
-                # Tuple-major emission, like the indexed backend: the kernel
-                # finds each check's mismatching subset, the union is walked
-                # in ascending index order (`indices` is ascending, so
-                # sorted() restores the reference order).
-                if len(checks) == 1:
-                    attr, column, expected_code, expected = checks[0]
-                    for tuple_index in kernel.constant_mismatches(
-                        column, indices, expected_code
-                    ):
-                        violations.append(
-                            ConstantViolation(
-                                cfd_name=spec.cfd.name,
-                                pattern_index=spec.pattern_index,
-                                tuple_indices=(tuple_index,),
-                                attribute=attr,
-                                expected=expected,
-                                actual=store.decode(attr, column[tuple_index]),
-                            )
-                        )
-                else:
-                    dirty: set = set()
-                    for _attr, column, expected_code, _expected in checks:
-                        dirty.update(
-                            kernel.constant_mismatches(column, indices, expected_code)
-                        )
-                    for tuple_index in sorted(dirty):
-                        for attr, column, expected_code, expected in checks:
-                            code = column[tuple_index]
-                            if code != expected_code:
-                                violations.append(
-                                    ConstantViolation(
-                                        cfd_name=spec.cfd.name,
-                                        pattern_index=spec.pattern_index,
-                                        tuple_indices=(tuple_index,),
-                                        attribute=attr,
-                                        expected=expected,
-                                        actual=store.decode(attr, code),
-                                    )
-                                )
+                violations.extend(
+                    constant_code_violations(
+                        store, spec.cfd.name, spec.pattern_index, checks, mismatches
+                    )
+                )
             else:
                 for tuple_index in indices:
                     row = relation[tuple_index]
@@ -390,7 +649,9 @@ class RepairState:
                             )
         if spec.rhs_free and len(indices) > 1:
             if store is not None:
-                disagree = codes_disagree(store.project_codes(spec.rhs_free), indices)
+                disagree = active_kernel().codes_disagree(
+                    store.project_codes(spec.rhs_free), indices
+                )
             else:
                 rhs_values = {
                     tuple(relation[tuple_index][position] for position in spec.rhs_positions)

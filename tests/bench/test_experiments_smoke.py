@@ -88,7 +88,7 @@ class TestDrivers:
         assert set(ALL_EXPERIMENTS) == {
             "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "merged",
             "backends", "repair", "pipeline", "parallel", "columnar", "kernels",
-            "outofcore", "analysis",
+            "repair_kernels", "outofcore", "analysis",
         }
 
     def test_parallel_scaling_columns_and_agreement(self, config):

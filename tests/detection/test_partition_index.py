@@ -227,3 +227,106 @@ class TestCacheStaleness:
         rel.delete(0)
         cache.clear()
         assert cache.get(("A",)).tuple_count == len(rel)
+
+
+# ---------------------------------------------------------------------------
+# CodePartitionIndex: the array-backed partition map of the batched repair path
+# ---------------------------------------------------------------------------
+from repro.kernels import numpy_available  # noqa: E402
+
+
+@pytest.mark.skipif(not numpy_available(), reason="needs the [fast] extra")
+class TestCodePartitionIndex:
+    """The sorted code-composite index against the dict-backed reference."""
+
+    @pytest.fixture
+    def store(self, rel):
+        from repro.relation.columnar import ColumnStore
+
+        return ColumnStore.from_relation(rel)
+
+    def _index(self, store, attributes):
+        from repro.detection.partition_index import CodePartitionIndex
+
+        return CodePartitionIndex(store, tuple(attributes))
+
+    def test_classes_match_group_by(self, store, rel):
+        index = self._index(store, ("A", "B"))
+        reference = rel.group_by(["A", "B"])
+        seen = {}
+        for position in range(index.class_count):
+            codes = index.key_codes_at(position)
+            key = tuple(
+                store.decode(attr, code) for attr, code in zip(("A", "B"), codes)
+            )
+            seen[key] = index.members_at(position)
+        assert seen == {key: list(members) for key, members in reference.items()}
+
+    def test_empty_attributes_single_class(self, store):
+        index = self._index(store, ())
+        assert index.class_count == 1
+        assert index.members_at(0) == [0, 1, 2, 3]
+        assert index.key_codes_at(0) == ()
+
+    def test_find(self, store):
+        index = self._index(store, ("A",))
+        a1 = store.encode("A", "a1")
+        assert index.members_at(index.find((a1,))) == [0, 1, 3]
+        assert index.find((None,)) == -1  # value absent from the dictionary
+        # A code at/above the stride capacity belongs to no live row.
+        assert index.find((10_000,)) == -1
+
+    def test_matching_positions_and_gather(self, store):
+        index = self._index(store, ("A", "B"))
+        b1 = store.encode("B", "b1")
+        positions = index.matching_positions([(1, b1)])
+        gathered_keys = {index.key_codes_at(int(p)) for p in positions}
+        assert all(codes[1] == b1 for codes in gathered_keys)
+        indices, offsets = index.gather(positions)
+        flat = [int(i) for i in indices]
+        assert flat == [
+            member for p in positions for member in index.members_at(int(p))
+        ]
+        assert [int(o) for o in offsets] == [0, 2]
+
+    def test_apply_moves_matches_fresh_rebuild(self, store):
+        from repro.detection.partition_index import CodePartitionIndex
+
+        index = self._index(store, ("A", "B"))
+        store.update(0, "A", "a2")  # move into an existing code
+        store.update(2, "B", "b9")  # fresh dictionary entry, within headroom
+        index.apply_moves([0, 2])
+        fresh = CodePartitionIndex(store, ("A", "B"))
+        assert index.class_count == fresh.class_count
+        for position in range(fresh.class_count):
+            assert index.members_at(position) == fresh.members_at(position)
+            assert index.key_codes_at(position) == fresh.key_codes_at(position)
+
+    def test_apply_moves_headroom_overflow_rebuilds(self, store):
+        from repro.detection.partition_index import CodePartitionIndex
+
+        index = self._index(store, ("A",))
+        # Outgrow the build-time capacity (dictionary size + headroom) so the
+        # delta cannot represent the new code and a full rebuild must kick in.
+        headroom = CodePartitionIndex.HEADROOM
+        for step in range(headroom + 1):
+            store.update(0, "A", f"grown{step}")
+        index.apply_moves([0])
+        fresh = CodePartitionIndex(store, ("A",))
+        for position in range(fresh.class_count):
+            assert index.members_at(position) == fresh.members_at(position)
+            assert index.key_codes_at(position) == fresh.key_codes_at(position)
+
+    def test_composite_overflow_raises_detection_error(self, store):
+        import repro.detection.partition_index as module
+
+        # Shrink the headroom so capacities multiply past int64 and the
+        # constructor must refuse (RepairState then falls back to reference
+        # mode rather than building a wrong index).
+        original = module.CodePartitionIndex.HEADROOM
+        module.CodePartitionIndex.HEADROOM = 2**40
+        try:
+            with pytest.raises(DetectionError):
+                self._index(store, ("A", "B"))
+        finally:
+            module.CodePartitionIndex.HEADROOM = original

@@ -1,0 +1,180 @@
+"""Edge-case unit suite for the repair-side kernel primitives.
+
+``partition_classes`` and ``evaluate_classes`` are the batch re-evaluation
+pair behind the columnar incremental repair fixpoint: one call partitions a
+column set into equivalence classes in flat ``(order, offsets)`` form, the
+other resolves every class's ``Q^C`` mismatches and ``Q^V`` disagreement in
+one pass.  Each case here is an input shape the vectorised implementation is
+most likely to get wrong — the empty dirty-set, single-row classes, the
+all-wildcard pattern (no LHS columns: one class holds everything), masked
+patterns whose expected constant is absent from the dictionary (``None``
+expected code) — asserted byte-identical between ``kernel="python"`` and
+``kernel="numpy"``, including the documented orderings (classes ascending by
+code key, members and mismatch subsets ascending by index).
+
+The numpy kernel's small-input fallback is disabled throughout (these inputs
+are all tiny by construction; with the fallback active the numpy column
+would never run its own code).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import pytest
+
+from repro.kernels import get_kernel, numpy_available
+
+KERNELS = [
+    "python",
+    pytest.param(
+        "numpy",
+        marks=pytest.mark.skipif(
+            not numpy_available(), reason="the numpy kernel needs the [fast] extra"
+        ),
+    ),
+]
+
+
+@pytest.fixture(autouse=True)
+def no_small_input_fallback():
+    """Force the numpy kernel's vectorised paths even on tiny inputs."""
+    if not numpy_available():
+        yield
+        return
+    from repro.kernels import numpy_kernels
+
+    previous = numpy_kernels.SMALL_INPUT_THRESHOLD
+    numpy_kernels.SMALL_INPUT_THRESHOLD = 0
+    yield
+    numpy_kernels.SMALL_INPUT_THRESHOLD = previous
+
+
+def classes(kernel, columns, length):
+    """``partition_classes`` normalised to plain-int lists."""
+    order, offsets = get_kernel(kernel).partition_classes(columns, length)
+    return [int(i) for i in order], [int(o) for o in offsets]
+
+
+def findings(kernel, rhs_columns, indices, offsets, const_columns=()):
+    """``evaluate_classes`` normalised to plain-int/bool structures."""
+    return [
+        (int(position), bool(disagree), tuple([int(i) for i in m] for m in mismatches))
+        for position, disagree, mismatches in get_kernel(kernel).evaluate_classes(
+            rhs_columns, indices, offsets, const_columns
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# empty dirty-set / empty relation
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_empty_inputs(kernel):
+    empty = array("i")
+    assert classes(kernel, [empty], 0) == ([], [])
+    assert classes(kernel, [], 0) == ([], [])
+    # The empty dirty-set: nothing to re-evaluate, nothing reported.
+    assert findings(kernel, [empty], [], []) == []
+    assert findings(kernel, [], [], [], [(empty, 0)]) == []
+
+
+# ---------------------------------------------------------------------------
+# all-wildcard pattern: no LHS columns, one class holds every row
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_no_columns_single_class(kernel):
+    assert classes(kernel, [], 5) == ([0, 1, 2, 3, 4], [0])
+    rhs_agree = array("i", [7, 7, 7, 7, 7])
+    rhs_split = array("i", [7, 7, 8, 7, 7])
+    assert findings(kernel, [rhs_agree], [0, 1, 2, 3, 4], [0]) == []
+    assert findings(kernel, [rhs_split], [0, 1, 2, 3, 4], [0]) == [(0, True, ())]
+
+
+# ---------------------------------------------------------------------------
+# single-row classes: Q^V can never fire, Q^C still can
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_single_row_classes(kernel):
+    lhs = array("i", [3, 0, 2, 1])  # all distinct: four singleton classes
+    rhs = array("i", [5, 6, 5, 6])
+    order, offsets = classes(kernel, [lhs], 4)
+    assert order == [1, 3, 2, 0]  # ascending by code key
+    assert offsets == [0, 1, 2, 3]
+    assert findings(kernel, [rhs], order, offsets) == []
+    # A constant check still reports singletons whose code mismatches.
+    const = array("i", [9, 5, 9, 5])
+    assert findings(kernel, [rhs], order, offsets, [(const, 9)]) == [
+        (0, False, ([1],)),
+        (1, False, ([3],)),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# class and member ordering
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_key_order_and_member_order(kernel):
+    column = array("i", [2, 0, 2, 1, 0, 2])
+    order, offsets = classes(kernel, [column], 6)
+    # Classes ascending by code, members ascending within each class.
+    assert order == [1, 4, 3, 0, 2, 5]
+    assert offsets == [0, 2, 3]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_multi_column_key_order(kernel):
+    first = array("i", [1, 0, 1, 0, 1])
+    second = array("i", [0, 2, 0, 1, 1])
+    order, offsets = classes(kernel, [first, second], 5)
+    # Key tuples sorted first-column-most-significant:
+    # (0,1)->[3], (0,2)->[1], (1,0)->[0,2], (1,1)->[4]
+    assert order == [3, 1, 0, 2, 4]
+    assert offsets == [0, 1, 2, 4]
+
+
+# ---------------------------------------------------------------------------
+# masked patterns: expected constant absent from the dictionary (None code)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_expected_none_mismatches_every_member(kernel):
+    lhs = array("i", [0, 0, 1, 1])
+    const = array("i", [4, 4, 4, 4])
+    order, offsets = classes(kernel, [lhs], 4)
+    assert findings(kernel, [], order, offsets, [(const, None)]) == [
+        (0, False, ([0, 1],)),
+        (1, False, ([2, 3],)),
+    ]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_mixed_checks_report_ascending_positions(kernel):
+    # Three classes: 0 disagrees on Q^V, 1 is clean, 2 fails one of two
+    # constant checks.  Only 0 and 2 come back, in ascending class position.
+    indices = [0, 1, 2, 3, 4, 5]
+    offsets = [0, 2, 4]
+    rhs = array("i", [1, 2, 3, 3, 5, 5])
+    const_a = array("i", [7, 7, 7, 7, 7, 7])
+    const_b = array("i", [8, 8, 8, 8, 9, 8])
+    result = findings(
+        kernel, [rhs], indices, offsets, [(const_a, 7), (const_b, 8)]
+    )
+    assert result == [(0, True, ([], [])), (2, False, ([], [4]))]
+
+
+# ---------------------------------------------------------------------------
+# cross-kernel: the primitives agree on a mixed workload, round-tripped
+# ---------------------------------------------------------------------------
+@pytest.mark.skipif(not numpy_available(), reason="needs the numpy kernel")
+def test_repair_primitives_agree_on_mixed_codes():
+    lhs_one = array("i", [3, 1, 3, 0, 1, 3, 2, 2, 0, 3] * 8)
+    lhs_two = array("i", [0, 1, 0, 1, 2, 2, 0, 1, 2, 0] * 8)
+    rhs = array("i", [5, 5, 6, 5, 5, 6, 7, 7, 5, 6] * 8)
+    const = array("i", [0, 1, 0, 0, 1, 0, 1, 0, 0, 1] * 8)
+    for columns in ([lhs_one], [lhs_one, lhs_two], []):
+        python_order, python_offsets = classes("python", columns, 80)
+        assert (python_order, python_offsets) == classes("numpy", columns, 80)
+        for const_columns in ((), [(const, 0)], [(const, None), (const, 0)]):
+            assert findings(
+                "python", [rhs], python_order, python_offsets, const_columns
+            ) == findings("numpy", [rhs], python_order, python_offsets, const_columns)

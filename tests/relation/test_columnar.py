@@ -47,6 +47,15 @@ class TestEncoding:
         assert store.dictionary("A") == ("a1", "a2")
         assert store.dictionary_size("A") == 2
 
+    def test_dictionary_version_tracks_growth_only(self, store):
+        version = store.dictionary_version("B")
+        store.update(0, "B", "b2")  # existing value: same version
+        assert store.dictionary_version("B") == version
+        store.update(0, "B", "novel")  # fresh entry: version advances
+        assert store.dictionary_version("B") == version + 1
+        store.delete(1)  # deletes orphan entries, never shrink the version
+        assert store.dictionary_version("B") == version + 1
+
     def test_project_codes_alignment(self, store):
         b_codes, a_codes = store.project_codes(["B", "A"])
         assert list(a_codes) == [0, 0, 1]

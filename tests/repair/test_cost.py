@@ -66,3 +66,58 @@ class TestCostModel:
 
     def test_no_change_costs_nothing(self):
         assert CostModel().modification_cost(0, "same", "same") == 0.0
+
+
+class TestCodeDistanceCache:
+    """The code-keyed distance memo of the batched candidate-pricing path."""
+
+    @pytest.fixture
+    def store(self):
+        from repro.relation.columnar import ColumnStore
+        from repro.relation.schema import Schema
+
+        store = ColumnStore(
+            Schema("r", ["CT", "ZIP"]),
+            [("NYC", "10001"), ("NYD", "10001"), ("Chicago", "60601")],
+        )
+        store.codes("CT")
+        store.codes("ZIP")
+        return store
+
+    def _cache(self, store):
+        from repro.repair.cost import CodeDistanceCache
+
+        return CodeDistanceCache(store)
+
+    def test_distance_matches_value_reference(self, store):
+        cache = self._cache(store)
+        nyc, nyd = store.encode("CT", "NYC"), store.encode("CT", "NYD")
+        assert cache.distance("CT", nyc, nyd) == normalized_distance("NYC", "NYD")
+        assert cache.distance("CT", nyd, nyc) == normalized_distance("NYC", "NYD")
+        assert cache.distance("CT", nyc, nyc) == 0.0
+
+    def test_projection_cost_is_bit_identical_to_value_reference(self, store):
+        cache = self._cache(store)
+        model = CostModel()
+        attributes = ["CT", "ZIP"]
+        old_codes = [store.encode("CT", "NYC"), store.encode("ZIP", "10001")]
+        new_codes = [store.encode("CT", "Chicago"), store.encode("ZIP", "60601")]
+        old_values = ["NYC", "10001"]
+        new_values = ["Chicago", "60601"]
+        for weight in (1.0, 2.5, 7.125):
+            assert cache.projection_cost(
+                weight, attributes, old_codes, new_codes
+            ) == model.projection_cost(weight, old_values, new_values)
+
+    def test_memo_survives_dictionary_growth(self, store):
+        cache = self._cache(store)
+        nyc, nyd = store.encode("CT", "NYC"), store.encode("CT", "NYD")
+        assert cache.distance("CT", nyc, nyd) == normalized_distance("NYC", "NYD")
+        memo = cache._memo["CT"]
+        store.update(2, "CT", "Boston")  # appends a fresh entry, new version
+        fresh = store.encode("CT", "Boston")
+        # The old pair's memo entry is still there (codes never renumber)...
+        assert cache._memo["CT"] is memo
+        assert (min(nyc, nyd), max(nyc, nyd)) in memo
+        # ...and the refreshed snapshot prices the new code correctly.
+        assert cache.distance("CT", nyc, fresh) == normalized_distance("NYC", "Boston")
